@@ -1,0 +1,36 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the regenerated
+rows/series of every paper figure.  Each benchmark both *times* the
+operation (pytest-benchmark) and *prints* the data series the corresponding
+figure plots, asserting the paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pool import MacroPool, PoolConfig
+from repro.core.solver import GramcSolver
+from repro.programming.write_verify import VgEstimator
+from repro.devices.constants import DEFAULT_STACK
+
+
+def pytest_configure(config):
+    # Benchmarks live outside the default testpaths; ensure plugins see them.
+    config.addinivalue_line("markers", "figure: paper figure reproduction")
+
+
+@pytest.fixture(scope="session")
+def chip_solver() -> GramcSolver:
+    """One full-size 16×(128×128) chip shared by the figure benches."""
+    return GramcSolver(
+        pool=MacroPool(PoolConfig(), rng=np.random.default_rng(20250611)),
+        rng=np.random.default_rng(11),
+    )
+
+
+@pytest.fixture(scope="session")
+def estimator() -> VgEstimator:
+    return VgEstimator(DEFAULT_STACK)

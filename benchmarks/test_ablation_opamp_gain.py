@@ -1,0 +1,53 @@
+"""Ablation: op-amp open-loop gain vs INV solution error.
+
+DESIGN.md derives the finite-gain INV law ``(G + diag(g_tot)/a0)·x = −i``;
+the error term scales as 1/a0.  This bench sweeps a0 over four decades and
+shows the error floor set by 4-bit quantization once the amplifier stops
+being the bottleneck — guidance for how much amplifier a GRAMC deployment
+actually needs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analog.inv import InvCircuit
+from repro.analog.opamp import OpAmpParams
+from repro.analysis.reporting import banner, format_table
+from repro.arrays.mapping import DifferentialMapping
+from repro.workloads.matrices import wishart
+
+_GAINS = (1e2, 1e3, 1e4, 1e5, 1e6)
+
+
+def _inv_error(a0: float) -> float:
+    matrix = wishart(24, rng=np.random.default_rng(0)) + 0.4 * np.eye(24)
+    mapping = DifferentialMapping.from_matrix(matrix)
+    params = OpAmpParams(a0=a0, offset_sigma=0.0, noise_sigma=0.0)
+    circuit = InvCircuit(
+        mapping.g_pos, mapping.g_neg, params=params, rng=np.random.default_rng(1)
+    )
+    i_in = np.random.default_rng(2).uniform(-5e-6, 5e-6, 24)
+    ideal = circuit.ideal_solution(i_in)
+    got = circuit.static_solve(i_in, noisy=False).outputs
+    return float(np.linalg.norm(got - ideal) / np.linalg.norm(ideal))
+
+
+@pytest.mark.figure
+def test_ablation_opamp_gain(benchmark):
+    errors = {a0: _inv_error(a0) for a0 in _GAINS}
+    benchmark(_inv_error, 1e5)
+
+    print(banner("Ablation — op-amp open-loop gain vs INV finite-gain error"))
+    print(
+        format_table(
+            ["a0", "rel err vs infinite-gain circuit"],
+            [[f"{a0:.0e}", errors[a0]] for a0 in _GAINS],
+        )
+    )
+
+    gains = sorted(_GAINS)
+    for low, high in zip(gains, gains[1:]):
+        assert errors[high] <= errors[low] + 1e-12, "error must fall with gain"
+    # 1/a0 scaling in the amplifier-limited regime (two low-gain points).
+    ratio = errors[1e2] / errors[1e3]
+    assert 5.0 <= ratio <= 20.0, f"expected ~10× error drop per gain decade, got {ratio:.1f}"

@@ -1,0 +1,63 @@
+"""Ablation: retention drift — how long do programmed weights stay valid?
+
+Extension beyond the paper's figures: conductances relax toward a
+mid-window equilibrium after programming (power-law retention).  This bench
+drifts a programmed MVM operand across six decades of time and reports the
+accuracy decay — the refresh-interval question every RRAM deployment has
+to answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import banner, format_table
+from repro.arrays.mapping import DifferentialMapping
+from repro.devices.variability import RetentionModel
+from repro.programming.levels import LevelMap
+
+_TIMES = (0.0, 1e2, 1e4, 1e6, 1e8)
+
+
+def _drifted_mvm_error(elapsed: float) -> float:
+    rng = np.random.default_rng(0)
+    matrix = rng.standard_normal((48, 48))
+    mapping = DifferentialMapping.from_matrix(matrix)
+    model = RetentionModel()
+    g_pos = model.drifted(mapping.g_pos, elapsed)
+    g_neg = model.drifted(mapping.g_neg, elapsed)
+    drifted = mapping.decode(g_pos, g_neg)
+    errors = []
+    for _ in range(6):
+        x = rng.uniform(-1, 1, 48)
+        reference = matrix @ x
+        errors.append(np.linalg.norm(drifted @ x - reference) / np.linalg.norm(reference))
+    return float(np.mean(errors))
+
+
+@pytest.mark.figure
+def test_ablation_retention_drift(benchmark):
+    model = RetentionModel()
+    level_map = LevelMap()
+    errors = {t: _drifted_mvm_error(t) for t in _TIMES}
+    benchmark(_drifted_mvm_error, 1e4)
+
+    print(banner("Ablation — retention drift vs MVM accuracy"))
+    rows = [
+        [
+            f"{t:.0e} s" if t else "fresh",
+            errors[t],
+            model.worst_case_level_drift(level_map.step, t) if t else 0.0,
+        ]
+        for t in _TIMES
+    ]
+    print(format_table(["time since programming", "MVM rel err", "worst drift (levels)"], rows))
+
+    # Drift must degrade accuracy monotonically (up to a small tolerance:
+    # the differential mapping cancels common-mode drift, so early decades
+    # can be accuracy-neutral)…
+    times = sorted(_TIMES)
+    for early, late in zip(times, times[1:]):
+        assert errors[late] >= errors[early] - 0.01
+    # …and the differential mapping cancels the common-mode part of the
+    # drift, keeping the operand usable for ~1e4 s (hours) at 4 bits.
+    assert errors[1e4] < errors[0.0] + 0.1

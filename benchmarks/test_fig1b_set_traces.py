@@ -1,0 +1,60 @@
+"""Fig. 1(b): SET write-verify staircases — level vs pulse number.
+
+Paper series: 16-level staircases for V_g steps of 0.01 V and 0.02 V, from
+different initial states, 30 ns pulses.  Shape criteria: monotone rise
+through all 16 levels; the 0.02 V step reaches level 15 in roughly half the
+pulses of the 0.01 V step; different initial states converge onto the same
+staircase.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import banner, format_table, sparkline
+from repro.devices.cell import OneT1R
+from repro.devices.constants import DEFAULT_STACK
+from repro.programming.write_verify import WriteVerifyController
+
+
+def _run_set_trace(estimator, v_g_step: float, initial_g: float | None):
+    controller = WriteVerifyController(
+        DEFAULT_STACK, rng=np.random.default_rng(1), estimator=estimator
+    )
+    cell = OneT1R(DEFAULT_STACK)
+    if initial_g is None:
+        cell.rram.reset_state()
+    else:
+        cell.rram.set_conductance(initial_g)
+    return controller.sweep_set(cell, v_g_step=v_g_step, max_pulses=40)
+
+
+@pytest.mark.figure
+def test_fig1b_set_staircases(benchmark, estimator):
+    trace_fine = benchmark(_run_set_trace, estimator, 0.01, None)
+    trace_coarse = _run_set_trace(estimator, 0.02, None)
+    trace_mid_state = _run_set_trace(estimator, 0.01, 30e-6)
+
+    print(banner("Fig. 1(b) — SET: level vs pulse number (30 ns pulses)"))
+    rows = []
+    for label, trace in (
+        ("Vg_step=0.01 V (from RESET)", trace_fine),
+        ("Vg_step=0.02 V (from RESET)", trace_coarse),
+        ("Vg_step=0.01 V (from level ~4)", trace_mid_state),
+    ):
+        pulses_to_top = trace.pulses_to_reach_level(15.0)
+        rows.append(
+            [label, len(trace), pulses_to_top, sparkline(np.clip(trace.levels, 0, 15), 0, 15)]
+        )
+    print(format_table(["series", "pulses", "to L15", "staircase"], rows))
+
+    # --- paper-shape assertions -------------------------------------------------
+    fine_top = trace_fine.pulses_to_reach_level(15.0)
+    coarse_top = trace_coarse.pulses_to_reach_level(15.0)
+    assert fine_top is not None and fine_top <= 36, "0.01 V step must reach L15 ≲ 35 pulses"
+    assert coarse_top is not None
+    assert 0.3 <= coarse_top / fine_top <= 0.75, "doubling the step ≈ halves the pulse count"
+    assert trace_fine.is_monotone(), "SET staircase must rise monotonically"
+    mid_top = trace_mid_state.pulses_to_reach_level(15.0)
+    assert mid_top is not None and abs(mid_top - fine_top) <= 4, (
+        "staircases from different initial states converge (Fig. 1b)"
+    )

@@ -1,0 +1,50 @@
+"""Fig. 1(c): RESET write-verify staircases — level vs pulse number.
+
+Paper series: RESET progressions for V_SL steps of 0.02 V and 0.03 V.
+Shape criteria: monotone traversal of the full window (shown in the paper's
+rising "reset depth" convention) and fewer pulses for the larger step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import banner, format_table, sparkline
+from repro.devices.cell import OneT1R
+from repro.devices.constants import DEFAULT_STACK
+from repro.programming.write_verify import WriteVerifyController
+
+
+def _run_reset_trace(estimator, v_sl_step: float):
+    controller = WriteVerifyController(
+        DEFAULT_STACK, rng=np.random.default_rng(2), estimator=estimator
+    )
+    cell = OneT1R(DEFAULT_STACK)
+    cell.rram.set_conductance(135e-6)  # fully SET (effective ≈ level 15)
+    return controller.sweep_reset(cell, v_sl_step=v_sl_step, max_pulses=40)
+
+
+@pytest.mark.figure
+def test_fig1c_reset_staircases(benchmark, estimator):
+    trace_fine = benchmark(_run_reset_trace, estimator, 0.02)
+    trace_coarse = _run_reset_trace(estimator, 0.03)
+
+    print(banner("Fig. 1(c) — RESET: reset depth vs pulse number (30 ns pulses)"))
+    rows = []
+    for label, trace in (
+        ("Vsl_step=0.02 V", trace_fine),
+        ("Vsl_step=0.03 V", trace_coarse),
+    ):
+        depth = np.clip(trace.reset_depth_levels, 0, 15)
+        to_floor = trace.pulses_to_reach_level(0.5, from_above=True)
+        rows.append([label, len(trace), to_floor, sparkline(depth, 0, 15)])
+    print(format_table(["series", "pulses", "to floor", "reset depth"], rows))
+
+    # --- paper-shape assertions -------------------------------------------------
+    fine_floor = trace_fine.pulses_to_reach_level(0.5, from_above=True)
+    coarse_floor = trace_coarse.pulses_to_reach_level(0.5, from_above=True)
+    assert fine_floor is not None and coarse_floor is not None
+    assert coarse_floor < fine_floor, "larger V_SL step resets in fewer pulses"
+    assert trace_fine.is_monotone(decreasing=True), "RESET must fall monotonically"
+    # Full window traversed: from the top level to the floor.
+    assert trace_fine.levels[0] >= 13.0
+    assert trace_fine.levels[-1] <= 0.5

@@ -1,0 +1,85 @@
+"""Fig. 5: LeNet-5 digit inference on GRAMC — float32 vs INT8 vs INT4.
+
+Paper numbers (MNIST): float32 98.87 %, INT8 (bit-sliced) 98.5 %, INT4
+97.61 % (97.1 % in the text).  This environment has no MNIST, so the
+experiment runs on SynthDigits (see DESIGN.md §1); absolute accuracies
+differ but the *shape* is asserted: quantized-analog accuracy trails
+float32 by a small margin, INT4 loses more than INT8, and all variants stay
+within a few points of the float32 ceiling.
+
+The INT8 path exercises the full bit-slicing machinery: two 4-bit nibble
+planes per layer, recombined by the digital shift-add unit.  NN weights are
+programmed once and reused, so the write-verify runs with a tightened
+tolerance band (more verify pulses per cell, exactly the trade a deployment
+would choose).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import banner, format_table
+from repro.core.pool import MacroPool, PoolConfig
+from repro.core.solver import GramcSolver
+from repro.devices.constants import DeviceStack, VariabilityParams, WriteVerifyParams
+from repro.nn.analog_inference import AnalogLeNet5
+from repro.nn.datasets import synth_digits
+from repro.nn.lenet5 import LeNet5
+from repro.nn.train import train_lenet5
+
+_DIFFICULTY = 1.35
+
+_NN_STACK = DeviceStack(
+    write_verify=WriteVerifyParams(tolerance=0.12),
+    variability=VariabilityParams(c2c_sigma=0.01, read_noise_sigma=0.003),
+)
+
+
+def _nn_solver(seed: int) -> GramcSolver:
+    return GramcSolver(
+        pool=MacroPool(PoolConfig(stack=_NN_STACK), rng=np.random.default_rng(seed)),
+        rng=np.random.default_rng(seed),
+    )
+
+
+@pytest.fixture(scope="module")
+def trained():
+    train = synth_digits(6000, rng=np.random.default_rng(1), difficulty=_DIFFICULTY)
+    test = synth_digits(1000, rng=np.random.default_rng(2), difficulty=_DIFFICULTY)
+    model = LeNet5(np.random.default_rng(5))
+    train_lenet5(model, train, test, epochs=4, rng=np.random.default_rng(6))
+    return model, test
+
+
+@pytest.mark.figure
+def test_fig5_lenet5_accuracy(benchmark, trained):
+    model, test = trained
+
+    float_accuracy = model.accuracy(test.images, test.labels)
+
+    analog4 = AnalogLeNet5(model, _nn_solver(9), bits=4)
+    int4_accuracy = analog4.accuracy(test.images, test.labels)
+
+    analog8 = AnalogLeNet5(model, _nn_solver(10), bits=8)
+    int8_accuracy = analog8.accuracy(test.images, test.labels)
+
+    # Time one analog inference chunk (50 images through all five layers).
+    benchmark(analog4.predict, test.images[:50])
+
+    print(banner("Fig. 5 — LeNet-5 on GRAMC (SynthDigits, 1000 test images)"))
+    print(
+        format_table(
+            ["precision", "accuracy", "paper (MNIST)"],
+            [
+                ["float32", float_accuracy, 0.9887],
+                ["INT8 (bit-sliced analog)", int8_accuracy, 0.985],
+                ["INT4 (analog)", int4_accuracy, 0.9761],
+            ],
+        )
+    )
+
+    # --- paper-shape assertions -------------------------------------------------
+    assert float_accuracy > 0.90, "float32 reference must be strong"
+    assert int8_accuracy >= int4_accuracy - 0.01, "INT8 at or above INT4 (paper ordering)"
+    assert float_accuracy >= int4_accuracy - 0.005, "quantization cannot beat float32"
+    assert float_accuracy - int4_accuracy <= 0.06, "INT4 gap stays small (paper: ~1.3 pts)"
+    assert float_accuracy - int8_accuracy <= 0.03, "INT8 gap stays tiny (paper: ~0.4 pts)"

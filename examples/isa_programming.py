@@ -1,0 +1,93 @@
+"""Programming GRAMC at the instruction level (the paper's Fig. 3 flow).
+
+The other examples use the high-level solver; this one drives the chip the
+way its digital controller actually works: stage operands and configuration
+words in the global buffer, assemble a program, and let the controller walk
+the write-verify and system-solution data paths instruction by instruction.
+
+The program implements one neural-network layer: y = relu(W·x) with the
+matrix on one macro (paired-column differential layout).
+
+Run:  python examples/isa_programming.py
+"""
+
+import numpy as np
+
+from repro.analog.topologies import AMCMode
+from repro.analysis.reporting import banner, format_table
+from repro.arrays.mapping import DifferentialMapping
+from repro.core.pool import PoolConfig
+from repro.macro.registers import MacroConfig, PlaneLayout, encode, g_f_code_for
+from repro.system.assembler import disassemble
+from repro.system.gramc import GramcChip
+
+ASSEMBLY = """
+; --- one neural-network layer on GRAMC ------------------------------
+    CFG  m0, 0          ; load the macro configuration word
+    WRV  m0, 16, 512    ; write-verify the 16x32 conductance tile
+    BNE  fail           ; CU flag: all cells inside the verify band?
+    EXE  m0, 600, 16    ; analog MVM on the staged input vector
+    MOVO m0, 700, 16    ; output buffer -> global buffer
+    RELU 700, 16        ; digital functional module: activation
+    HALT
+fail:
+    HALT
+"""
+
+
+def main() -> None:
+    chip = GramcChip(PoolConfig(num_macros=4, rows=32, cols=32), rng=np.random.default_rng(0))
+
+    # Weights for a 16→16 layer, mapped to differential conductance planes.
+    rng = np.random.default_rng(1)
+    weights = rng.uniform(-1.0, 1.0, size=(16, 16))
+    mapping = DifferentialMapping.from_matrix(weights)
+
+    # Stage the configuration word: MVM mode, 16 rows × 32 physical columns
+    # (paired-column layout).  At the ISA level the programmer owns output
+    # ranging: g_f = 100 µS puts |W·x| voltages in the middle of the ADC
+    # range for ±0.3 V inputs (the high-level solver automates this).
+    config = MacroConfig(
+        mode=AMCMode.MVM, rows=16, cols=32, g_f_code=g_f_code_for(1e-4),
+        layout=PlaneLayout.PAIRED_COLUMNS,
+    )
+    chip.write_config_word(0, encode(config))
+
+    # Stage the conductance targets (interleaved planes) and the input.
+    tile = np.empty((16, 32))
+    tile[:, 0::2] = mapping.g_pos
+    tile[:, 1::2] = mapping.g_neg
+    chip.write_operand(16, tile.ravel())
+    x = rng.uniform(-0.3, 0.3, 16)
+    chip.write_operand(600, x)
+
+    program = chip.load_assembly(ASSEMBLY)
+    print(banner("Controller program"))
+    print(disassemble(program))
+
+    trace = chip.run()
+    outputs = chip.read_result(700, 16)
+
+    g_f = chip.macros[0].config.g_f
+    expected = np.maximum(-(weights @ x) / (g_f * mapping.value_scale), 0.0)
+
+    print(banner("Execution"))
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["instructions executed", trace.instructions_executed],
+                ["halted cleanly", trace.halted],
+                ["cells programmed", chip.stats.cells_programmed],
+                ["estimated energy (J)", chip.stats.estimated_energy()],
+                ["estimated latency (s)", chip.stats.estimated_latency()],
+            ],
+        )
+    )
+    print(banner("relu(W·x): analog vs numpy (first 8 outputs)"))
+    rows = [[i, float(expected[i]), float(outputs[i])] for i in range(8)]
+    print(format_table(["row", "numpy", "GRAMC"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Solving linear systems with analog seeds + digital refinement.
+
+The paper (§III) notes that AMC results "may be used as seed solutions to
+speed up the convergence towards precise final solutions."  This example
+makes that workflow concrete: a 128-unknown SPD system is solved in one
+analog step (~10–30 % error), then polished to machine precision with two
+digital iterative-refinement sweeps — versus the cold-start iteration count
+a purely digital conjugate-gradient solver needs.
+
+Run:  python examples/linear_system_solver.py
+"""
+
+import numpy as np
+
+from repro import GramcSolver
+from repro.analysis.reporting import banner, format_table
+from repro.system.functional import iterative_refinement
+from repro.workloads.matrices import wishart
+
+
+def conjugate_gradient_iterations(matrix, b, x0, tolerance=1e-8, max_iterations=500):
+    """CG iteration count from a given start (the digital comparison)."""
+    x = x0.copy()
+    r = b - matrix @ x
+    p = r.copy()
+    rs_old = float(r @ r)
+    b_norm = float(np.linalg.norm(b))
+    for iteration in range(max_iterations):
+        if np.sqrt(rs_old) / b_norm < tolerance:
+            return iteration
+        ap = matrix @ p
+        alpha = rs_old / float(p @ ap)
+        x += alpha * p
+        r -= alpha * ap
+        rs_new = float(r @ r)
+        p = r + (rs_new / rs_old) * p
+        rs_old = rs_new
+    return max_iterations
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    matrix = wishart(128, rng=rng) + 0.4 * np.eye(128)
+    b = rng.uniform(-1.0, 1.0, 128)
+    exact = np.linalg.solve(matrix, b)
+
+    solver = GramcSolver(rng=rng)
+    analog = solver.solve(matrix, b)
+    seed_error = np.linalg.norm(analog.value - exact) / np.linalg.norm(exact)
+
+    refined = iterative_refinement(matrix, b, analog.value, iterations=2)
+    refined_error = np.linalg.norm(refined - exact) / np.linalg.norm(exact)
+
+    cg_cold = conjugate_gradient_iterations(matrix, b, np.zeros(128))
+    cg_seeded = conjugate_gradient_iterations(matrix, b, analog.value)
+
+    print(banner("Analog seed solutions for linear systems (paper §III)"))
+    print(
+        format_table(
+            ["stage", "relative error / iterations"],
+            [
+                ["analog one-step solve (seed)", seed_error],
+                ["after 2 digital refinement sweeps", refined_error],
+                ["CG iterations, cold start", cg_cold],
+                ["CG iterations, analog-seeded", cg_seeded],
+            ],
+        )
+    )
+    saved = cg_cold - cg_seeded
+    print(
+        f"\nThe analog seed removes {saved} of {cg_cold} conjugate-gradient "
+        f"iterations ({100.0 * saved / cg_cold:.0f}% of the digital work)."
+    )
+
+
+if __name__ == "__main__":
+    main()

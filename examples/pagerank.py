@@ -1,0 +1,80 @@
+"""PageRank on GRAMC — combining the paper's matrix primitives.
+
+PageRank has two classic formulations and GRAMC can run both:
+
+* the *eigen* form ``G·π = π`` (the EGV topology) — fine for small chains,
+  but the teleport entries ``(1−d)/n`` fall below the 4-bit quantization
+  step once the graph grows;
+* the *linear-system* form ``(I − d·M)·π = (1−d)/n·𝟙`` (the INV topology) —
+  the teleport moves to the digital right-hand side where it is exact, and
+  the array stores only the well-scaled link matrix.  ``repro.apps.markov``
+  uses this one.
+
+This example ranks a 60-node hub-structured random graph and compares the
+analog scores with digital power iteration.
+
+Run:  python examples/pagerank.py
+"""
+
+import numpy as np
+
+from repro import GramcSolver
+from repro.analysis.reporting import banner, format_table
+from repro.apps.markov import google_matrix, pagerank
+
+
+def hub_graph(n: int, out_links: int, rng: np.random.Generator) -> np.ndarray:
+    """Random directed graph with preferential attachment (clear hubs)."""
+    adjacency = np.zeros((n, n))
+    weights = (np.arange(n) + 1.0) ** 2  # high-index nodes are popular
+    weights /= weights.sum()
+    for source in range(n):
+        targets = rng.choice(n, size=out_links, replace=False, p=weights)
+        for target in targets:
+            if target != source:
+                adjacency[target, source] = 1.0
+    return adjacency
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    adjacency = hub_graph(60, out_links=5, rng=rng)
+    solver = GramcSolver(rng=np.random.default_rng(12))
+
+    result = pagerank(solver, adjacency, damping=0.6)
+
+    # Digital reference: power iteration on the same Google matrix.
+    g = google_matrix(adjacency, damping=0.6)
+    pi = np.full(g.shape[0], 1.0 / g.shape[0])
+    for _ in range(200):
+        pi = g @ pi
+
+    analog_top = np.argsort(result.distribution)[::-1][:8]
+    digital_top = np.argsort(pi)[::-1][:8]
+
+    print(banner("PageRank via the analog INV topology (60-node hub graph)"))
+    rows = [
+        [rank + 1, int(d), float(pi[d]), int(a), float(result.distribution[a])]
+        for rank, (d, a) in enumerate(zip(digital_top, analog_top))
+    ]
+    print(format_table(["rank", "digital node", "score", "analog node", "score"], rows))
+    overlap = len(set(analog_top.tolist()) & set(digital_top.tolist()))
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["total-variation error", result.total_variation_error],
+                ["stationarity residual ‖Pπ − π‖₁", result.residual],
+                ["top-8 overlap", f"{overlap}/8"],
+            ],
+        )
+    )
+    print(
+        "\nThe teleport term lives on the digital right-hand side (exact); "
+        "the analog\narray solves the 60-unknown link system in one settling "
+        "time — the paper's\n'combining matrix primitives' claim in action."
+    )
+
+
+if __name__ == "__main__":
+    main()

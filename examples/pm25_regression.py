@@ -1,0 +1,54 @@
+"""Linear regression on the PM2.5-like dataset via the PINV topology.
+
+Reproduces the Fig. 4(c) workload as an application: fit air-quality
+readings against six weather covariates by running the 128 × 6 design
+matrix through the analog pseudoinverse circuit, and compare the fitted
+weights and residual against numpy's least squares.
+
+Run:  python examples/pm25_regression.py
+"""
+
+import numpy as np
+
+from repro import GramcSolver
+from repro.analysis.reporting import banner, format_table
+from repro.workloads.regression import FEATURE_NAMES, pm25_like
+
+
+def main() -> None:
+    task = pm25_like(rng=np.random.default_rng(25))
+    solver = GramcSolver(rng=np.random.default_rng(4))
+
+    result = solver.lstsq(task.design, task.targets)
+    numpy_weights = task.solution()
+
+    print(banner("PM2.5-like regression on the analog pseudoinverse circuit"))
+    rows = [
+        [name, float(truth), float(ref), float(analog)]
+        for name, truth, ref, analog in zip(
+            FEATURE_NAMES, task.true_weights, numpy_weights, result.value
+        )
+    ]
+    print(format_table(["feature", "ground truth", "numpy lstsq", "analog PINV"], rows))
+
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["L2 error vs numpy", result.relative_error],
+                ["residual ‖X·w − y‖ (numpy)", task.residual_norm(numpy_weights)],
+                ["residual ‖X·w − y‖ (analog)", task.residual_norm(result.value)],
+                ["macros used", len(result.macro_ids)],
+                ["auto-range attempts", result.attempts],
+            ],
+        )
+    )
+    print(
+        "\nThe analog fit lands within a few percent of the optimal "
+        "least-squares\nweights in one circuit settling time — no normal-"
+        "equation factorisation."
+    )
+
+
+if __name__ == "__main__":
+    main()

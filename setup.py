@@ -1,0 +1,5 @@
+"""Legacy setup shim: this offline environment lacks the `wheel` package,
+so `pip install -e .` falls back to the setuptools develop path via this file."""
+from setuptools import setup
+
+setup()

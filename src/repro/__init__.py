@@ -1,0 +1,37 @@
+"""GRAMC: general-purpose and reconfigurable analog matrix computing.
+
+A full-system reproduction of the DATE 2025 paper — RRAM device physics,
+write-verify programming, the reconfigurable AMC macro with its four
+circuit topologies (MVM / INV / PINV / EGV), the 16-macro chip with its
+instruction set and digital functional modules, and the LeNet-5 / digits
+demonstration.
+
+Quick start::
+
+    import numpy as np
+    from repro import GramcSolver
+
+    solver = GramcSolver()
+    a = np.eye(16) + 0.05 * np.random.default_rng(0).standard_normal((16, 16))
+    result = solver.solve(a, np.ones(16))     # analog one-step linear solve
+    print(result.relative_error)
+"""
+
+from repro.analog.topologies import AMCMode
+from repro.core.pool import MacroPool, PoolConfig
+from repro.core.results import SolveResult
+from repro.core.solver import GramcError, GramcSolver
+from repro.system.gramc import GramcChip
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AMCMode",
+    "GramcChip",
+    "GramcError",
+    "GramcSolver",
+    "MacroPool",
+    "PoolConfig",
+    "SolveResult",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Analog layer: op-amps, blocks, dynamics, and the four AMC topologies."""
+
+from repro.analog.blocks import InverterBank, TIABank
+from repro.analog.dynamics import (
+    LinearFeedbackSystem,
+    TransientResult,
+    integrate_nonlinear,
+)
+from repro.analog.egv import EgvCircuit, estimate_dominant_eigenvalue
+from repro.analog.inv import InvCircuit
+from repro.analog.mvm import MVMCircuit
+from repro.analog.opamp import IDEAL_OPAMP, OpAmpBank, OpAmpParams
+from repro.analog.pinv import PinvCircuit
+from repro.analog.results import CircuitSolution
+from repro.analog.topologies import AMCMode, TOPOLOGIES, TopologyDescriptor, descriptor
+
+__all__ = [
+    "AMCMode",
+    "CircuitSolution",
+    "EgvCircuit",
+    "IDEAL_OPAMP",
+    "InvCircuit",
+    "InverterBank",
+    "LinearFeedbackSystem",
+    "MVMCircuit",
+    "OpAmpBank",
+    "OpAmpParams",
+    "PinvCircuit",
+    "TIABank",
+    "TOPOLOGIES",
+    "TopologyDescriptor",
+    "TransientResult",
+    "descriptor",
+    "estimate_dominant_eigenvalue",
+    "integrate_nonlinear",
+]

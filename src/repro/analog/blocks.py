@@ -1,0 +1,89 @@
+"""Amplifier blocks: TIAs and analog inverters built from the OPA bank.
+
+The paper's register array "reconfigures OPAs as TIAs and analog inverters"
+(§II-B).  These two closed-loop blocks are the only amplifier roles any of
+the four topologies needs:
+
+* a **TIA** (transimpedance amplifier) holds an array line at virtual
+  ground and converts the line current to a voltage through its feedback
+  conductance ``g_f``;
+* an **analog inverter** produces ``−v`` to drive the negative plane of a
+  differential matrix mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analog.opamp import OpAmpBank
+
+
+@dataclass
+class TIABank:
+    """A bank of TIAs sharing one feedback conductance.
+
+    The finite-gain transfer from injected node current to output voltage,
+    with node conductance ``g_node`` (everything tied to the virtual-ground
+    node *other than* the feedback element), follows from KCL:
+
+    ``u = (−i + v_os·(g_node + g_f)) / (g_f + (g_node + g_f)/a0)``
+
+    so an ideal amplifier gives ``u = −i/g_f`` and offsets are amplified by
+    the noise gain ``1 + g_node/g_f``.
+    """
+
+    amps: OpAmpBank
+    g_f: float
+
+    def transfer(self, currents: np.ndarray, g_node: np.ndarray) -> np.ndarray:
+        """Output voltages for injected ``currents`` (no saturation applied).
+
+        ``currents`` may be 1-D ``(rows,)`` or 2-D ``(rows, batch)`` — the
+        batched form models back-to-back conversions through the same
+        hardware (offsets fixed, one noise draw per conversion).
+        """
+        p = self.amps.params
+        currents = np.asarray(currents, dtype=float)
+        g_node = np.asarray(g_node, dtype=float)
+        offsets = self.amps.offsets
+        if currents.ndim == 2:
+            g_node = g_node[:, None]
+            offsets = offsets[:, None]
+        numerator = -currents + offsets * (g_node + self.g_f)
+        denominator = self.g_f + (g_node + self.g_f) / p.a0
+        return numerator / denominator
+
+    def output(
+        self, currents: np.ndarray, g_node: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Noisy, rail-clamped TIA outputs."""
+        clean = self.transfer(currents, g_node)
+        if self.amps.params.noise_sigma > 0.0:
+            clean = clean + rng.normal(0.0, self.amps.params.noise_sigma, size=clean.shape)
+        return self.amps.params.saturate(clean)
+
+
+@dataclass
+class InverterBank:
+    """Unity-gain analog inverters (two matched resistors around each OPA).
+
+    Finite gain makes the magnitude slightly less than one
+    (``gain = a0/(a0 + 2)``) and the input offset appears doubled at the
+    output — both effects retained because they feed the differential
+    matrix planes directly.
+    """
+
+    amps: OpAmpBank
+
+    def invert(self, v: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Inverted copies of ``v`` (1-D, or 2-D ``(lines, batch)``)."""
+        p = self.amps.params
+        v = np.asarray(v, dtype=float)
+        gain = p.a0 / (p.a0 + 2.0)
+        offsets = self.amps.offsets[:, None] if v.ndim == 2 else self.amps.offsets
+        out = -gain * v + 2.0 * gain * offsets
+        if rng is not None and p.noise_sigma > 0.0:
+            out = out + rng.normal(0.0, p.noise_sigma, size=out.shape)
+        return p.saturate(out)

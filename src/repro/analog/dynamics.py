@@ -1,0 +1,151 @@
+"""Transient engine for the AMC feedback circuits — the SPICE substitute.
+
+Every AMC topology reduces to op-amp outputs ``x`` obeying the single-pole
+law ``τ·ẋ = −x − a0·v⁻(x)`` where the inverting-node voltage ``v⁻`` is an
+algebraic (resistive) function of ``x``.  For MVM/INV/PINV that function is
+affine, giving the linear system
+
+    ``ẋ = M·x + b``
+
+which this module solves *in closed form* through the eigendecomposition of
+``M`` — exact at every time point, no step-size error, and the eigenvalues
+directly expose stability and settling time (the paper's "solves in one
+step" property is precisely "settling time is a few amplifier time
+constants, independent of matrix size").
+
+The EGV topology is nonlinear (saturation fixes the amplitude), so a
+Runge-Kutta path (:func:`integrate_nonlinear`) is provided as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+
+@dataclass
+class TransientResult:
+    """A solved trajectory ``x(t)`` plus convergence metadata."""
+
+    times: np.ndarray
+    trajectory: np.ndarray
+    """Shape ``(len(times), n)``."""
+
+    final: np.ndarray
+    stable: bool
+    settling_time: float | None
+    """Time to stay within the settling tolerance of the final value, or
+    ``None`` if the trajectory never settles inside the simulated window."""
+
+
+class LinearFeedbackSystem:
+    """``ẋ = M·x + b`` solved exactly via eigendecomposition."""
+
+    def __init__(self, m_matrix: np.ndarray, b: np.ndarray):
+        self.m = np.asarray(m_matrix, dtype=float)
+        self.b = np.asarray(b, dtype=float)
+        if self.m.ndim != 2 or self.m.shape[0] != self.m.shape[1]:
+            raise ValueError("M must be square")
+        if self.b.shape != (self.m.shape[0],):
+            raise ValueError("b must match M")
+        self._eigvals, self._eigvecs = np.linalg.eig(self.m)
+
+    @property
+    def eigenvalues(self) -> np.ndarray:
+        return self._eigvals
+
+    @property
+    def is_stable(self) -> bool:
+        """Strict Hurwitz stability of the feedback network."""
+        return bool(np.all(self._eigvals.real < 0.0))
+
+    def equilibrium(self) -> np.ndarray:
+        """The fixed point ``−M⁻¹·b`` (the circuit's computed answer)."""
+        return np.linalg.solve(self.m, -self.b)
+
+    def time_constant(self) -> float:
+        """Slowest decaying mode ``1/|Re λ|_min`` — the settling bottleneck."""
+        slowest = np.min(np.abs(self._eigvals.real))
+        if slowest == 0.0:
+            return float("inf")
+        return float(1.0 / slowest)
+
+    def trajectory(
+        self,
+        x0: np.ndarray,
+        t_end: float,
+        num_points: int = 200,
+        settle_rtol: float = 1e-3,
+    ) -> TransientResult:
+        """Exact trajectory on a uniform grid with settling detection."""
+        x0 = np.asarray(x0, dtype=float)
+        times = np.linspace(0.0, t_end, num_points)
+        if self.is_stable:
+            x_inf = self.equilibrium()
+        else:
+            x_inf = np.zeros_like(x0)
+        # x(t) = x∞ + V·diag(e^{λt})·V⁻¹·(x0 − x∞)
+        coeffs = np.linalg.solve(self._eigvecs, x0 - x_inf)
+        modes = np.exp(np.outer(times, self._eigvals)) * coeffs[None, :]
+        trajectory = np.real(modes @ self._eigvecs.T) + x_inf[None, :]
+
+        settled_at: float | None = None
+        if self.is_stable:
+            scale = max(float(np.max(np.abs(x_inf))), 1e-12)
+            deviation = np.max(np.abs(trajectory - x_inf[None, :]), axis=1) / scale
+            inside = deviation <= settle_rtol
+            # Last excursion outside the band determines the settling time.
+            outside = np.nonzero(~inside)[0]
+            if outside.size == 0:
+                settled_at = 0.0
+            elif outside[-1] + 1 < times.size:
+                settled_at = float(times[outside[-1] + 1])
+        return TransientResult(
+            times=times,
+            trajectory=trajectory,
+            final=trajectory[-1],
+            stable=self.is_stable,
+            settling_time=settled_at,
+        )
+
+
+def integrate_nonlinear(
+    rhs: Callable[[float, np.ndarray], np.ndarray],
+    x0: np.ndarray,
+    t_end: float,
+    num_points: int = 200,
+    rtol: float = 1e-6,
+    settle_rtol: float = 1e-3,
+) -> TransientResult:
+    """Runge-Kutta integration for the saturating (EGV) topology."""
+    times = np.linspace(0.0, t_end, num_points)
+    solution = solve_ivp(
+        rhs,
+        (0.0, t_end),
+        np.asarray(x0, dtype=float),
+        t_eval=times,
+        method="RK45",
+        rtol=rtol,
+        atol=1e-12,
+    )
+    trajectory = solution.y.T
+    final = trajectory[-1]
+    scale = max(float(np.max(np.abs(final))), 1e-12)
+    deviation = np.max(np.abs(trajectory - final[None, :]), axis=1) / scale
+    outside = np.nonzero(deviation > settle_rtol)[0]
+    if outside.size == 0:
+        settled_at: float | None = 0.0
+    elif outside[-1] + 1 < times.size:
+        settled_at = float(times[outside[-1] + 1])
+    else:
+        settled_at = None
+    return TransientResult(
+        times=times,
+        trajectory=trajectory,
+        final=final,
+        stable=settled_at is not None,
+        settling_time=settled_at,
+    )

@@ -1,0 +1,136 @@
+"""INV topology: one-step matrix inversion (paper Fig. 4(b)).
+
+Connection plan: every source line is held at a TIA-style virtual ground,
+but the feedback element is *the array itself* — each op-amp output drives
+its own bit line (positive plane) and, through an analog inverter, the
+negative plane's bit line.  Input currents are injected into the virtual
+ground nodes.  KCL at node ``i`` then reads
+
+    ``Σ_j (G⁺−G⁻)_ij·x_j + i_i = v⁻_i · g_tot,i``,   ``x_i = −a0·(v⁻_i − v_os,i)``
+
+whose infinite-gain limit is the paper's ``x = −G⁻¹·i``.  The circuit is a
+genuine feedback loop: it is stable iff all eigenvalues of the (row-scaled)
+signed conductance matrix have positive real part — satisfied by the
+paper's Wishart test matrices, and checked explicitly here via the
+eigenvalues of the transient system matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analog.blocks import InverterBank
+from repro.analog.dynamics import LinearFeedbackSystem
+from repro.analog.opamp import OpAmpBank, OpAmpParams
+from repro.analog.results import CircuitSolution
+
+
+class InvCircuit:
+    """One configured INV macro for a square conductance matrix."""
+
+    def __init__(
+        self,
+        g_pos: np.ndarray,
+        g_neg: np.ndarray | None = None,
+        params: OpAmpParams | None = None,
+        rng: np.random.Generator | None = None,
+        row_amps: OpAmpBank | None = None,
+        inverter_amps: OpAmpBank | None = None,
+    ):
+        self.g_pos = np.asarray(g_pos, dtype=float)
+        rows, cols = self.g_pos.shape
+        if rows != cols:
+            raise ValueError("INV needs a square conductance matrix")
+        self.g_neg = None if g_neg is None else np.asarray(g_neg, dtype=float)
+        if self.g_neg is not None and self.g_neg.shape != self.g_pos.shape:
+            raise ValueError("g_neg must match g_pos shape")
+        self.params = params or OpAmpParams()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.amps = row_amps if row_amps is not None else OpAmpBank.sample(rows, self.params, self.rng)
+        if len(self.amps) != rows:
+            raise ValueError("row amplifier bank size must match matrix order")
+        if self.g_neg is not None:
+            bank = inverter_amps if inverter_amps is not None else OpAmpBank.sample(rows, self.params, self.rng)
+            if len(bank) != rows:
+                raise ValueError("inverter bank size must match matrix order")
+            self.inverters: InverterBank | None = InverterBank(bank)
+        else:
+            self.inverters = None
+
+    @property
+    def n(self) -> int:
+        return self.g_pos.shape[0]
+
+    # -- shared electrical quantities ------------------------------------------
+
+    def _signed_matrix(self) -> np.ndarray:
+        """Effective feedback matrix including the inverter gain error."""
+        if self.g_neg is None:
+            return self.g_pos
+        inverter_gain = self.params.a0 / (self.params.a0 + 2.0)
+        return self.g_pos - inverter_gain * self.g_neg
+
+    def _node_conductance(self) -> np.ndarray:
+        total = self.g_pos.sum(axis=1)
+        if self.g_neg is not None:
+            total = total + self.g_neg.sum(axis=1)
+        return np.maximum(total, 1e-12)
+
+    def _offset_currents(self) -> np.ndarray:
+        """Static error currents injected by the inverter offsets."""
+        if self.g_neg is None or self.inverters is None:
+            return np.zeros(self.n)
+        inverter_gain = self.params.a0 / (self.params.a0 + 2.0)
+        return self.g_neg @ (2.0 * inverter_gain * self.inverters.amps.offsets)
+
+    def system(self, i_in: np.ndarray) -> LinearFeedbackSystem:
+        """The transient model ``ẋ = M·x + b`` of the configured loop."""
+        i_in = np.asarray(i_in, dtype=float)
+        g_tot = self._node_conductance()
+        g_signed = self._signed_matrix()
+        a0, tau = self.params.a0, self.params.tau
+        scale = a0 / (g_tot * tau)
+        m = -(np.eye(self.n) / tau) - scale[:, None] * g_signed
+        b = -scale * (i_in + self._offset_currents()) + (a0 / tau) * self.amps.offsets
+        return LinearFeedbackSystem(m, b)
+
+    # -- solves -------------------------------------------------------------------
+
+    def static_solve(self, i_in: np.ndarray, noisy: bool = True) -> CircuitSolution:
+        """Finite-gain equilibrium ``(G + diag(g_tot)/a0)·x = −i + offsets``."""
+        i_in = np.asarray(i_in, dtype=float)
+        if i_in.shape != (self.n,):
+            raise ValueError(f"expected {self.n} input currents")
+        g_tot = self._node_conductance()
+        lhs = self._signed_matrix() + np.diag(g_tot) / self.params.a0
+        rhs = -(i_in + self._offset_currents()) + self.amps.offsets * g_tot
+        x = np.linalg.solve(lhs, rhs)
+        if noisy:
+            x = x + self.amps.output_noise(self.rng)
+        clipped = self.params.saturate(x)
+        saturated = bool(np.any(np.abs(x) > self.params.v_sat))
+        stable = self.system(i_in).is_stable
+        return CircuitSolution(outputs=clipped, saturated=saturated, stable=stable)
+
+    def transient_solve(
+        self, i_in: np.ndarray, t_end: float | None = None, num_points: int = 300
+    ) -> CircuitSolution:
+        """Full transient from power-on (x = 0), exact linear trajectory."""
+        system = self.system(np.asarray(i_in, dtype=float))
+        if t_end is None:
+            t_end = 10.0 * system.time_constant() if system.is_stable else 50.0 * self.params.tau / self.params.a0
+        result = system.trajectory(np.zeros(self.n), t_end, num_points=num_points)
+        outputs = self.params.saturate(result.final + self.amps.output_noise(self.rng))
+        saturated = bool(np.any(np.abs(result.final) > self.params.v_sat))
+        return CircuitSolution(
+            outputs=outputs,
+            saturated=saturated,
+            stable=result.stable,
+            settling_time=result.settling_time,
+            transient=result,
+        )
+
+    def ideal_solution(self, i_in: np.ndarray) -> np.ndarray:
+        """Infinite-gain, noiseless answer ``−G⁻¹·i`` with the raw planes."""
+        g = self.g_pos if self.g_neg is None else self.g_pos - self.g_neg
+        return -np.linalg.solve(g, np.asarray(i_in, dtype=float))

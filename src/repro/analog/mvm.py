@@ -1,0 +1,112 @@
+"""MVM topology: matrix-vector multiplication in one read (paper Fig. 4(a)).
+
+Connection plan (what the register array configures):
+
+* DAC input voltages drive the bit lines of the positive plane;
+* analog inverters re-drive the negative plane's bit lines with ``−v``;
+* every source line lands on a TIA virtual ground with feedback ``g_f``;
+* outputs: ``u = −(G⁺ − G⁻)·v / g_f``.
+
+This is the only *feed-forward* topology — no loop, unconditionally stable,
+and the settling time is simply the closed-loop TIA bandwidth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analog.blocks import InverterBank, TIABank
+from repro.analog.opamp import OpAmpBank, OpAmpParams
+from repro.analog.results import CircuitSolution
+
+
+class MVMCircuit:
+    """One configured MVM macro: conductance planes + TIA row bank."""
+
+    def __init__(
+        self,
+        g_pos: np.ndarray,
+        g_neg: np.ndarray | None = None,
+        params: OpAmpParams | None = None,
+        g_f: float = 1e-3,
+        rng: np.random.Generator | None = None,
+        row_amps: OpAmpBank | None = None,
+        col_amps: OpAmpBank | None = None,
+    ):
+        self.g_pos = np.asarray(g_pos, dtype=float)
+        if self.g_pos.ndim != 2:
+            raise ValueError("g_pos must be a matrix")
+        self.g_neg = None if g_neg is None else np.asarray(g_neg, dtype=float)
+        if self.g_neg is not None and self.g_neg.shape != self.g_pos.shape:
+            raise ValueError("g_neg must match g_pos shape")
+        self.params = params or OpAmpParams()
+        self.g_f = g_f
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+        rows, cols = self.g_pos.shape
+        # Banks may be supplied by the owning macro so that the same sampled
+        # offsets persist across solves (they are fabrication artifacts).
+        if row_amps is None:
+            row_amps = OpAmpBank.sample(rows, self.params, self.rng)
+        if len(row_amps) != rows:
+            raise ValueError("row amplifier bank size must match row count")
+        self.tias = TIABank(row_amps, g_f=g_f)
+        if self.g_neg is not None:
+            if col_amps is None:
+                col_amps = OpAmpBank.sample(cols, self.params, self.rng)
+            if len(col_amps) != cols:
+                raise ValueError("column amplifier bank size must match column count")
+            self.inverters: InverterBank | None = InverterBank(col_amps)
+        else:
+            self.inverters = None
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.g_pos.shape
+
+    def effective_matrix(self) -> np.ndarray:
+        """The signed conductance matrix the circuit multiplies by."""
+        if self.g_neg is None:
+            return self.g_pos
+        return self.g_pos - self.g_neg
+
+    def _node_conductance(self) -> np.ndarray:
+        """Per-row conductance loading each TIA virtual ground."""
+        total = self.g_pos.sum(axis=1)
+        if self.g_neg is not None:
+            total = total + self.g_neg.sum(axis=1)
+        return total
+
+    def solve(self, v_in: np.ndarray, noisy: bool = True) -> CircuitSolution:
+        """One analog multiply: column voltages in, TIA row voltages out.
+
+        ``v_in`` may be 1-D ``(cols,)`` or 2-D ``(cols, batch)`` for
+        back-to-back conversions through the same configured hardware.
+        """
+        v_in = np.asarray(v_in, dtype=float)
+        if v_in.shape[0] != self.g_pos.shape[1] or v_in.ndim > 2:
+            raise ValueError(
+                f"expected {self.g_pos.shape[1]} input voltages "
+                f"(optionally batched), got shape {v_in.shape}"
+            )
+        currents = self.g_pos @ v_in
+        if self.g_neg is not None and self.inverters is not None:
+            v_neg = self.inverters.invert(v_in, rng=self.rng if noisy else None)
+            currents = currents + self.g_neg @ v_neg
+        g_node = self._node_conductance()
+        if noisy:
+            outputs = self.tias.output(currents, g_node, self.rng)
+        else:
+            outputs = self.params.saturate(self.tias.transfer(currents, g_node))
+        saturated = bool(np.any(np.abs(outputs) >= self.params.v_sat * (1.0 - 1e-9)))
+        # Feed-forward topology: settling is one closed-loop TIA time constant,
+        # τ_cl ≈ (1 + g_node/g_f) / (2π·gbw).
+        noise_gain = 1.0 + float(np.max(g_node)) / self.g_f
+        settling = noise_gain / (2.0 * np.pi * self.params.gbw)
+        return CircuitSolution(
+            outputs=outputs, saturated=saturated, stable=True, settling_time=settling
+        )
+
+    def ideal_output(self, v_in: np.ndarray) -> np.ndarray:
+        """The infinite-gain, noiseless output ``−G·v/g_f`` for reference."""
+        return -(self.effective_matrix() @ np.asarray(v_in, dtype=float)) / self.g_f

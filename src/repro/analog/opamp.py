@@ -1,0 +1,84 @@
+"""Operational amplifier model for the reconfigurable OPA bank (Fig. 2).
+
+Every AMC topology in the paper is a feedback network around the same OPA
+bank, so one op-amp model serves all four circuits.  The model is the
+standard single-pole macro-model:
+
+* open-loop DC gain ``a0`` (finite-gain solution error ∝ 1/a0);
+* gain-bandwidth product ``gbw`` — with the single pole at ``gbw/a0``, the
+  open-loop time constant is ``τ = a0 / (2π·gbw)``, which sets the
+  settling speed of every AMC solve;
+* input offset voltage (gaussian per amplifier, sampled once — offsets are
+  a *static* fabrication artifact);
+* output saturation ``±v_sat`` (essential: it is what fixes the eigenvector
+  amplitude in the EGV topology);
+* output-referred noise per solve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OpAmpParams:
+    """Electrical parameters shared by all amplifiers in a bank."""
+
+    a0: float = 1e5
+    gbw: float = 1e7
+    v_sat: float = 1.2
+    offset_sigma: float = 2e-4
+    noise_sigma: float = 5e-4
+
+    @property
+    def tau(self) -> float:
+        """Open-loop time constant ``a0 / (2π·gbw)`` in seconds."""
+        return self.a0 / (2.0 * math.pi * self.gbw)
+
+    def saturate(self, v: np.ndarray) -> np.ndarray:
+        """Hard output clamp at the rails."""
+        return np.clip(v, -self.v_sat, self.v_sat)
+
+    def soft_saturate(self, v: np.ndarray) -> np.ndarray:
+        """Smooth (tanh) saturation used inside transient integration.
+
+        The smooth variant keeps the EGV amplitude-limiting mechanism
+        differentiable for the ODE integrator; it matches the hard clamp to
+        within a few percent below 0.8·v_sat.
+        """
+        return self.v_sat * np.tanh(np.asarray(v, dtype=float) / self.v_sat)
+
+
+IDEAL_OPAMP = OpAmpParams(a0=1e9, gbw=1e9, v_sat=1e6, offset_sigma=0.0, noise_sigma=0.0)
+"""A practically ideal amplifier — used to isolate quantization effects."""
+
+
+@dataclass
+class OpAmpBank:
+    """``n`` amplifiers with per-device sampled offsets."""
+
+    params: OpAmpParams
+    offsets: np.ndarray
+
+    @classmethod
+    def sample(
+        cls, n: int, params: OpAmpParams, rng: np.random.Generator
+    ) -> "OpAmpBank":
+        """Draw a bank of ``n`` amplifiers with random input offsets."""
+        if params.offset_sigma > 0.0:
+            offsets = rng.normal(0.0, params.offset_sigma, size=n)
+        else:
+            offsets = np.zeros(n)
+        return cls(params=params, offsets=offsets)
+
+    def __len__(self) -> int:
+        return self.offsets.size
+
+    def output_noise(self, rng: np.random.Generator) -> np.ndarray:
+        """One draw of output-referred noise for the whole bank."""
+        if self.params.noise_sigma <= 0.0:
+            return np.zeros(len(self))
+        return rng.normal(0.0, self.params.noise_sigma, size=len(self))

@@ -1,0 +1,177 @@
+"""PINV topology: one-step least squares / pseudoinverse (paper Fig. 4(c)).
+
+Two arrays are configured (the paper's "one or two RRAM arrays"): the first
+stores ``G`` (m×n, m ≥ n), the second independently stores ``Gᵀ``.  Two
+OPA banks close the loop:
+
+* **stage 1** — m TIAs on the rows of ``G`` with feedback ``g_f``:
+  ``w = −(G·x + i)/g_f``;
+* **stage 2** — n high-gain (non-inverting, realised with an extra
+  inverter) amplifiers whose inputs sum the columns of ``Gᵀ`` driven by
+  ``w`` and whose outputs drive ``x``.
+
+Equilibrium forces ``Gᵀ·w = 0``, i.e. the normal equations
+``Gᵀ(G·x + i) = 0`` — the least-squares solution ``x = −G⁺·i``.  Finite
+stage-2 gain turns this into a ridge-regularised solve with
+``λ = g_f·g_tot2/a0``, a faithful model of the real circuit's gain error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analog.dynamics import LinearFeedbackSystem
+from repro.analog.opamp import OpAmpBank, OpAmpParams
+from repro.analog.results import CircuitSolution
+
+
+class PinvCircuit:
+    """Two-array least-squares solver: planes for G and (independently) Gᵀ."""
+
+    def __init__(
+        self,
+        g1_pos: np.ndarray,
+        g1_neg: np.ndarray | None,
+        g2_pos: np.ndarray,
+        g2_neg: np.ndarray | None,
+        params: OpAmpParams | None = None,
+        g_f: float = 1e-3,
+        rng: np.random.Generator | None = None,
+        stage1_amps: OpAmpBank | None = None,
+        stage2_amps: OpAmpBank | None = None,
+    ):
+        self.g1_pos = np.asarray(g1_pos, dtype=float)
+        self.g1_neg = None if g1_neg is None else np.asarray(g1_neg, dtype=float)
+        self.g2_pos = np.asarray(g2_pos, dtype=float)
+        self.g2_neg = None if g2_neg is None else np.asarray(g2_neg, dtype=float)
+        m, n = self.g1_pos.shape
+        if m < n:
+            raise ValueError("PINV expects a tall matrix (m >= n)")
+        if self.g2_pos.shape != (n, m):
+            raise ValueError("second array must hold the transpose layout (n, m)")
+        self.params = params or OpAmpParams()
+        self.g_f = g_f
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.stage1 = stage1_amps if stage1_amps is not None else OpAmpBank.sample(m, self.params, self.rng)
+        self.stage2 = stage2_amps if stage2_amps is not None else OpAmpBank.sample(n, self.params, self.rng)
+        if len(self.stage1) != m or len(self.stage2) != n:
+            raise ValueError("amplifier bank sizes must match the array shape")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.g1_pos.shape
+
+    def _a1(self) -> np.ndarray:
+        """Signed stage-1 matrix (m×n)."""
+        if self.g1_neg is None:
+            return self.g1_pos
+        gain = self.params.a0 / (self.params.a0 + 2.0)
+        return self.g1_pos - gain * self.g1_neg
+
+    def _a2(self) -> np.ndarray:
+        """Signed stage-2 matrix (n×m) — holds the transpose mapping."""
+        if self.g2_neg is None:
+            return self.g2_pos
+        gain = self.params.a0 / (self.params.a0 + 2.0)
+        return self.g2_pos - gain * self.g2_neg
+
+    def _g_node1(self) -> np.ndarray:
+        total = self.g1_pos.sum(axis=1)
+        if self.g1_neg is not None:
+            total = total + self.g1_neg.sum(axis=1)
+        return total
+
+    def _g_node2(self) -> np.ndarray:
+        total = self.g2_pos.sum(axis=1)
+        if self.g2_neg is not None:
+            total = total + self.g2_neg.sum(axis=1)
+        return np.maximum(total, 1e-12)
+
+    # -- solves ---------------------------------------------------------------------
+
+    def static_solve(self, i_in: np.ndarray, noisy: bool = True) -> CircuitSolution:
+        """Block-linear equilibrium of the two coupled amplifier banks."""
+        m, n = self.shape
+        i_in = np.asarray(i_in, dtype=float)
+        if i_in.shape != (m,):
+            raise ValueError(f"expected {m} input currents")
+        a0 = self.params.a0
+        a1, a2 = self._a1(), self._a2()
+        g_node1, g_node2 = self._g_node1(), self._g_node2()
+
+        # Unknowns z = [w (m), x (n)]:
+        #   stage 1:  (g_f + (g_node1+g_f)/a0)·w + A1·x = −i + v_os1·(g_node1+g_f)
+        #   stage 2:  −A2·w + diag(g_node2)/a0·x = −g_node2·v_os2
+        lhs = np.zeros((m + n, m + n))
+        lhs[:m, :m] = np.diag(self.g_f + (g_node1 + self.g_f) / a0)
+        lhs[:m, m:] = a1
+        lhs[m:, :m] = -a2
+        lhs[m:, m:] = np.diag(g_node2 / a0)
+        rhs = np.concatenate(
+            [
+                -i_in + self.stage1.offsets * (g_node1 + self.g_f),
+                -g_node2 * self.stage2.offsets,
+            ]
+        )
+        solution = np.linalg.solve(lhs, rhs)
+        w, x = solution[:m], solution[m:]
+        if noisy:
+            x = x + self.stage2.output_noise(self.rng)
+        raw_peak = max(float(np.max(np.abs(w))), float(np.max(np.abs(x))))
+        saturated = raw_peak > self.params.v_sat
+        stable = self.system(i_in).is_stable
+        return CircuitSolution(
+            outputs=self.params.saturate(x), saturated=saturated, stable=stable
+        )
+
+    def system(self, i_in: np.ndarray) -> LinearFeedbackSystem:
+        """Coupled transient model over the stacked state ``[w, x]``."""
+        m, n = self.shape
+        i_in = np.asarray(i_in, dtype=float)
+        a0, tau = self.params.a0, self.params.tau
+        a1, a2 = self._a1(), self._a2()
+        g_node1 = self._g_node1() + self.g_f
+        g_node2 = self._g_node2()
+
+        m_mat = np.zeros((m + n, m + n))
+        # τ·ẇ = −w − a0·(A1·x + i + g_f·w)/g_node1 + a0·v_os1
+        m_mat[:m, :m] = -(np.eye(m) + (a0 * self.g_f / g_node1)[:, None] * np.eye(m)) / tau
+        m_mat[:m, m:] = -(a0 / g_node1)[:, None] * a1 / tau
+        # τ·ẋ = −x + a0·(A2·w)/g_node2 − a0·v_os2
+        m_mat[m:, :m] = (a0 / g_node2)[:, None] * a2 / tau
+        m_mat[m:, m:] = -np.eye(n) / tau
+
+        b = np.concatenate(
+            [
+                (-(a0 / g_node1) * i_in + a0 * self.stage1.offsets) / tau,
+                (-a0 * self.stage2.offsets) / tau,
+            ]
+        )
+        return LinearFeedbackSystem(m_mat, b)
+
+    def transient_solve(
+        self, i_in: np.ndarray, t_end: float | None = None, num_points: int = 300
+    ) -> CircuitSolution:
+        """Power-on transient of the coupled two-bank loop."""
+        m, n = self.shape
+        system = self.system(np.asarray(i_in, dtype=float))
+        if t_end is None:
+            t_end = 10.0 * system.time_constant() if system.is_stable else 1e-3
+        result = system.trajectory(np.zeros(m + n), t_end, num_points=num_points)
+        x = result.final[m:]
+        outputs = self.params.saturate(x + self.stage2.output_noise(self.rng))
+        saturated = bool(np.max(np.abs(result.final)) > self.params.v_sat)
+        return CircuitSolution(
+            outputs=outputs,
+            saturated=saturated,
+            stable=result.stable,
+            settling_time=result.settling_time,
+            transient=result,
+        )
+
+    def ideal_solution(self, i_in: np.ndarray) -> np.ndarray:
+        """Infinite-gain answer ``−(A2·A1)⁻¹·A2·i`` with the raw planes."""
+        a1 = self.g1_pos if self.g1_neg is None else self.g1_pos - self.g1_neg
+        a2 = self.g2_pos if self.g2_neg is None else self.g2_pos - self.g2_neg
+        normal = a2 @ a1
+        return -np.linalg.solve(normal, a2 @ np.asarray(i_in, dtype=float))

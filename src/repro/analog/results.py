@@ -1,0 +1,30 @@
+"""Common result container for the four AMC circuit topologies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analog.dynamics import TransientResult
+
+
+@dataclass
+class CircuitSolution:
+    """Outputs of one analog solve, in volts at the OPA outputs.
+
+    ``saturated`` flags railed outputs — the digital controller treats a
+    railed solve as invalid and re-runs it at a smaller input scale (the
+    auto-ranging loop in :mod:`repro.core.solver`).
+    """
+
+    outputs: np.ndarray
+    saturated: bool
+    stable: bool = True
+    settling_time: float | None = None
+    transient: TransientResult | None = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        """True when the solve is electrically valid (stable, not railed)."""
+        return self.stable and not self.saturated

@@ -1,0 +1,79 @@
+"""Named connection topologies the register array can select (paper Fig. 2).
+
+The macro's transmission-gate fabric is an exhaustive switch matrix between
+array lines and OPA terminals; only four closed configurations are legal,
+one per computing function.  This module is the single source of truth for
+what each mode means electrically: which OPA roles are instantiated, how
+many arrays it consumes, and whether the topology closes a feedback loop
+(and therefore needs a stability check before results are trusted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class AMCMode(Enum):
+    """The four computing functions of the reconfigurable macro."""
+
+    MVM = "mvm"
+    INV = "inv"
+    PINV = "pinv"
+    EGV = "egv"
+
+
+@dataclass(frozen=True)
+class TopologyDescriptor:
+    """Electrical summary of one mode's connection plan."""
+
+    mode: AMCMode
+    arrays_required: int
+    opa_roles: tuple[str, ...]
+    closes_loop: bool
+    needs_input_vector: bool
+    description: str
+
+
+TOPOLOGIES: dict[AMCMode, TopologyDescriptor] = {
+    AMCMode.MVM: TopologyDescriptor(
+        mode=AMCMode.MVM,
+        arrays_required=1,
+        opa_roles=("row TIAs", "column inverters (negative plane)"),
+        closes_loop=False,
+        needs_input_vector=True,
+        description="DAC drives bit lines; TIAs read source-line currents.",
+    ),
+    AMCMode.INV: TopologyDescriptor(
+        mode=AMCMode.INV,
+        arrays_required=1,
+        opa_roles=("row amplifiers (array feedback)", "column inverters"),
+        closes_loop=True,
+        needs_input_vector=True,
+        description="OPA outputs feed bit lines back; currents injected at rows.",
+    ),
+    AMCMode.PINV: TopologyDescriptor(
+        mode=AMCMode.PINV,
+        arrays_required=2,
+        opa_roles=("stage-1 TIAs", "stage-2 high-gain amplifiers", "inverters"),
+        closes_loop=True,
+        needs_input_vector=True,
+        description="G and Gᵀ arrays in a normal-equation loop (least squares).",
+    ),
+    AMCMode.EGV: TopologyDescriptor(
+        mode=AMCMode.EGV,
+        arrays_required=1,
+        opa_roles=("row TIAs with g_λ feedback", "loop inverters"),
+        closes_loop=True,
+        needs_input_vector=False,
+        description="λ-valued TIA feedback; saturation fixes the eigenvector amplitude.",
+    ),
+}
+
+
+def descriptor(mode: AMCMode) -> TopologyDescriptor:
+    """Lookup with a helpful error for unconfigured modes."""
+    try:
+        return TOPOLOGIES[mode]
+    except KeyError as exc:  # pragma: no cover - enum covers all modes
+        raise ValueError(f"no topology registered for {mode!r}") from exc

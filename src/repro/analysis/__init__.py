@@ -1,0 +1,19 @@
+"""Analysis layer: accuracy metrics and report formatting."""
+
+from repro.analysis.metrics import (
+    ScatterStats,
+    cosine_similarity,
+    relative_error,
+    scatter_stats,
+)
+from repro.analysis.reporting import banner, format_table, sparkline
+
+__all__ = [
+    "ScatterStats",
+    "banner",
+    "cosine_similarity",
+    "format_table",
+    "relative_error",
+    "scatter_stats",
+    "sparkline",
+]

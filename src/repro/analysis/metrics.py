@@ -1,0 +1,77 @@
+"""Accuracy metrics for comparing analog results to numerical references.
+
+Two error conventions appear in the AMC literature and both are provided:
+
+* :func:`relative_error` — ``‖x − x̂‖₂/‖x‖₂`` (the strict vector metric);
+* :func:`scatter_stats` — per-element statistics of an ideal-vs-non-ideal
+  scatter, including the spread relative to the output *range*, which is
+  what the eye reads off the paper's Fig. 4 panels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def relative_error(reference: np.ndarray, measured: np.ndarray) -> float:
+    """L2 relative error with a zero-reference guard."""
+    reference = np.asarray(reference, dtype=float)
+    measured = np.asarray(measured, dtype=float)
+    denominator = float(np.linalg.norm(reference))
+    if denominator == 0.0:
+        return float(np.linalg.norm(measured))
+    return float(np.linalg.norm(measured - reference) / denominator)
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """|cos ∠(a, b)| — the direction metric for eigenvector results."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    na, nb = np.linalg.norm(a), np.linalg.norm(b)
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(abs(a @ b) / (na * nb))
+
+
+@dataclass(frozen=True)
+class ScatterStats:
+    """Summary of an ideal-vs-non-ideal scatter (one Fig. 4 panel)."""
+
+    count: int
+    rmse: float
+    max_abs_error: float
+    output_range: float
+    correlation: float
+
+    @property
+    def rmse_over_range(self) -> float:
+        """The paper-style visual error: scatter spread / axis span."""
+        if self.output_range == 0.0:
+            return float("inf") if self.rmse > 0 else 0.0
+        return self.rmse / self.output_range
+
+
+def scatter_stats(ideal: np.ndarray, non_ideal: np.ndarray) -> ScatterStats:
+    """Compute the Fig. 4 panel statistics for paired outputs."""
+    ideal = np.asarray(ideal, dtype=float).ravel()
+    non_ideal = np.asarray(non_ideal, dtype=float).ravel()
+    if ideal.shape != non_ideal.shape:
+        raise ValueError("scatter inputs must pair up")
+    if ideal.size == 0:
+        raise ValueError("empty scatter")
+    errors = non_ideal - ideal
+    rmse = float(np.sqrt(np.mean(errors**2)))
+    output_range = float(ideal.max() - ideal.min())
+    if ideal.size > 1 and np.std(ideal) > 0 and np.std(non_ideal) > 0:
+        correlation = float(np.corrcoef(ideal, non_ideal)[0, 1])
+    else:
+        correlation = 1.0 if rmse == 0.0 else 0.0
+    return ScatterStats(
+        count=ideal.size,
+        rmse=rmse,
+        max_abs_error=float(np.max(np.abs(errors))),
+        output_range=output_range,
+        correlation=correlation,
+    )

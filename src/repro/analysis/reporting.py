@@ -1,0 +1,61 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+The benchmarks print the same rows/series the paper's figures show; these
+helpers keep the formatting consistent (fixed-width tables, ASCII
+sparklines for staircase traces) so ``pytest benchmarks/ -s`` output reads
+like the evaluation section.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width table with a header rule."""
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0.0:
+            return "0"
+        if abs(cell) >= 1e4 or abs(cell) < 1e-3:
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def sparkline(values: Sequence[float], lo: float | None = None, hi: float | None = None) -> str:
+    """Eight-level ASCII sparkline — staircase traces at a glance."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    lo = float(arr.min()) if lo is None else lo
+    hi = float(arr.max()) if hi is None else hi
+    if hi <= lo:
+        return _SPARK_CHARS[0] * arr.size
+    scaled = np.clip((arr - lo) / (hi - lo), 0.0, 1.0)
+    indices = np.minimum((scaled * len(_SPARK_CHARS)).astype(int), len(_SPARK_CHARS) - 1)
+    return "".join(_SPARK_CHARS[i] for i in indices)
+
+
+def banner(title: str) -> str:
+    """Section banner used by every benchmark."""
+    rule = "=" * max(len(title), 8)
+    return f"\n{rule}\n{title}\n{rule}"

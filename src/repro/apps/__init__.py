@@ -1,0 +1,27 @@
+"""Applications built by combining GRAMC's matrix primitives."""
+
+from repro.apps.markov import (
+    StationaryResult,
+    google_matrix,
+    pagerank,
+    ring_of_cliques,
+    stationary_distribution,
+)
+from repro.apps.pca import (
+    PCAResult,
+    analog_pca,
+    correlated_gaussian_data,
+    covariance_matrix,
+)
+
+__all__ = [
+    "PCAResult",
+    "StationaryResult",
+    "analog_pca",
+    "correlated_gaussian_data",
+    "covariance_matrix",
+    "google_matrix",
+    "pagerank",
+    "ring_of_cliques",
+    "stationary_distribution",
+]

@@ -1,0 +1,97 @@
+"""Principal component analysis on the EGV topology, with deflation.
+
+The first principal component of data ``X`` is the dominant eigenvector of
+the covariance matrix — one analog EGV solve.  Further components come from
+*deflation*: subtract the found component's subspace digitally, re-program
+the macro with the deflated matrix, and solve again.  Each deflation is one
+rank-one update plus one reconfiguration — a workflow that exercises the
+paper's reprogrammability claim end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.solver import GramcError, GramcSolver
+
+
+@dataclass
+class PCAResult:
+    """Analog principal components with quality metrics."""
+
+    components: np.ndarray
+    """Shape ``(k, n)`` — unit-norm analog principal directions."""
+
+    explained_variance: np.ndarray
+    """Rayleigh quotients of the analog components on the true covariance."""
+
+    reference_components: np.ndarray
+    """numpy eigen-decomposition directions (sign-aligned)."""
+
+    @property
+    def subspace_alignment(self) -> np.ndarray:
+        """|cos| between each analog component and its reference."""
+        return np.abs(np.sum(self.components * self.reference_components, axis=1))
+
+
+def covariance_matrix(data: np.ndarray) -> np.ndarray:
+    """Sample covariance of row-observation data ``(samples, features)``."""
+    data = np.asarray(data, dtype=float)
+    centered = data - data.mean(axis=0)
+    return centered.T @ centered / max(data.shape[0] - 1, 1)
+
+
+def analog_pca(
+    solver: GramcSolver, data: np.ndarray, num_components: int = 2
+) -> PCAResult:
+    """Top-``k`` principal components via repeated analog EGV + deflation."""
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2:
+        raise GramcError("data must be (samples, features)")
+    covariance = covariance_matrix(data)
+    n = covariance.shape[0]
+    if not 1 <= num_components <= n:
+        raise GramcError("num_components out of range")
+
+    eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+    order = np.argsort(eigenvalues)[::-1]
+    reference = eigenvectors[:, order[:num_components]].T
+
+    working = covariance.copy()
+    components = np.zeros((num_components, n))
+    explained = np.zeros(num_components)
+    for k in range(num_components):
+        result = solver.eigvec(working)
+        if not result.ok:
+            raise GramcError(f"EGV failed at component {k} (no loop growth)")
+        vector = result.value / np.linalg.norm(result.value)
+        components[k] = vector
+        explained[k] = float(vector @ covariance @ vector)
+        # Digital deflation: remove the captured direction, re-program next loop.
+        working = working - explained[k] * np.outer(vector, vector)
+
+    # Sign-align references to the analog output for comparison.
+    for k in range(num_components):
+        if components[k] @ reference[k] < 0:
+            reference[k] = -reference[k]
+    return PCAResult(
+        components=components,
+        explained_variance=explained,
+        reference_components=reference,
+    )
+
+
+def correlated_gaussian_data(
+    samples: int,
+    spectrum: np.ndarray,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Synthetic data with a prescribed covariance spectrum (for tests/demos)."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    spectrum = np.asarray(spectrum, dtype=float)
+    n = spectrum.size
+    basis, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    latent = rng.standard_normal((samples, n)) * np.sqrt(spectrum)
+    return latent @ basis.T

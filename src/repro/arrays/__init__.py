@@ -1,0 +1,17 @@
+"""Array layer: crossbar, drivers, parasitics, signed-matrix mapping."""
+
+from repro.arrays.crossbar import CrossbarArray
+from repro.arrays.drivers import DriverBank, DriverError, LineDriver
+from repro.arrays.mapping import DifferentialMapping, OffsetMapping
+from repro.arrays.parasitics import NodalCrossbarSolver, effective_conductances
+
+__all__ = [
+    "CrossbarArray",
+    "DifferentialMapping",
+    "DriverBank",
+    "DriverError",
+    "LineDriver",
+    "NodalCrossbarSolver",
+    "OffsetMapping",
+    "effective_conductances",
+]

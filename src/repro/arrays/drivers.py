@@ -1,0 +1,105 @@
+"""Word-/bit-/source-line drivers for the 1T1R array (paper Fig. 2).
+
+The drivers do three jobs in the real macro, all reproduced here:
+
+1. **selection** — only rows/columns inside the configured *active region*
+   are enabled, letting one 128×128 array serve smaller problems;
+2. **voltage legality** — programming and read voltages are clamped to the
+   supply rails and validated before reaching the cells;
+3. **accounting** — every drive event is counted for the system statistics
+   (the paper's digital controller monitors exactly this traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class DriverError(ValueError):
+    """Raised when a requested drive violates selection or voltage limits."""
+
+
+@dataclass
+class LineDriver:
+    """One bank of line drivers (WL, BL or SL) of size ``num_lines``."""
+
+    name: str
+    num_lines: int
+    v_min: float = -2.0
+    v_max: float = 3.5
+    enabled: np.ndarray = field(init=False)
+    drive_count: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.enabled = np.zeros(self.num_lines, dtype=bool)
+
+    def select(self, lines: slice | np.ndarray) -> None:
+        """Enable a set of lines (slice or boolean/index array)."""
+        self.enabled[:] = False
+        self.enabled[lines] = True
+
+    def select_all(self) -> None:
+        self.enabled[:] = True
+
+    @property
+    def selected_indices(self) -> np.ndarray:
+        return np.nonzero(self.enabled)[0]
+
+    def validate(self, voltages: np.ndarray) -> np.ndarray:
+        """Check a per-line voltage vector against rails and selection.
+
+        Returns the vector with unselected lines forced to 0 V (the drivers
+        ground deselected lines, which is what isolates the active region).
+        """
+        voltages = np.asarray(voltages, dtype=float)
+        if voltages.shape != (self.num_lines,):
+            raise DriverError(
+                f"{self.name}: expected {self.num_lines} line voltages, got shape {voltages.shape}"
+            )
+        if np.any(voltages < self.v_min - 1e-12) or np.any(voltages > self.v_max + 1e-12):
+            raise DriverError(
+                f"{self.name}: voltage outside rails [{self.v_min}, {self.v_max}] V"
+            )
+        out = np.where(self.enabled, voltages, 0.0)
+        self.drive_count += 1
+        return out
+
+
+@dataclass
+class DriverBank:
+    """The three driver banks of one array, with a shared active region."""
+
+    num_rows: int
+    num_cols: int
+    wl: LineDriver = field(init=False)
+    bl: LineDriver = field(init=False)
+    sl: LineDriver = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.wl = LineDriver("WL", self.num_rows)
+        self.bl = LineDriver("BL", self.num_cols)
+        self.sl = LineDriver("SL", self.num_rows)
+        self.select_region(self.num_rows, self.num_cols)
+
+    def select_region(self, rows: int, cols: int, row_offset: int = 0, col_offset: int = 0) -> None:
+        """Select a ``rows × cols`` active region at the given offset."""
+        if rows <= 0 or cols <= 0:
+            raise DriverError("active region must be non-empty")
+        if row_offset + rows > self.num_rows or col_offset + cols > self.num_cols:
+            raise DriverError(
+                f"active region {rows}x{cols}@({row_offset},{col_offset}) exceeds "
+                f"array {self.num_rows}x{self.num_cols}"
+            )
+        self.wl.select(slice(row_offset, row_offset + rows))
+        self.sl.select(slice(row_offset, row_offset + rows))
+        self.bl.select(slice(col_offset, col_offset + cols))
+
+    @property
+    def active_rows(self) -> np.ndarray:
+        return self.wl.selected_indices
+
+    @property
+    def active_cols(self) -> np.ndarray:
+        return self.bl.selected_indices

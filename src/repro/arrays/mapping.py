@@ -1,0 +1,113 @@
+"""Mapping real-valued matrices onto RRAM conductances.
+
+Conductances are physically non-negative, so signed matrices need an
+encoding.  Both schemes used in the AMC literature are provided:
+
+* :class:`DifferentialMapping` — two conductances per coefficient
+  (``A ∝ G⁺ − G⁻``).  The negative plane's columns are driven with the
+  inverted input (MVM) or wired through analog inverters (INV/PINV/EGV
+  feedback), exactly the trick the paper's reconfigurable OPA bank enables.
+  The level-map offset ``g_min`` cancels in the difference.
+
+* :class:`OffsetMapping` — one conductance per coefficient plus a rank-one
+  digital correction: ``A = value_scale·(G − g_ref) `` where the
+  ``g_ref``-column contribution is removed by the digital functional module
+  after the ADC.  Cheaper in devices, used when a macro has no free
+  differential columns.
+
+Both carry a ``value_scale`` (matrix units per siemens) so solver outputs
+can be converted back to problem units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.programming.levels import LevelMap, MatrixQuantizer
+
+
+@dataclass(frozen=True)
+class DifferentialMapping:
+    """Signed matrix as a pair of non-negative conductance planes."""
+
+    level_map: LevelMap
+    g_pos: np.ndarray
+    g_neg: np.ndarray
+    value_scale: float
+    """Matrix units represented by one siemens of (G⁺ − G⁻) difference."""
+
+    @classmethod
+    def from_matrix(
+        cls, matrix: np.ndarray, level_map: LevelMap | None = None
+    ) -> "DifferentialMapping":
+        """Quantize ``matrix`` onto ±4-bit conductance planes."""
+        matrix = np.asarray(matrix, dtype=float)
+        level_map = level_map or LevelMap()
+        quantizer = MatrixQuantizer.fit(matrix, level_map)
+        g_pos = quantizer.to_conductances(np.maximum(matrix, 0.0))
+        g_neg = quantizer.to_conductances(np.maximum(-matrix, 0.0))
+        value_scale = quantizer.scale / level_map.step
+        return cls(level_map=level_map, g_pos=g_pos, g_neg=g_neg, value_scale=value_scale)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.g_pos.shape
+
+    def decode(self, g_pos: np.ndarray | None = None, g_neg: np.ndarray | None = None) -> np.ndarray:
+        """Matrix represented by (possibly non-ideal) conductance planes."""
+        gp = self.g_pos if g_pos is None else g_pos
+        gn = self.g_neg if g_neg is None else g_neg
+        return (np.asarray(gp, dtype=float) - np.asarray(gn, dtype=float)) * self.value_scale
+
+    def quantized_matrix(self) -> np.ndarray:
+        """The ideal 4-bit-quantized matrix (before programming noise)."""
+        return self.decode()
+
+
+@dataclass(frozen=True)
+class OffsetMapping:
+    """Signed matrix as one conductance plane plus a digital correction.
+
+    ``matrix ≈ value_scale·(G − g_min) + shift`` elementwise, so an MVM
+    needs the rank-one correction
+    ``A·x = value_scale·(G·x − g_min·Σx) + shift·Σx``.
+    """
+
+    level_map: LevelMap
+    g: np.ndarray
+    value_scale: float
+    shift: float
+
+    @classmethod
+    def from_matrix(
+        cls, matrix: np.ndarray, level_map: LevelMap | None = None
+    ) -> "OffsetMapping":
+        matrix = np.asarray(matrix, dtype=float)
+        level_map = level_map or LevelMap()
+        shift = float(matrix.min())
+        shifted = matrix - shift
+        quantizer = MatrixQuantizer.fit(shifted, level_map)
+        g = quantizer.to_conductances(shifted)
+        value_scale = quantizer.scale / level_map.step
+        return cls(level_map=level_map, g=g, value_scale=value_scale, shift=shift)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.g.shape
+
+    def decode(self, g: np.ndarray | None = None) -> np.ndarray:
+        """Matrix represented by a (possibly non-ideal) conductance plane."""
+        plane = self.g if g is None else g
+        lm = self.level_map
+        return (np.asarray(plane, dtype=float) - lm.g_min) * self.value_scale + self.shift
+
+    def mvm_correction(self, x: np.ndarray) -> np.ndarray | float:
+        """The digital rank-one term to add to a raw conductance MVM.
+
+        If the raw analog result is ``value_scale·(G·x)``, the true product
+        is ``A·x = value_scale·(G·x) + (shift − value_scale·g_min)·Σx``.
+        """
+        total = float(np.sum(np.asarray(x, dtype=float)))
+        return (self.shift - self.value_scale * self.level_map.g_min) * total

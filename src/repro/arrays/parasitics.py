@@ -1,0 +1,118 @@
+"""Interconnect parasitics: wire-resistance (IR-drop) effects on the array.
+
+Two models with different cost/fidelity trade-offs:
+
+* :func:`effective_conductances` — the standard closed-form degradation
+  model: each cell sees the wire segments between it and its drivers as a
+  series resistance, so the cell at (row i, col j) of an ``R × C`` active
+  region accumulates ``(j + 1)`` bit-line segments and ``(R − i)``
+  source-line segments.  O(RC), usable at full 128×128 scale.
+
+* :class:`NodalCrossbarSolver` — the exact sparse nodal solve with one
+  unknown per BL node and per SL node (2·R·C unknowns), used in tests to
+  bound the error of the closed-form model on small arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+
+def effective_conductances(
+    conductances: np.ndarray, wire_resistance: float
+) -> np.ndarray:
+    """Series-wire approximation of IR drop.
+
+    ``wire_resistance`` is the resistance of one wire segment between
+    adjacent cells (ohms).  Returns the effective per-cell conductance a
+    driver/TIA pair observes.
+    """
+    if wire_resistance < 0.0:
+        raise ValueError("wire_resistance must be non-negative")
+    g = np.asarray(conductances, dtype=float)
+    if wire_resistance == 0.0:
+        return g.copy()
+    rows, cols = g.shape
+    col_segments = np.arange(1, cols + 1)[None, :]
+    row_segments = np.arange(rows, 0, -1)[:, None]
+    series = wire_resistance * (col_segments + row_segments)
+    return g / (1.0 + g * series)
+
+
+@dataclass
+class NodalCrossbarSolver:
+    """Exact crossbar MVM with wire resistance, by sparse nodal analysis.
+
+    Nodes: one per (row, col) on the bit-line side (``B[i,j]``) and one per
+    (row, col) on the source-line side (``S[i,j]``).  Bit lines are driven
+    from column heads (j-indexed inputs run along rows of cells); source
+    lines terminate in TIA virtual grounds at the row tails.
+
+    This is O((RC)^1.5)-ish per factorisation — intended for validation on
+    small arrays, not for the 128×128 fast path.
+    """
+
+    conductances: np.ndarray
+    wire_resistance: float
+
+    def output_currents(self, v_inputs: np.ndarray) -> np.ndarray:
+        """Currents delivered into the row TIAs for column input voltages."""
+        g = np.asarray(self.conductances, dtype=float)
+        rows, cols = g.shape
+        v_inputs = np.asarray(v_inputs, dtype=float)
+        if v_inputs.shape != (cols,):
+            raise ValueError(f"expected {cols} input voltages, got {v_inputs.shape}")
+        if self.wire_resistance == 0.0:
+            return g @ v_inputs
+        g_wire = 1.0 / self.wire_resistance
+
+        n = rows * cols
+
+        def b_idx(i: int, j: int) -> int:
+            return i * cols + j
+
+        def s_idx(i: int, j: int) -> int:
+            return n + i * cols + j
+
+        entries: list[tuple[int, int, float]] = []
+        rhs = np.zeros(2 * n)
+
+        def stamp(a: int, b: int, cond: float) -> None:
+            """Stamp conductance between nodes a and b (b = −1 ⇒ ground/source)."""
+            entries.append((a, a, cond))
+            if b >= 0:
+                entries.append((b, b, cond))
+                entries.append((a, b, -cond))
+                entries.append((b, a, -cond))
+
+        for i in range(rows):
+            for j in range(cols):
+                # Cell conductance connects B[i,j] to S[i,j].
+                stamp(b_idx(i, j), s_idx(i, j), g[i, j])
+                # Bit-line wire: vertical along the column, driven at i = 0.
+                if i == 0:
+                    stamp(b_idx(i, j), -1, g_wire)
+                    rhs[b_idx(i, j)] += g_wire * v_inputs[j]
+                else:
+                    stamp(b_idx(i, j), b_idx(i - 1, j), g_wire)
+                # Source-line wire: horizontal along the row, TIA at j = cols−1.
+                if j == cols - 1:
+                    stamp(s_idx(i, j), -1, g_wire)  # virtual ground
+                else:
+                    stamp(s_idx(i, j), s_idx(i, j + 1), g_wire)
+
+        data = np.array([e[2] for e in entries])
+        rows_idx = np.array([e[0] for e in entries])
+        cols_idx = np.array([e[1] for e in entries])
+        matrix = sp.csc_matrix((data, (rows_idx, cols_idx)), shape=(2 * n, 2 * n))
+        solution = spla.spsolve(matrix, rhs)
+
+        currents = np.empty(rows)
+        for i in range(rows):
+            # The current into each row's TIA flows through the last SL segment.
+            currents[i] = solution[s_idx(i, cols - 1)] * g_wire
+        return currents

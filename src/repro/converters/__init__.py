@@ -1,0 +1,6 @@
+"""Mixed-signal boundary: behavioural DAC and ADC models."""
+
+from repro.converters.adc import ADC, ADCParams
+from repro.converters.dac import DAC, DACParams
+
+__all__ = ["ADC", "ADCParams", "DAC", "DACParams"]

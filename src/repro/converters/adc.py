@@ -1,0 +1,62 @@
+"""Behavioural ADC: TIA output voltages → digital codes (paper Fig. 2).
+
+The AD interface digitises the analog computation results for the output
+buffer.  Resolution, range clipping, input-referred noise and offset are
+modelled; differential nonlinearity is folded into the noise term (a good
+approximation for the thermometer/SAR converters used in AMC macros).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ADCParams:
+    """Static configuration of one ADC channel bank."""
+
+    bits: int = 8
+    v_ref: float = 1.0
+    """Input range ``[−v_ref, +v_ref]``; beyond it the converter clips."""
+    noise_sigma: float = 0.0
+    offset: float = 0.0
+
+
+class ADC:
+    """Vectorised bipolar ADC."""
+
+    def __init__(self, params: ADCParams, rng: np.random.Generator | None = None):
+        if params.bits < 1:
+            raise ValueError("ADC needs at least 1 bit")
+        self.params = params
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    @property
+    def lsb(self) -> float:
+        return 2.0 * self.params.v_ref / (2**self.params.bits - 1)
+
+    def sample(self, voltages: np.ndarray, noisy: bool = True) -> np.ndarray:
+        """Digitise voltages; returns the *reconstructed* voltage values.
+
+        Returning voltage-domain values (code·LSB − v_ref) keeps the digital
+        pipeline unit-consistent; the integer codes are available via
+        :meth:`codes`.
+        """
+        v = np.asarray(voltages, dtype=float) + self.params.offset
+        if noisy and self.params.noise_sigma > 0.0:
+            v = v + self.rng.normal(0.0, self.params.noise_sigma, size=np.shape(v))
+        v = np.clip(v, -self.params.v_ref, self.params.v_ref)
+        codes = np.rint((v + self.params.v_ref) / self.lsb)
+        return codes * self.lsb - self.params.v_ref
+
+    def codes(self, voltages: np.ndarray, noisy: bool = True) -> np.ndarray:
+        """Raw integer output codes in ``[0, 2**bits − 1]``."""
+        reconstructed = self.sample(voltages, noisy=noisy)
+        return np.rint((reconstructed + self.params.v_ref) / self.lsb).astype(np.int64)
+
+    def clips(self, voltages: np.ndarray) -> bool:
+        """Whether any input exceeds the converter range (info for auto-ranging)."""
+        v = np.asarray(voltages, dtype=float) + self.params.offset
+        return bool(np.any(np.abs(v) > self.params.v_ref))

@@ -1,0 +1,63 @@
+"""Behavioural DAC: digital codes → bit-line voltages (paper Fig. 2).
+
+The macro's DA interface converts the global buffer's digital operands to
+analog input voltages.  The model captures the error sources that matter
+for AMC accuracy: finite resolution, full-scale range, integral
+nonlinearity (a smooth bow), and per-conversion output noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DACParams:
+    """Static configuration of one DAC channel bank."""
+
+    bits: int = 8
+    v_ref: float = 1.0
+    """Full scale: codes map to ``[−v_ref, +v_ref]``."""
+    inl_lsb: float = 0.0
+    """Peak integral nonlinearity in LSB (parabolic bow model)."""
+    noise_sigma: float = 0.0
+    """Output noise per conversion (volts)."""
+
+
+class DAC:
+    """Vectorised bipolar DAC."""
+
+    def __init__(self, params: DACParams, rng: np.random.Generator | None = None):
+        if params.bits < 1:
+            raise ValueError("DAC needs at least 1 bit")
+        self.params = params
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    @property
+    def lsb(self) -> float:
+        """Voltage of one code step."""
+        return 2.0 * self.params.v_ref / (2**self.params.bits - 1)
+
+    def quantize_value(self, values: np.ndarray) -> np.ndarray:
+        """Snap real values (volts) to the nearest representable code value."""
+        values = np.clip(np.asarray(values, dtype=float), -self.params.v_ref, self.params.v_ref)
+        codes = np.rint((values + self.params.v_ref) / self.lsb)
+        return codes * self.lsb - self.params.v_ref
+
+    def convert(self, values: np.ndarray, noisy: bool = True) -> np.ndarray:
+        """Convert target voltages to actual analog outputs.
+
+        Applies code quantization, INL bow and (optionally) output noise —
+        i.e. the voltage that really lands on the bit lines.
+        """
+        out = self.quantize_value(values)
+        p = self.params
+        if p.inl_lsb > 0.0:
+            # Parabolic bow: zero at the rails, maximal mid-scale.
+            normalized = out / p.v_ref
+            out = out + p.inl_lsb * self.lsb * (1.0 - normalized**2)
+        if noisy and p.noise_sigma > 0.0:
+            out = out + self.rng.normal(0.0, p.noise_sigma, size=np.shape(out))
+        return out

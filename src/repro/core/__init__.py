@@ -1,0 +1,18 @@
+"""Core layer: the public GRAMC solver API."""
+
+from repro.core.iterative import AnalogIterativeSolver, IterativeResult
+from repro.core.pool import MacroPool, PoolConfig
+from repro.core.results import SolveResult
+from repro.core.solver import GramcError, GramcSolver, ProgrammedOperator, TileBinding
+
+__all__ = [
+    "AnalogIterativeSolver",
+    "GramcError",
+    "IterativeResult",
+    "GramcSolver",
+    "MacroPool",
+    "PoolConfig",
+    "ProgrammedOperator",
+    "SolveResult",
+    "TileBinding",
+]

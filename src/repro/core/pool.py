@@ -1,0 +1,102 @@
+"""Macro pool: allocation of the chip's 16 AMC macros to matrix operands.
+
+The GRAMC chip has a fixed complement of macros (16 in the paper); matrix
+operands claim one or more of them (two for a signed paired-array plane
+pair, four for a signed PINV).  The pool hands out free macros and evicts
+the least-recently-used operand when full — the behaviour a compiler
+runtime would implement on the real chip.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analog.opamp import OpAmpParams
+from repro.converters.adc import ADCParams
+from repro.converters.dac import DACParams
+from repro.devices.constants import DEFAULT_STACK, DeviceStack
+from repro.macro.amc_macro import AMCMacro
+from repro.programming.levels import LevelMap
+
+
+@dataclass
+class PoolConfig:
+    """Hardware complement of one chip."""
+
+    num_macros: int = 16
+    rows: int = 128
+    cols: int = 128
+    stack: DeviceStack = field(default_factory=lambda: DEFAULT_STACK)
+    opamp: OpAmpParams = field(default_factory=OpAmpParams)
+    dac: DACParams = field(default_factory=DACParams)
+    adc: ADCParams = field(default_factory=ADCParams)
+    level_map: LevelMap = field(default_factory=LevelMap)
+    wire_resistance: float = 0.0
+
+
+class MacroPool:
+    """LRU-managed set of AMC macros."""
+
+    def __init__(self, config: PoolConfig | None = None, rng: np.random.Generator | None = None):
+        self.config = config or PoolConfig()
+        rng = rng if rng is not None else np.random.default_rng(2025)
+        self.macros = [
+            AMCMacro(
+                macro_id=i,
+                stack=self.config.stack,
+                rows=self.config.rows,
+                cols=self.config.cols,
+                opamp_params=self.config.opamp,
+                dac_params=self.config.dac,
+                adc_params=self.config.adc,
+                level_map=self.config.level_map,
+                rng=np.random.default_rng(rng.integers(0, 2**63)),
+                wire_resistance=self.config.wire_resistance,
+            )
+            for i in range(self.config.num_macros)
+        ]
+        self._free: list[int] = list(range(self.config.num_macros))
+        self._owners: OrderedDict[str, list[int]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self.macros)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def acquire(self, owner: str, count: int) -> list[AMCMacro]:
+        """Claim ``count`` macros for ``owner``, evicting LRU owners if needed."""
+        if count > len(self.macros):
+            raise ValueError(
+                f"operand needs {count} macros but the chip only has {len(self.macros)}"
+            )
+        if owner in self._owners:
+            self._owners.move_to_end(owner)
+            held = self._owners[owner]
+            if len(held) == count:
+                return [self.macros[i] for i in held]
+            self.release(owner)
+        while len(self._free) < count:
+            evicted, indices = self._owners.popitem(last=False)
+            del evicted
+            self._free.extend(indices)
+        taken = [self._free.pop(0) for _ in range(count)]
+        self._owners[owner] = taken
+        return [self.macros[i] for i in taken]
+
+    def holds(self, owner: str) -> bool:
+        """Whether ``owner``'s macros are still resident (not evicted)."""
+        return owner in self._owners
+
+    def release(self, owner: str) -> None:
+        """Return an owner's macros to the free list."""
+        indices = self._owners.pop(owner, [])
+        self._free.extend(indices)
+
+    def release_all(self) -> None:
+        for owner in list(self._owners):
+            self.release(owner)

@@ -1,0 +1,47 @@
+"""Result containers for the high-level GRAMC solver API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analog.topologies import AMCMode
+
+
+@dataclass
+class SolveResult:
+    """One matrix problem solved on the analog system.
+
+    ``value`` is the analog answer converted back to problem units;
+    ``reference`` is the float64 numpy answer (the paper's "numerical
+    results from Python") computed on the *original* matrix — so
+    ``relative_error`` bundles quantization, programming, circuit and
+    converter errors exactly as the paper's Fig. 4 does.
+    """
+
+    mode: AMCMode
+    value: np.ndarray
+    reference: np.ndarray
+    attempts: int = 1
+    input_scale: float = 1.0
+    stable: bool = True
+    saturated: bool = False
+    settling_time: float | None = None
+    macro_ids: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        return self.stable and not self.saturated
+
+    @property
+    def relative_error(self) -> float:
+        """ ``‖value − reference‖₂ / ‖reference‖₂`` (the paper's metric)."""
+        denominator = float(np.linalg.norm(self.reference))
+        if denominator == 0.0:
+            return float(np.linalg.norm(self.value))
+        return float(np.linalg.norm(self.value - self.reference) / denominator)
+
+    def scatter_points(self) -> tuple[np.ndarray, np.ndarray]:
+        """(ideal, non-ideal) pairs — the axes of a Fig. 4 scatter panel."""
+        return self.reference.copy(), self.value.copy()

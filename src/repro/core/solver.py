@@ -1,0 +1,561 @@
+"""GramcSolver — the high-level, numpy-in/numpy-out face of GRAMC.
+
+This is the paper's contribution as a library: one object that accepts
+ordinary float matrices/vectors and executes them on the reconfigurable
+analog system, handling everything a user should never see:
+
+* signed-matrix mapping and 4-bit quantization;
+* layout selection (paired columns within one array vs paired arrays);
+* tiling of wide MVM operands across macro pairs with digital accumulation;
+* macro allocation/eviction through the 16-macro pool;
+* DAC/ADC **auto-ranging** — the digital controller rescales inputs when a
+  solve rails the amplifiers or under-uses the converter range, exactly the
+  role the paper assigns to its "digital functional modules";
+* conversion of analog outputs back to problem units, with the float64
+  numpy reference attached (the paper's accuracy baseline).
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.core import GramcSolver
+>>> solver = GramcSolver()
+>>> a = np.eye(8) * 2.0
+>>> result = solver.solve(a, np.ones(8))       # analog INV
+>>> bool(result.relative_error < 0.2)
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analog.egv import estimate_dominant_eigenvalue
+from repro.analog.topologies import AMCMode
+from repro.arrays.mapping import DifferentialMapping
+from repro.core.pool import MacroPool, PoolConfig
+from repro.core.results import SolveResult
+from repro.macro.amc_macro import AMCMacro, MacroResult, PlaneLayout
+from repro.macro.registers import MacroRole
+
+
+class GramcError(RuntimeError):
+    """Raised when a problem cannot be executed on the configured chip."""
+
+
+def _operand_key(matrix: np.ndarray, mode: AMCMode, tag: str = "") -> str:
+    digest = hashlib.sha1()
+    digest.update(mode.value.encode())
+    digest.update(tag.encode())
+    digest.update(str(matrix.shape).encode())
+    digest.update(np.ascontiguousarray(matrix, dtype=float).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class TileBinding:
+    """One matrix tile resident on one macro (pair)."""
+
+    row_slice: slice
+    col_slice: slice
+    mapping: DifferentialMapping
+    primary: AMCMacro
+    partner: AMCMacro | None
+    layout: PlaneLayout
+    fault_correction: "np.ndarray | None" = None
+    """Sparse signed-value error matrix of the tile's *stuck* cells
+    (``decode(stuck) − decode(intended)``), applied digitally per solve.
+    ``None`` when the tile has no faults (the overwhelmingly common case).
+    Stuck-cell locations come from wafer test (the fault map is known
+    hardware state), so this is an O(#faults) digital correction, not a
+    hidden O(n²) digital matvec."""
+
+
+@dataclass
+class ProgrammedOperator:
+    """A matrix programmed onto the chip, ready for repeated solves."""
+
+    key: str
+    mode: AMCMode
+    matrix: np.ndarray
+    tiles: list[TileBinding]
+    g_lambda: float = 0.0
+
+    @property
+    def macro_ids(self) -> tuple[int, ...]:
+        ids: list[int] = []
+        for tile in self.tiles:
+            ids.append(tile.primary.macro_id)
+            if tile.partner is not None:
+                ids.append(tile.partner.macro_id)
+        return tuple(ids)
+
+
+class GramcSolver:
+    """General-purpose analog matrix solver on a pool of AMC macros."""
+
+    def __init__(
+        self,
+        pool: MacroPool | None = None,
+        rng: np.random.Generator | None = None,
+        g_f: float = 1e-3,
+        headroom: float = 0.80,
+        max_attempts: int = 6,
+    ):
+        self.pool = pool or MacroPool(PoolConfig())
+        self.rng = rng if rng is not None else np.random.default_rng(7)
+        self.g_f = g_f
+        self.headroom = headroom
+        self.max_attempts = max_attempts
+        self._operators: dict[str, ProgrammedOperator] = {}
+        self.solve_counts: dict[str, int] = {m.value: 0 for m in AMCMode}
+
+    # ------------------------------------------------------------------ helpers
+
+    @property
+    def _rows_max(self) -> int:
+        return self.pool.config.rows
+
+    @property
+    def _cols_max(self) -> int:
+        return self.pool.config.cols
+
+    def _macros_for(self, layout: PlaneLayout) -> int:
+        return 1 if layout is PlaneLayout.PAIRED_COLUMNS else 2
+
+    def _input_scale(self, values: np.ndarray, v_ref: float) -> float:
+        peak = float(np.max(np.abs(values)))
+        if peak == 0.0:
+            return 1.0
+        return peak / (self.headroom * v_ref)
+
+    # --------------------------------------------------------------- programming
+
+    def _program_tiles(
+        self,
+        matrix: np.ndarray,
+        mode: AMCMode,
+        key: str,
+        g_lambda: float = 0.0,
+        quant_peak: float | None = None,
+    ) -> list[TileBinding]:
+        """Split ``matrix`` into array-sized tiles, program each on macros."""
+        rows, cols = matrix.shape
+        if rows > self._rows_max:
+            if mode is not AMCMode.MVM:
+                raise GramcError(
+                    f"{mode.value} supports up to {self._rows_max} rows; "
+                    f"block algorithms are out of the paper's scope"
+                )
+        # Shared quantization scale across tiles keeps digital accumulation
+        # exact; ``quant_peak`` lets callers align the grid (integer weights).
+        shared_scale = quant_peak if quant_peak is not None else float(np.max(np.abs(matrix)))
+        level_map = self.pool.config.level_map
+
+        row_step = self._rows_max
+        tiles: list[TileBinding] = []
+        tile_index = 0
+        for row_start in range(0, rows, row_step):
+            row_slice = slice(row_start, min(row_start + row_step, rows))
+            col_cursor = 0
+            while col_cursor < cols:
+                remaining = cols - col_cursor
+                if 2 * remaining <= self._cols_max:
+                    layout = PlaneLayout.PAIRED_COLUMNS
+                    width = remaining
+                elif remaining <= self._cols_max:
+                    layout = PlaneLayout.PAIRED_ARRAYS
+                    width = remaining
+                else:
+                    layout = PlaneLayout.PAIRED_ARRAYS
+                    width = self._cols_max
+                col_slice = slice(col_cursor, col_cursor + width)
+                sub = matrix[row_slice, col_slice]
+                mapping = self._fit_mapping(sub, shared_scale, level_map)
+                owner = f"{key}/tile{tile_index}"
+                macros = self.pool.acquire(owner, self._macros_for(layout))
+                primary = macros[0]
+                partner = macros[1] if len(macros) > 1 else None
+                n_rows = row_slice.stop - row_slice.start
+                primary.configure(
+                    mode,
+                    n_rows,
+                    width,
+                    g_f=self.g_f,
+                    g_lambda=g_lambda,
+                    layout=layout,
+                )
+                if partner is not None:
+                    partner.configure(
+                        mode,
+                        n_rows,
+                        width,
+                        g_f=self.g_f,
+                        g_lambda=g_lambda,
+                        layout=PlaneLayout.SINGLE,
+                        role=MacroRole.PARTNER_NEG,
+                    )
+                primary.program_mapping(mapping, partner=partner)
+                tiles.append(
+                    TileBinding(
+                        row_slice=row_slice,
+                        col_slice=col_slice,
+                        mapping=mapping,
+                        primary=primary,
+                        partner=partner,
+                        layout=layout,
+                        fault_correction=self._tile_fault_correction(
+                            mapping, layout, primary, partner
+                        ),
+                    )
+                )
+                tile_index += 1
+                col_cursor += width
+        return tiles
+
+    @staticmethod
+    def _tile_fault_correction(
+        mapping: DifferentialMapping,
+        layout: PlaneLayout,
+        primary: AMCMacro,
+        partner: AMCMacro | None,
+    ) -> np.ndarray | None:
+        """Signed-value error of the tile's stuck cells, or None if healthy.
+
+        Stuck cells are pinned regardless of programming, so their
+        conductance error vs the intended target is a *known constant* the
+        digital side can subtract from every product.  Only stuck positions
+        contribute — programming/read noise is not compensated.
+        """
+        from repro.devices.constants import G_MAX, G_MIN
+
+        rows_idx = primary.array.drivers.active_rows
+        cols_idx = primary.array.drivers.active_cols
+        primary_faults = primary.array.fault_map[np.ix_(rows_idx, cols_idx)]
+        if layout is PlaneLayout.PAIRED_COLUMNS:
+            pos_faults = primary_faults[:, 0::2]
+            neg_faults = primary_faults[:, 1::2]
+        elif layout is PlaneLayout.PAIRED_ARRAYS and partner is not None:
+            pos_faults = primary_faults
+            partner_rows = partner.array.drivers.active_rows
+            partner_cols = partner.array.drivers.active_cols
+            neg_faults = partner.array.fault_map[np.ix_(partner_rows, partner_cols)]
+        else:
+            pos_faults = primary_faults
+            neg_faults = np.zeros_like(primary_faults)
+        if not np.any(pos_faults) and not np.any(neg_faults):
+            return None
+
+        def plane_error(faults: np.ndarray, targets: np.ndarray) -> np.ndarray:
+            error = np.zeros_like(targets)
+            error[faults == 1] = G_MAX - targets[faults == 1]
+            error[faults == -1] = G_MIN - targets[faults == -1]
+            return error
+
+        delta = plane_error(pos_faults, mapping.g_pos) - plane_error(
+            neg_faults, mapping.g_neg
+        )
+        return delta * mapping.value_scale
+
+    @staticmethod
+    def _fit_mapping(
+        sub: np.ndarray, shared_scale: float, level_map
+    ) -> DifferentialMapping:
+        """Differential mapping with the operator-wide quantization scale."""
+        from repro.programming.levels import MatrixQuantizer
+
+        peak = shared_scale if shared_scale > 0.0 else 1.0
+        quantizer = MatrixQuantizer(
+            level_map=level_map, scale=peak / (level_map.num_levels - 1)
+        )
+        g_pos = quantizer.to_conductances(np.maximum(sub, 0.0))
+        g_neg = quantizer.to_conductances(np.maximum(-sub, 0.0))
+        return DifferentialMapping(
+            level_map=level_map,
+            g_pos=g_pos,
+            g_neg=g_neg,
+            value_scale=quantizer.scale / level_map.step,
+        )
+
+    def program(
+        self,
+        matrix: np.ndarray,
+        mode: AMCMode,
+        g_lambda: float = 0.0,
+        tag: str = "",
+        quant_peak: float | None = None,
+    ) -> ProgrammedOperator:
+        """Program (or re-use) ``matrix`` for ``mode``; returns the handle."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise GramcError("operands must be 2-D matrices")
+        if quant_peak is not None:
+            tag = f"{tag}/qp={quant_peak!r}"
+        key = _operand_key(matrix, mode, tag)
+        cached = self._operators.get(key)
+        if cached is not None and all(
+            self.pool.holds(f"{key}/tile{i}") for i in range(len(cached.tiles))
+        ):
+            return cached
+        tiles = self._program_tiles(matrix, mode, key, g_lambda=g_lambda, quant_peak=quant_peak)
+        operator = ProgrammedOperator(
+            key=key, mode=mode, matrix=matrix, tiles=tiles, g_lambda=g_lambda
+        )
+        self._operators[key] = operator
+        return operator
+
+    # ------------------------------------------------------------------- MVM
+
+    @property
+    def _output_target(self) -> float:
+        """Desired output peak: most of the ADC range without clipping."""
+        return 0.6 * min(self.pool.config.opamp.v_sat, self.pool.config.adc.v_ref)
+
+    def mvm(
+        self, matrix: np.ndarray, x: np.ndarray, quant_peak: float | None = None
+    ) -> SolveResult:
+        """Analog matrix-(vector|matrix) product ``A·x`` (tiled when wide).
+
+        ``x`` may be a vector ``(n,)`` or a batch ``(n, k)`` — the batch
+        form runs back-to-back conversions through the same programmed
+        hardware, which is how the LeNet-5 demo streams image patches.
+
+        Inputs always occupy the full DAC range (shrinking them would trade
+        away converter resolution); output ranging is done per tile through
+        the ``g_f`` ladder, which only rewrites a register.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        x = np.asarray(x, dtype=float)
+        if x.shape[0] != matrix.shape[1] or x.ndim > 2:
+            raise GramcError(
+                f"x must have leading dimension {matrix.shape[1]} (vector or batch)"
+            )
+        operator = self.program(matrix, AMCMode.MVM, quant_peak=quant_peak)
+        reference = matrix @ x
+
+        scale = max(self._input_scale(x, self.pool.config.dac.v_ref), 1e-30)
+        accumulator = np.zeros((matrix.shape[0],) + x.shape[1:])
+        any_saturated = False
+        total_attempts = 0
+        for tile in operator.tiles:
+            chunk = x[tile.col_slice] / scale
+            result, attempts, saturated = self._run_tile_mvm(tile, chunk)
+            total_attempts += attempts
+            any_saturated |= saturated
+            g_f = tile.primary.config.g_f
+            accumulator[tile.row_slice] += -result.values * g_f * tile.mapping.value_scale * scale
+            if tile.fault_correction is not None:
+                # Known stuck-cell contributions are subtracted digitally.
+                accumulator[tile.row_slice] -= (tile.fault_correction @ chunk) * scale
+        self.solve_counts[AMCMode.MVM.value] += 1
+        return SolveResult(
+            mode=AMCMode.MVM,
+            value=accumulator,
+            reference=reference,
+            attempts=total_attempts,
+            input_scale=scale,
+            stable=True,
+            saturated=any_saturated,
+            macro_ids=operator.macro_ids,
+        )
+
+    def _run_tile_mvm(
+        self, tile: TileBinding, chunk: np.ndarray
+    ) -> tuple[MacroResult, int, bool]:
+        """One tile's multiply with g_f auto-ranging (MVM gain ∝ 1/g_f)."""
+        target = self._output_target
+        result = tile.primary.compute_mvm(chunk, partner=tile.partner)
+        attempts = 1
+        while attempts < self.max_attempts:
+            saturated = result.solution.saturated or tile.primary.adc.clips(result.raw)
+            peak = float(np.max(np.abs(result.raw)))
+            g_f = tile.primary.config.g_f
+            if saturated:
+                desired = g_f * 4.0
+            elif 0.0 < peak < 0.25 * target:
+                desired = g_f * peak / target
+            else:
+                break
+            actual = tile.primary.set_g_f(desired)
+            if tile.partner is not None:
+                tile.partner.set_g_f(desired)
+            if abs(actual - g_f) < 1e-15:
+                break  # ladder limit reached
+            result = tile.primary.compute_mvm(chunk, partner=tile.partner)
+            attempts += 1
+        final_saturated = result.solution.saturated or tile.primary.adc.clips(result.raw)
+        return result, attempts, final_saturated
+
+    # ------------------------------------------------------------------- INV
+
+    def solve(self, matrix: np.ndarray, b: np.ndarray) -> SolveResult:
+        """Analog one-step linear solve ``A·y = b`` via the INV topology."""
+        matrix = np.asarray(matrix, dtype=float)
+        b = np.asarray(b, dtype=float)
+        n = matrix.shape[0]
+        if matrix.shape != (n, n):
+            raise GramcError("solve needs a square matrix")
+        if b.shape != (n,):
+            raise GramcError(f"b must have length {n}")
+        if n > self._rows_max:
+            raise GramcError(f"INV supports up to {self._rows_max} unknowns")
+        operator = self.program(matrix, AMCMode.INV)
+        tile = operator.tiles[0]
+        reference = np.linalg.solve(matrix, b)
+
+        # Inputs use the full DAC range; output ranging happens through the
+        # input-conductance ladder (INV output ∝ g_f).
+        scale = max(self._input_scale(b, self.pool.config.dac.v_ref), 1e-30)
+        target = self._output_target
+        value = np.zeros(n)
+        stable, saturated = True, False
+        attempts = 0
+        for attempts in range(1, self.max_attempts + 1):
+            result = tile.primary.compute_inv(b / scale, partner=tile.partner)
+            g_f = tile.primary.config.g_f
+            value = -result.values * scale / (tile.mapping.value_scale * g_f)
+            stable = result.solution.stable
+            saturated = result.solution.saturated
+            peak = float(np.max(np.abs(result.raw)))
+            if saturated:
+                desired = g_f / 4.0
+            elif 0.0 < peak < 0.25 * target:
+                desired = g_f * target / peak
+            else:
+                break
+            actual = tile.primary.set_g_f(desired)
+            if abs(actual - g_f) < 1e-15:
+                if saturated:
+                    # Ladder floor reached and still railed: fall back to
+                    # shrinking the inputs (trading DAC resolution for range).
+                    scale *= 2.0
+                    continue
+                break  # ladder limit reached
+        self.solve_counts[AMCMode.INV.value] += 1
+        return SolveResult(
+            mode=AMCMode.INV,
+            value=value,
+            reference=reference,
+            attempts=attempts,
+            input_scale=scale,
+            stable=stable,
+            saturated=saturated,
+            macro_ids=operator.macro_ids,
+        )
+
+    # ------------------------------------------------------------------- PINV
+
+    def lstsq(self, matrix: np.ndarray, b: np.ndarray) -> SolveResult:
+        """Analog least squares ``min‖A·y − b‖`` via the PINV topology."""
+        matrix = np.asarray(matrix, dtype=float)
+        b = np.asarray(b, dtype=float)
+        m, n = matrix.shape
+        if m < n:
+            raise GramcError("lstsq expects a tall matrix (m >= n)")
+        if b.shape != (m,):
+            raise GramcError(f"b must have length {m}")
+        if m > self._rows_max or n > self._rows_max:
+            raise GramcError("PINV operands must fit a single array")
+        op_a = self.program(matrix, AMCMode.PINV)
+        op_at = self.program(matrix.T, AMCMode.PINV, tag="transpose")
+        tile_a, tile_at = op_a.tiles[0], op_at.tiles[0]
+        reference = np.linalg.pinv(matrix) @ b
+
+        scale = max(self._input_scale(b, self.pool.config.dac.v_ref), 1e-30)
+        target = self._output_target
+        value = np.zeros(n)
+        stable, saturated = True, False
+        attempts = 0
+        for attempts in range(1, self.max_attempts + 1):
+            result = tile_a.primary.compute_pinv(
+                b / scale,
+                partner_t=tile_at.primary,
+                partner_neg=tile_a.partner,
+                partner_t_neg=tile_at.partner,
+            )
+            g_f = tile_a.primary.config.g_f
+            value = -result.values * scale / (tile_a.mapping.value_scale * g_f)
+            stable = result.solution.stable
+            saturated = result.solution.saturated
+            peak = float(np.max(np.abs(result.raw)))
+            if saturated:
+                desired = g_f / 4.0
+            elif 0.0 < peak < 0.25 * target:
+                desired = g_f * target / peak
+            else:
+                break
+            actual = tile_a.primary.set_g_f(desired)
+            if abs(actual - g_f) < 1e-15:
+                if saturated:
+                    scale *= 2.0  # ladder floor: shrink inputs instead
+                    continue
+                break
+        self.solve_counts[AMCMode.PINV.value] += 1
+        return SolveResult(
+            mode=AMCMode.PINV,
+            value=value,
+            reference=reference,
+            attempts=attempts,
+            input_scale=scale,
+            stable=stable,
+            saturated=saturated,
+            macro_ids=op_a.macro_ids + op_at.macro_ids,
+        )
+
+    # ------------------------------------------------------------------- EGV
+
+    def eigvec(
+        self, matrix: np.ndarray, lambda_hat: float | None = None, transient: bool = False
+    ) -> SolveResult:
+        """Dominant eigenvector via the EGV topology (unit norm)."""
+        matrix = np.asarray(matrix, dtype=float)
+        n = matrix.shape[0]
+        if matrix.shape != (n, n):
+            raise GramcError("eigvec needs a square matrix")
+        if n > self._rows_max:
+            raise GramcError(f"EGV supports up to {self._rows_max} unknowns")
+
+        # Digital eigenvalue estimate on the quantized matrix (functional module).
+        probe = self.program(matrix, AMCMode.MVM, tag="egv-probe")
+        quantized = probe.tiles[0].mapping.quantized_matrix()
+        if lambda_hat is None:
+            # 7 % margin keeps the loop gain above one even after programming
+            # noise shifts the realised spectrum slightly downward.
+            lambda_hat = 0.93 * estimate_dominant_eigenvalue(quantized, rng=self.rng)
+        if lambda_hat <= 0.0:
+            raise GramcError("EGV requires a positive dominant eigenvalue")
+        value_scale = probe.tiles[0].mapping.value_scale
+        g_lambda = lambda_hat / value_scale
+
+        operator = self.program(matrix, AMCMode.EGV, g_lambda=g_lambda, tag="egv")
+        tile = operator.tiles[0]
+        result = tile.primary.compute_egv(partner=tile.partner, transient=transient)
+
+        eigenvalues, eigenvectors = np.linalg.eig(matrix)
+        dominant = int(np.argmax(eigenvalues.real))
+        reference = np.real(eigenvectors[:, dominant])
+        reference = reference / np.linalg.norm(reference)
+        pivot = int(np.argmax(np.abs(reference)))
+        if reference[pivot] < 0:
+            reference = -reference
+        # An eigenvector's sign is arbitrary; report the analog vector in
+        # the same orientation as the reference (pivot-based conventions can
+        # flip when two components near-tie under analog noise).
+        value = result.values
+        if float(value @ reference) < 0.0:
+            value = -value
+
+        self.solve_counts[AMCMode.EGV.value] += 1
+        return SolveResult(
+            mode=AMCMode.EGV,
+            value=value,
+            reference=reference,
+            attempts=1,
+            input_scale=1.0,
+            stable=result.solution.stable,
+            saturated=result.solution.saturated,
+            settling_time=result.solution.settling_time,
+            macro_ids=operator.macro_ids,
+        )

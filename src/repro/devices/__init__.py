@@ -1,0 +1,39 @@
+"""Device layer: RRAM compact model, NMOS selector, 1T1R cell, variability."""
+
+from repro.devices.cell import OneT1R, OperatingPoint
+from repro.devices.constants import (
+    DEFAULT_STACK,
+    G_MAX,
+    G_MIN,
+    NUM_LEVELS,
+    PULSE_WIDTH,
+    V_READ,
+    DeviceStack,
+    RRAMParams,
+    TransistorParams,
+    VariabilityParams,
+    WriteVerifyParams,
+)
+from repro.devices.stanford_pku import StanfordPKUModel
+from repro.devices.transistor import NMOSTransistor
+from repro.devices.variability import RetentionModel, VariabilityModel
+
+__all__ = [
+    "DEFAULT_STACK",
+    "G_MAX",
+    "G_MIN",
+    "NUM_LEVELS",
+    "PULSE_WIDTH",
+    "V_READ",
+    "DeviceStack",
+    "NMOSTransistor",
+    "OneT1R",
+    "OperatingPoint",
+    "RRAMParams",
+    "RetentionModel",
+    "StanfordPKUModel",
+    "TransistorParams",
+    "VariabilityModel",
+    "VariabilityParams",
+    "WriteVerifyParams",
+]

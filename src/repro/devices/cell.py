@@ -1,0 +1,130 @@
+"""The 1T1R cell: one NMOS selector in series with one RRAM device.
+
+Terminals follow the paper (§II-A): the bit line (BL) contacts the RRAM top
+electrode, the source line (SL) contacts the transistor source, and the word
+line drives the gate.  SET applies ``V_BL = V_set`` with the SL grounded and
+the gate stepping; RESET grounds the BL and steps ``V_SL`` with the gate
+fully on.
+
+The only non-trivial physics is the series operating point: the internal
+node ``V_M`` between RRAM and transistor settles where both elements carry
+the same current.  Both branch currents are strictly monotone in ``V_M``,
+so a bisection is exact and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devices.constants import DeviceStack, V_READ
+from repro.devices.stanford_pku import StanfordPKUModel
+from repro.devices.transistor import NMOSTransistor
+
+_BISECTION_ITERATIONS = 60
+
+
+@dataclass
+class OperatingPoint:
+    """Solved bias point of a 1T1R cell for one applied terminal triple."""
+
+    v_internal: float
+    """Voltage of the node between RRAM bottom electrode and transistor."""
+
+    v_device: float
+    """Voltage across the RRAM (positive = SET polarity)."""
+
+    current: float
+    """Current flowing BL → SL (negative during RESET)."""
+
+
+@dataclass
+class OneT1R:
+    """A single 1-transistor-1-resistor cell."""
+
+    stack: DeviceStack
+    rram: StanfordPKUModel = field(init=False)
+    transistor: NMOSTransistor = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.rram = StanfordPKUModel(self.stack.rram)
+        self.transistor = NMOSTransistor(self.stack.transistor)
+
+    # -- operating point -------------------------------------------------------
+
+    def operating_point(self, v_bl: float, v_sl: float, v_g: float) -> OperatingPoint:
+        """Solve the internal node by bisection.
+
+        ``f(V_M) = I_rram(V_BL − V_M) − I_nmos(M → SL)`` is strictly
+        decreasing in ``V_M`` and changes sign on
+        ``[min(V_BL, V_SL), max(V_BL, V_SL)]`` for both polarities.
+        """
+        lo = min(v_bl, v_sl)
+        hi = max(v_bl, v_sl)
+        if hi - lo < 1e-12:
+            return OperatingPoint(v_internal=v_bl, v_device=0.0, current=0.0)
+
+        def mismatch(v_m: float) -> float:
+            i_rram = self.rram.current(v_bl - v_m)
+            i_nmos = self.transistor.drain_current(v_g - v_sl, v_m - v_sl)
+            return i_rram - i_nmos
+
+        for _ in range(_BISECTION_ITERATIONS):
+            mid = 0.5 * (lo + hi)
+            if mismatch(mid) > 0.0:
+                lo = mid
+            else:
+                hi = mid
+        v_m = 0.5 * (lo + hi)
+        v_dev = v_bl - v_m
+        return OperatingPoint(v_internal=v_m, v_device=v_dev, current=self.rram.current(v_dev))
+
+    # -- pulses ----------------------------------------------------------------
+
+    def apply_pulse(
+        self,
+        v_bl: float,
+        v_sl: float,
+        v_g: float,
+        width: float,
+        max_gap_step: float = 0.01e-9,
+        max_substeps: int = 2000,
+    ) -> float:
+        """Apply one programming pulse and evolve the filament.
+
+        The series operating point is re-solved every time the gap moves by
+        ``max_gap_step`` (the device voltage collapses as the filament grows
+        under compliance, which is what self-limits each SET level — a stale
+        operating point would overshoot straight through the equilibrium).
+        Returns the post-pulse gap.
+        """
+        remaining = width
+        rram = self.rram
+        for _ in range(max_substeps):
+            if remaining <= 0.0:
+                break
+            point = self.operating_point(v_bl, v_sl, v_g)
+            velocity = rram.gap_velocity(point.v_device)
+            if abs(velocity) * remaining < 1e-3 * max_gap_step:
+                break
+            dt = min(remaining, max_gap_step / abs(velocity))
+            new_gap = rram.gap + velocity * dt
+            rram.gap = min(max(new_gap, rram.params.gap_min), rram.params.gap_max)
+            remaining -= dt
+        return rram.gap
+
+    # -- read ------------------------------------------------------------------
+
+    def read_conductance(self, v_read: float = V_READ, v_g_read: float = 3.0) -> float:
+        """Effective conductance seen from the BL/SL terminals at read bias.
+
+        Includes the selector's on-resistance in series, exactly as the
+        on-chip verify path would observe it.
+        """
+        point = self.operating_point(v_read, 0.0, v_g_read)
+        if v_read == 0.0:
+            return 0.0
+        return point.current / v_read
+
+    def device_conductance(self, v_read: float = V_READ) -> float:
+        """Intrinsic RRAM conductance (no selector), for model introspection."""
+        return self.rram.conductance(v_read)

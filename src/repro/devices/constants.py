@@ -1,0 +1,181 @@
+"""Physical constants and calibrated default parameters for the device layer.
+
+The Stanford-PKU RRAM compact model (Jiang et al., SISPAD 2014 — reference
+[6] of the paper) describes resistive switching as the growth/dissolution of
+a single conductive filament, parameterised by the tunnelling *gap* between
+the filament tip and the electrode.  The parameter values below are
+calibrated — not copied verbatim from any single published fit — so that:
+
+* the read conductance at ``V_READ`` spans the paper's stated 1–100 µS range
+  between the fully-SET (gap = ``GAP_MIN``) and fully-RESET
+  (gap = ``GAP_MAX``) states, and
+* the write-verify staircases of Fig. 1(b)/(c) complete within roughly
+  30 pulses of 30 ns for the gate/source-line voltage steps the paper uses.
+
+The calibration procedure is asserted by ``tests/devices/test_calibration.py``
+so the parameters cannot silently drift away from the paper's operating
+envelope.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+# ---------------------------------------------------------------------------
+# Universal physical constants (SI units).
+# ---------------------------------------------------------------------------
+
+BOLTZMANN_EV: float = 8.617333262e-5
+"""Boltzmann constant in eV/K."""
+
+ELEMENTARY_CHARGE: float = 1.602176634e-19
+"""Elementary charge in coulombs."""
+
+ROOM_TEMPERATURE: float = 300.0
+"""Ambient temperature in kelvin."""
+
+# ---------------------------------------------------------------------------
+# Operating envelope from the paper.
+# ---------------------------------------------------------------------------
+
+G_MIN: float = 1e-6
+"""Lowest usable conductance (level 0) — 1 µS per the paper."""
+
+G_MAX: float = 100e-6
+"""Highest usable conductance (level 15) — 100 µS per the paper."""
+
+NUM_LEVELS: int = 16
+"""4-bit multi-level cell: 16 conductance levels."""
+
+V_READ: float = 0.1
+"""Read voltage used for verify and for inference-mode operation (volts).
+
+Low enough that read disturb (filament drift during read) is negligible on
+simulation timescales.
+"""
+
+PULSE_WIDTH: float = 30e-9
+"""SET/RESET pulse width — 30 ns per Fig. 1 of the paper."""
+
+
+@dataclass(frozen=True)
+class RRAMParams:
+    """Parameter set for :class:`repro.devices.stanford_pku.StanfordPKUModel`.
+
+    Attributes mirror the symbols of the SISPAD'14 compact model:
+
+    * ``i0``, ``g0``, ``v0`` — current law ``I = i0·exp(-gap/g0)·sinh(V/v0)``
+    * ``nu0`` — gap-dynamics attempt velocity (m/s)
+    * ``ea`` — activation energy for vacancy migration (eV)
+    * ``gamma0``, ``beta``, ``g1`` — local-field enhancement
+      ``γ = gamma0 − beta·(gap/g1)³``
+    * ``a0`` — atomic hopping distance (m)
+    * ``lox`` — oxide thickness (m)
+    * ``rth`` — effective thermal resistance (K/W) for Joule heating
+    * ``gap_min``/``gap_max`` — physical bounds of the tunnelling gap (m)
+    """
+
+    i0: float = 2.5e-4
+    g0: float = 0.30e-9
+    v0: float = 0.40
+    nu0: float = 30.0
+    ea: float = 0.65
+    gamma0: float = 16.5
+    beta: float = 1.25
+    g1: float = 1.0e-9
+    a0: float = 0.25e-9
+    lox: float = 5.0e-9
+    rth: float = 2.5e3
+    gap_min: float = 0.20e-9
+    gap_max: float = 1.95e-9
+    temperature: float = ROOM_TEMPERATURE
+
+    def read_conductance(self, gap: float, v_read: float = V_READ) -> float:
+        """Small-signal conductance ``I(gap, v_read) / v_read`` in siemens."""
+        current = self.i0 * math.exp(-gap / self.g0) * math.sinh(v_read / self.v0)
+        return current / v_read
+
+    def gap_for_conductance(self, conductance: float, v_read: float = V_READ) -> float:
+        """Invert :meth:`read_conductance` analytically.
+
+        ``G = (i0/v_read)·sinh(v_read/v0)·exp(-gap/g0)`` is monotone in the
+        gap, so the inverse is a single logarithm.  The result is clipped to
+        the physical gap bounds.
+        """
+        if conductance <= 0.0:
+            raise ValueError(f"conductance must be positive, got {conductance!r}")
+        prefactor = self.i0 * math.sinh(v_read / self.v0) / v_read
+        gap = self.g0 * math.log(prefactor / conductance)
+        return min(max(gap, self.gap_min), self.gap_max)
+
+
+@dataclass(frozen=True)
+class TransistorParams:
+    """Square-law NMOS parameters for the 1T1R selector.
+
+    ``kp`` is the transconductance factor (A/V²) already including W/L;
+    ``vth`` the threshold voltage; ``lam`` the channel-length modulation.
+    The default sizing gives a saturation (compliance) current of ~110 µA at
+    V_g = 1.5 V, enough to fully SET a 100 µS device at ~1 V.
+    """
+
+    kp: float = 7.5e-4
+    vth: float = 0.45
+    lam: float = 0.05
+
+
+@dataclass(frozen=True)
+class WriteVerifyParams:
+    """Default knobs of the on-chip write-verify scheme (paper §II-A).
+
+    SET: ``v_bl = v_set``, ``v_sl = 0``, and the gate ramps from
+    ``vg_start`` by ``vg_step`` every pulse.  RESET: ``v_g = vg_reset``
+    (fully on), ``v_bl = 0``, and the source line ramps from ``vsl_start``
+    by ``vsl_step``.  Verify reads happen between pulses at ``V_READ``.
+    """
+
+    v_set: float = 2.0
+    vg_start: float = 0.525
+    vg_step: float = 0.01
+    vg_max: float = 1.05
+    vg_reset: float = 3.0
+    vsl_start: float = 0.46
+    vsl_step: float = 0.02
+    vsl_max: float = 1.40
+    pulse_width: float = PULSE_WIDTH
+    max_pulses: int = 64
+    tolerance: float = 0.35
+    """Verify acceptance band, in units of one inter-level conductance gap."""
+
+
+@dataclass(frozen=True)
+class VariabilityParams:
+    """Stochastic non-idealities applied on top of the deterministic model.
+
+    * ``d2d_sigma`` — device-to-device lognormal sigma on conductance.
+    * ``c2c_sigma`` — cycle-to-cycle lognormal sigma applied per write pulse.
+    * ``read_noise_sigma`` — relative gaussian noise per read.
+    * ``stuck_on_rate`` / ``stuck_off_rate`` — fraction of cells stuck at
+      G_MAX / G_MIN regardless of programming.
+    """
+
+    d2d_sigma: float = 0.03
+    c2c_sigma: float = 0.02
+    read_noise_sigma: float = 0.005
+    stuck_on_rate: float = 0.0
+    stuck_off_rate: float = 0.0
+
+
+@dataclass(frozen=True)
+class DeviceStack:
+    """Bundle of all device-layer parameter sets used by one array."""
+
+    rram: RRAMParams = field(default_factory=RRAMParams)
+    transistor: TransistorParams = field(default_factory=TransistorParams)
+    write_verify: WriteVerifyParams = field(default_factory=WriteVerifyParams)
+    variability: VariabilityParams = field(default_factory=VariabilityParams)
+
+
+DEFAULT_STACK = DeviceStack()
+"""Calibrated defaults shared by tests, benchmarks and examples."""

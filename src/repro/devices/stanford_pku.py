@@ -1,0 +1,146 @@
+"""Stanford-PKU RRAM compact model (filament-gap formulation).
+
+The paper's write-verify scheme (§II-A, Fig. 1) is built on the Stanford-PKU
+open-source RRAM model [6], which abstracts the microscopic ion/vacancy
+migration into the growth of a single dominant filament.  The state variable
+is the *tunnelling gap* ``g`` between the filament tip and the opposite
+electrode:
+
+* **Current law** — ``I(g, V) = i0 · exp(−g/g0) · sinh(V/v0)``.
+* **Gap dynamics** — ``dg/dt = −ν0 · exp(−Ea/kT) · sinh(γ · (a0/L) · V/V_T)``
+  with thermal voltage ``V_T = kB·T/q``; positive device voltage (SET
+  polarity) shrinks the gap, negative voltage (RESET) grows it.
+* **Field enhancement** — ``γ = γ0 − β · (g/g1)³`` decays as the gap opens,
+  which is what self-limits RESET and produces gradual multi-level
+  switching.
+* **Joule heating** — ``T = T0 + |V·I| · Rth`` (steady-state approximation;
+  the thermal time constant of a nanoscale filament is far below the 30 ns
+  pulse width used by the paper).
+
+The model is deterministic; stochastic variation is layered on top by
+:mod:`repro.devices.variability`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.devices.constants import BOLTZMANN_EV, RRAMParams, V_READ
+
+_MAX_SINH_ARG = 60.0
+_MAX_SUBSTEPS = 4000
+_MAX_GAP_STEP = 0.02e-9  # at most 0.02 nm of filament motion per substep
+
+
+def _safe_sinh(x: float) -> float:
+    """``sinh`` clamped to avoid overflow for the stiff gap-dynamics law."""
+    if x > _MAX_SINH_ARG:
+        x = _MAX_SINH_ARG
+    elif x < -_MAX_SINH_ARG:
+        x = -_MAX_SINH_ARG
+    return math.sinh(x)
+
+
+@dataclass
+class StanfordPKUModel:
+    """One RRAM device instance with a mutable filament gap.
+
+    Parameters
+    ----------
+    params:
+        Physical parameter set (see :class:`repro.devices.constants.RRAMParams`).
+    gap:
+        Initial tunnelling gap in metres.  Defaults to the fully-RESET state
+        (``params.gap_max``), i.e. the low-conductance level 0.
+    """
+
+    params: RRAMParams
+    gap: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.gap is None:
+            self.gap = self.params.gap_max
+        self.gap = float(min(max(self.gap, self.params.gap_min), self.params.gap_max))
+
+    # -- static characteristics ---------------------------------------------
+
+    def current(self, voltage: float, gap: float | None = None) -> float:
+        """Device current (A) at ``voltage`` for the present (or given) gap."""
+        g = self.gap if gap is None else gap
+        p = self.params
+        return p.i0 * math.exp(-g / p.g0) * _safe_sinh(voltage / p.v0)
+
+    def conductance(self, v_read: float = V_READ) -> float:
+        """Read conductance ``I(v_read)/v_read`` in siemens."""
+        return self.current(v_read) / v_read
+
+    def voltage_for_current(self, current: float, gap: float | None = None) -> float:
+        """Invert the current law: the device voltage that carries ``current``."""
+        g = self.gap if gap is None else gap
+        p = self.params
+        saturation = p.i0 * math.exp(-g / p.g0)
+        return p.v0 * math.asinh(current / saturation)
+
+    # -- dynamics -------------------------------------------------------------
+
+    def gap_velocity(self, voltage: float, gap: float | None = None) -> float:
+        """``dg/dt`` in m/s at the given device voltage.
+
+        Negative velocity = filament growth (SET direction), positive =
+        dissolution (RESET direction).  Sign convention follows the model:
+        positive ``voltage`` drives SET.
+        """
+        g = self.gap if gap is None else gap
+        p = self.params
+        current = self.current(voltage, gap=g)
+        temperature = p.temperature + abs(voltage * current) * p.rth
+        gamma = p.gamma0 - p.beta * (g / p.g1) ** 3
+        if gamma <= 0.0:
+            return 0.0
+        thermal_voltage = BOLTZMANN_EV * temperature  # in eV == q·V_T in volts
+        arrhenius = math.exp(-p.ea / thermal_voltage)
+        drive = gamma * (p.a0 / p.lox) * voltage / thermal_voltage
+        return -p.nu0 * arrhenius * _safe_sinh(drive)
+
+    def apply_voltage(self, voltage: float, duration: float) -> float:
+        """Integrate the gap ODE for ``duration`` seconds at fixed ``voltage``.
+
+        Uses adaptive forward-Euler substepping: each substep moves the gap
+        by at most 0.02 nm, which keeps the stiff ``sinh`` dynamics stable.
+        Returns the new gap.
+        """
+        p = self.params
+        remaining = duration
+        steps = 0
+        gap = self.gap
+        while remaining > 0.0 and steps < _MAX_SUBSTEPS:
+            velocity = self.gap_velocity(voltage, gap=gap)
+            if velocity == 0.0:
+                break
+            dt = min(remaining, _MAX_GAP_STEP / abs(velocity))
+            gap += velocity * dt
+            if gap <= p.gap_min:
+                gap = p.gap_min
+                break
+            if gap >= p.gap_max:
+                gap = p.gap_max
+                break
+            remaining -= dt
+            steps += 1
+        self.gap = gap
+        return gap
+
+    # -- state helpers --------------------------------------------------------
+
+    def set_conductance(self, conductance: float) -> None:
+        """Force the gap to the state matching ``conductance`` (ideal write)."""
+        self.gap = self.params.gap_for_conductance(conductance)
+
+    def reset_state(self) -> None:
+        """Return the device to the fully-RESET (level-0) state."""
+        self.gap = self.params.gap_max
+
+    def clone(self) -> "StanfordPKUModel":
+        """Independent copy sharing the (frozen) parameter set."""
+        return StanfordPKUModel(self.params, gap=self.gap)

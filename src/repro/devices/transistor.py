@@ -1,0 +1,59 @@
+"""Square-law NMOS selector for the 1T1R cell.
+
+During SET the transistor operates as the compliance element: with the
+source at the source line, the saturation current ``kp/2·(Vgs−Vth)²`` caps
+the filament growth current, so stepping the gate voltage — the paper's
+Fig. 1(b) scheme — steps the achievable conductance level.  During RESET and
+read the device is driven hard on and contributes a small series resistance.
+
+A long-channel square-law model is deliberately chosen over a BSIM-class
+model: the selector's two roles (programmable current clamp, small series
+resistance) are entirely captured by triode/saturation behaviour, and the
+simpler law keeps the per-pulse operating-point solve fast enough to program
+a 128×128 array cell-by-cell in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.constants import TransistorParams
+
+
+@dataclass(frozen=True)
+class NMOSTransistor:
+    """Stateless square-law NMOS (drain current as a function of terminals)."""
+
+    params: TransistorParams
+
+    def drain_current(self, v_gs: float, v_ds: float) -> float:
+        """Drain current (A); negative ``v_ds`` is mirrored (symmetric device).
+
+        Cut-off below threshold; quadratic triode below ``v_ov``;
+        saturation with channel-length modulation above.
+        """
+        if v_ds < 0.0:
+            # Source/drain are interchangeable in a symmetric layout; the
+            # 1T1R RESET path drives the cell in this direction.
+            return -self.drain_current(v_gs - v_ds, -v_ds)
+        p = self.params
+        v_ov = v_gs - p.vth
+        if v_ov <= 0.0:
+            return 0.0
+        if v_ds < v_ov:
+            return p.kp * (v_ov - 0.5 * v_ds) * v_ds * (1.0 + p.lam * v_ds)
+        return 0.5 * p.kp * v_ov * v_ov * (1.0 + p.lam * v_ds)
+
+    def saturation_current(self, v_gs: float) -> float:
+        """Compliance current for gate overdrive ``v_gs`` (λ·v_ds ignored)."""
+        v_ov = v_gs - self.params.vth
+        if v_ov <= 0.0:
+            return 0.0
+        return 0.5 * self.params.kp * v_ov * v_ov
+
+    def on_resistance(self, v_gs: float) -> float:
+        """Small-signal triode resistance at v_ds → 0 for the read path."""
+        v_ov = v_gs - self.params.vth
+        if v_ov <= 0.0:
+            return float("inf")
+        return 1.0 / (self.params.kp * v_ov)

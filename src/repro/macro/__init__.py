@@ -1,0 +1,39 @@
+"""Macro layer: register array, switch fabric, and the AMC macro."""
+
+from repro.macro.amc_macro import AMCMacro, MacroResult, PlaneLayout
+from repro.macro.registers import (
+    G_F_STEP,
+    G_LAMBDA_STEP,
+    MacroConfig,
+    MacroRole,
+    RegisterArray,
+    decode,
+    encode,
+    g_f_code_for,
+    g_lambda_code_for,
+)
+from repro.macro.switches import (
+    Connection,
+    Terminal,
+    build_connections,
+    validate_connections,
+)
+
+__all__ = [
+    "AMCMacro",
+    "Connection",
+    "G_F_STEP",
+    "G_LAMBDA_STEP",
+    "MacroConfig",
+    "MacroResult",
+    "MacroRole",
+    "PlaneLayout",
+    "RegisterArray",
+    "Terminal",
+    "build_connections",
+    "decode",
+    "encode",
+    "g_f_code_for",
+    "g_lambda_code_for",
+    "validate_connections",
+]

@@ -1,0 +1,344 @@
+"""The AMC macro: array + reconfigurable OPA bank + converters (Fig. 2).
+
+One macro owns one 128 × 128 crossbar, a row bank and a column bank of
+OPAs, a DAC/ADC pair and an output buffer.  The register array selects one
+of the four topologies; partner macros contribute additional conductance
+planes for signed (differential) mappings and for the PINV transpose array,
+mirroring the paper's macro *group* where two arrays share the OPA column.
+
+Unit convention at this layer: **volts in, volts out** — digital scaling
+to/from problem units lives in :mod:`repro.core.solver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.analog.egv import EgvCircuit
+from repro.analog.inv import InvCircuit
+from repro.analog.mvm import MVMCircuit
+from repro.analog.opamp import OpAmpBank, OpAmpParams
+from repro.analog.pinv import PinvCircuit
+from repro.analog.results import CircuitSolution
+from repro.analog.topologies import AMCMode, descriptor
+from repro.arrays.crossbar import CrossbarArray
+from repro.arrays.mapping import DifferentialMapping
+from repro.converters.adc import ADC, ADCParams
+from repro.converters.dac import DAC, DACParams
+from repro.devices.constants import DEFAULT_STACK, DeviceStack
+from repro.macro.registers import (
+    MacroConfig,
+    MacroRole,
+    PlaneLayout,
+    RegisterArray,
+    g_f_code_for,
+    g_lambda_code_for,
+)
+from repro.macro.switches import build_connections, validate_connections
+from repro.programming.levels import LevelMap
+
+
+@dataclass
+class MacroResult:
+    """One analog computation as seen by the digital side."""
+
+    values: np.ndarray
+    """ADC-sampled output voltages (what lands in the output buffer)."""
+
+    raw: np.ndarray
+    """Pre-ADC amplifier outputs (for analysis only)."""
+
+    solution: CircuitSolution
+    mode: AMCMode
+
+    @property
+    def ok(self) -> bool:
+        return self.solution.ok
+
+
+class AMCMacro:
+    """One reconfigurable analog matrix computing macro."""
+
+    def __init__(
+        self,
+        macro_id: int = 0,
+        stack: DeviceStack = DEFAULT_STACK,
+        rows: int = 128,
+        cols: int = 128,
+        opamp_params: OpAmpParams | None = None,
+        dac_params: DACParams | None = None,
+        adc_params: ADCParams | None = None,
+        level_map: LevelMap | None = None,
+        rng: np.random.Generator | None = None,
+        wire_resistance: float = 0.0,
+    ):
+        self.macro_id = macro_id
+        self.rng = rng if rng is not None else np.random.default_rng(macro_id)
+        self.level_map = level_map or LevelMap()
+        self.opamp_params = opamp_params or OpAmpParams()
+        self.array = CrossbarArray(
+            stack, rows, cols, self.level_map, rng=self.rng, wire_resistance=wire_resistance
+        )
+        self.row_amps = OpAmpBank.sample(rows, self.opamp_params, self.rng)
+        self.col_amps = OpAmpBank.sample(cols, self.opamp_params, self.rng)
+        self.dac = DAC(dac_params or DACParams(), rng=self.rng)
+        self.adc = ADC(adc_params or ADCParams(), rng=self.rng)
+        self.registers = RegisterArray()
+        self.output_buffer = np.zeros(rows)
+        self.layout = PlaneLayout.SINGLE
+        self.solve_count = 0
+
+    # -- configuration -------------------------------------------------------------
+
+    def configure(
+        self,
+        mode: AMCMode,
+        rows: int,
+        cols: int,
+        row_offset: int = 0,
+        col_offset: int = 0,
+        g_f: float = 1e-3,
+        g_lambda: float = 0.0,
+        layout: PlaneLayout = PlaneLayout.SINGLE,
+        role: MacroRole = MacroRole.PRIMARY,
+    ) -> MacroConfig:
+        """Write the register array and set up drivers + switch fabric.
+
+        For :attr:`PlaneLayout.PAIRED_COLUMNS`, ``cols`` is the *logical*
+        matrix width; the physical active region spans ``2·cols`` columns.
+        """
+        physical_cols = cols * 2 if layout is PlaneLayout.PAIRED_COLUMNS else cols
+        config = MacroConfig(
+            mode=mode,
+            rows=rows,
+            cols=physical_cols,
+            row_offset=row_offset,
+            col_offset=col_offset,
+            g_f_code=g_f_code_for(g_f),
+            g_lambda_code=g_lambda_code_for(g_lambda),
+            role=role,
+            layout=layout,
+        )
+        self.registers.write(config)
+        self.array.select_region(rows, physical_cols, row_offset, col_offset)
+        self.layout = layout
+        differential = layout is not PlaneLayout.SINGLE
+        connections = build_connections(mode, rows, cols, differential)
+        validate_connections(connections)
+        self.connections = connections
+        return config
+
+    def apply_config_word(self, word: int) -> MacroConfig:
+        """ISA path: load a raw 64-bit register word from the decoder.
+
+        The word carries the plane layout, so a CFG instruction fully
+        configures the macro without side channels.
+        """
+        config = self.registers.write_word(word)
+        self.array.select_region(config.rows, config.cols, config.row_offset, config.col_offset)
+        self.layout = config.layout
+        return config
+
+    def set_g_f(self, g_f: float) -> float:
+        """Re-range the feedback/input-conductance ladder (register rewrite only).
+
+        Changing ``g_f`` never touches the programmed conductances — it is
+        the cheap gain knob the digital controller uses for auto-ranging.
+        Returns the actually-selected ladder value.
+        """
+        old = self.config
+        new = MacroConfig(
+            mode=old.mode,
+            rows=old.rows,
+            cols=old.cols,
+            row_offset=old.row_offset,
+            col_offset=old.col_offset,
+            g_f_code=g_f_code_for(g_f),
+            g_lambda_code=old.g_lambda_code,
+            role=old.role,
+            layout=old.layout,
+        )
+        self.registers.write(new)
+        return new.g_f
+
+    @property
+    def config(self) -> MacroConfig:
+        return self.registers.read()
+
+    # -- programming -----------------------------------------------------------------
+
+    def program_targets(self, targets: np.ndarray) -> None:
+        """Program raw conductance targets into the active region."""
+        self.array.program_targets(targets)
+
+    def program_mapping(
+        self, mapping: DifferentialMapping, partner: "AMCMacro | None" = None
+    ) -> None:
+        """Program a signed mapping according to the configured layout."""
+        if self.layout is PlaneLayout.SINGLE:
+            self.program_targets(mapping.g_pos)
+        elif self.layout is PlaneLayout.PAIRED_COLUMNS:
+            rows, cols = mapping.shape
+            interleaved = np.empty((rows, 2 * cols))
+            interleaved[:, 0::2] = mapping.g_pos
+            interleaved[:, 1::2] = mapping.g_neg
+            self.program_targets(interleaved)
+        elif self.layout is PlaneLayout.PAIRED_ARRAYS:
+            if partner is None:
+                raise ValueError("PAIRED_ARRAYS layout needs a partner macro")
+            self.program_targets(mapping.g_pos)
+            partner.program_targets(mapping.g_neg)
+        else:  # pragma: no cover - enum exhausts layouts
+            raise ValueError(f"unknown layout {self.layout!r}")
+
+    # -- plane access -----------------------------------------------------------------
+
+    def planes(self, partner: "AMCMacro | None" = None, noisy: bool = True) -> tuple[np.ndarray, np.ndarray | None]:
+        """(g_pos, g_neg) views of the stored conductances for this solve."""
+        plane = self.array.conductances(noisy=noisy)
+        if self.layout is PlaneLayout.SINGLE:
+            return plane, None
+        if self.layout is PlaneLayout.PAIRED_COLUMNS:
+            return plane[:, 0::2], plane[:, 1::2]
+        if partner is None:
+            raise ValueError("PAIRED_ARRAYS layout needs a partner macro")
+        return plane, partner.array.conductances(noisy=noisy)
+
+    def _active_row_amps(self, count: int) -> OpAmpBank:
+        return OpAmpBank(self.opamp_params, self.row_amps.offsets[:count])
+
+    def _active_col_amps(self, count: int) -> OpAmpBank:
+        return OpAmpBank(self.opamp_params, self.col_amps.offsets[:count])
+
+    # -- computation -------------------------------------------------------------------
+
+    def _check_mode(self, expected: AMCMode) -> MacroConfig:
+        config = self.config
+        if config.mode is not expected:
+            raise RuntimeError(
+                f"macro {self.macro_id} configured for {config.mode.value}, "
+                f"cannot run {expected.value} (reconfigure first)"
+            )
+        return config
+
+    def compute_mvm(
+        self, x_values: np.ndarray, partner: "AMCMacro | None" = None, noisy: bool = True
+    ) -> MacroResult:
+        """One analog multiply: input voltages → ADC'd TIA outputs."""
+        config = self._check_mode(AMCMode.MVM)
+        g_pos, g_neg = self.planes(partner, noisy=noisy)
+        v_in = self.dac.convert(x_values, noisy=noisy)
+        inverter_bank = None
+        if g_neg is not None:
+            source = partner if self.layout is PlaneLayout.PAIRED_ARRAYS and partner else self
+            inverter_bank = source._active_col_amps(g_pos.shape[1])
+        circuit = MVMCircuit(
+            g_pos,
+            g_neg,
+            params=self.opamp_params,
+            g_f=config.g_f,
+            rng=self.rng,
+            row_amps=self._active_row_amps(g_pos.shape[0]),
+            col_amps=inverter_bank,
+        )
+        solution = circuit.solve(v_in, noisy=noisy)
+        values = self.adc.sample(solution.outputs, noisy=noisy)
+        self._finish(values)
+        return MacroResult(values=values, raw=solution.outputs, solution=solution, mode=AMCMode.MVM)
+
+    def compute_inv(
+        self, b_values: np.ndarray, partner: "AMCMacro | None" = None, noisy: bool = True
+    ) -> MacroResult:
+        """One-step inversion: input voltages become currents via ``g_f``."""
+        config = self._check_mode(AMCMode.INV)
+        g_pos, g_neg = self.planes(partner, noisy=noisy)
+        v_in = self.dac.convert(b_values, noisy=noisy)
+        i_in = config.g_f * v_in  # input conductances from the g_f ladder
+        inverter_bank = None
+        if g_neg is not None:
+            source = partner if self.layout is PlaneLayout.PAIRED_ARRAYS and partner else self
+            inverter_bank = source._active_col_amps(g_pos.shape[0])
+        circuit = InvCircuit(
+            g_pos,
+            g_neg,
+            params=self.opamp_params,
+            rng=self.rng,
+            row_amps=self._active_row_amps(g_pos.shape[0]),
+            inverter_amps=inverter_bank,
+        )
+        solution = circuit.static_solve(i_in, noisy=noisy)
+        values = self.adc.sample(solution.outputs, noisy=noisy)
+        self._finish(values)
+        return MacroResult(values=values, raw=solution.outputs, solution=solution, mode=AMCMode.INV)
+
+    def compute_pinv(
+        self,
+        b_values: np.ndarray,
+        partner_t: "AMCMacro",
+        partner_neg: "AMCMacro | None" = None,
+        partner_t_neg: "AMCMacro | None" = None,
+        noisy: bool = True,
+    ) -> MacroResult:
+        """Least squares: this macro holds G, ``partner_t`` holds Gᵀ.
+
+        With paired-array layouts the negative planes come from
+        ``partner_neg`` / ``partner_t_neg``; with paired columns each macro
+        de-interleaves its own planes.
+        """
+        config = self._check_mode(AMCMode.PINV)
+        g1_pos, g1_neg = self.planes(partner_neg, noisy=noisy)
+        g2_pos, g2_neg = partner_t.planes(partner_t_neg, noisy=noisy)
+        v_in = self.dac.convert(b_values, noisy=noisy)
+        i_in = config.g_f * v_in
+        m, n = g1_pos.shape
+        circuit = PinvCircuit(
+            g1_pos,
+            g1_neg,
+            g2_pos,
+            g2_neg,
+            params=self.opamp_params,
+            g_f=config.g_f,
+            rng=self.rng,
+            stage1_amps=self._active_row_amps(m),
+            stage2_amps=self._active_col_amps(n),
+        )
+        solution = circuit.static_solve(i_in, noisy=noisy)
+        values = self.adc.sample(solution.outputs, noisy=noisy)
+        self._finish(values)
+        return MacroResult(values=values, raw=solution.outputs, solution=solution, mode=AMCMode.PINV)
+
+    def compute_egv(
+        self, partner: "AMCMacro | None" = None, noisy: bool = True, transient: bool = False
+    ) -> MacroResult:
+        """Dominant eigenvector; λ comes from the register ladder."""
+        config = self._check_mode(AMCMode.EGV)
+        g_pos, g_neg = self.planes(partner, noisy=noisy)
+        if config.g_lambda <= 0.0:
+            raise RuntimeError("EGV mode requires a positive g_lambda in the registers")
+        circuit = EgvCircuit(
+            g_pos,
+            g_neg,
+            g_lambda=config.g_lambda,
+            params=self.opamp_params,
+            rng=self.rng,
+            amps=self._active_row_amps(g_pos.shape[0]),
+        )
+        solution = circuit.transient_solve() if transient else circuit.static_solve(noisy=noisy)
+        eigvec = circuit.eigenvector(solution)
+        # The ADC sees the railed amplifier outputs; normalisation happens
+        # digitally, so sample the raw outputs and renormalise after.
+        sampled = self.adc.sample(solution.outputs, noisy=noisy)
+        norm = np.linalg.norm(sampled)
+        values = sampled / norm if norm > 0 else sampled
+        pivot = int(np.argmax(np.abs(values)))
+        if values[pivot] < 0:
+            values = -values
+        self._finish(values)
+        return MacroResult(values=values, raw=eigvec, solution=solution, mode=AMCMode.EGV)
+
+    def _finish(self, values: np.ndarray) -> None:
+        # For batched conversions the output buffer holds the most recent one.
+        latest = values[:, -1] if values.ndim == 2 else values
+        self.output_buffer[: latest.size] = latest
+        self.solve_count += 1

@@ -1,0 +1,178 @@
+"""The register array: configuration bitstream for one AMC macro (Fig. 2).
+
+"The configuration messages are stored in the register array in advance and
+will control the transmission gates" — this module defines that message
+format.  A :class:`MacroConfig` is the decoded view; :func:`encode` /
+:func:`decode` pack it into a single 64-bit word exactly as the decoder
+hardware would, so the instruction path (``repro.system.isa``) can carry
+raw configuration words.
+
+Field layout (LSB first)::
+
+    [1:0]   mode            (MVM=0, INV=1, PINV=2, EGV=3)
+    [9:2]   rows − 1        (active region height, 1…256)
+    [17:10] cols − 1        (active region width)
+    [25:18] row_offset
+    [33:26] col_offset
+    [41:34] g_f code        (feedback ladder: g_f = (code+1)·G_F_STEP)
+    [57:42] g_lambda code   (λ ladder: g_λ = code·G_LAMBDA_STEP)
+    [59:58] role            (PRIMARY=0, PARTNER_NEG=1, PARTNER_T=2, PARTNER_T_NEG=3)
+    [61:60] layout          (SINGLE=0, PAIRED_ARRAYS=1, PAIRED_COLUMNS=2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, IntEnum
+
+from repro.analog.topologies import AMCMode
+
+
+class PlaneLayout(Enum):
+    """How a signed matrix's two conductance planes are placed."""
+
+    SINGLE = "single"
+    """Unsigned matrix: one plane, no inverters."""
+
+    PAIRED_ARRAYS = "paired_arrays"
+    """Negative plane on a partner macro (full 128-wide problems)."""
+
+    PAIRED_COLUMNS = "paired_columns"
+    """Planes interleaved in even/odd columns of one array (width ≤ 64)."""
+
+
+_LAYOUT_CODES = {
+    PlaneLayout.SINGLE: 0,
+    PlaneLayout.PAIRED_ARRAYS: 1,
+    PlaneLayout.PAIRED_COLUMNS: 2,
+}
+_CODE_LAYOUTS = {v: k for k, v in _LAYOUT_CODES.items()}
+
+G_F_STEP = 2.5e-5
+"""Feedback-conductance ladder step (25 µS per code)."""
+
+G_LAMBDA_STEP = 5e-7
+"""λ-feedback ladder step (0.5 µS per code) — fine enough that quantizing
+the eigenvalue estimate costs far less accuracy than the 4-bit matrix."""
+
+_MODE_CODES = {AMCMode.MVM: 0, AMCMode.INV: 1, AMCMode.PINV: 2, AMCMode.EGV: 3}
+_CODE_MODES = {v: k for k, v in _MODE_CODES.items()}
+
+
+class MacroRole(IntEnum):
+    """What a macro contributes to a (possibly multi-array) computation."""
+
+    PRIMARY = 0
+    PARTNER_NEG = 1
+    PARTNER_T = 2
+    PARTNER_T_NEG = 3
+
+
+@dataclass(frozen=True)
+class MacroConfig:
+    """Decoded register-array contents of one macro."""
+
+    mode: AMCMode
+    rows: int
+    cols: int
+    row_offset: int = 0
+    col_offset: int = 0
+    g_f_code: int = 39  # (39+1)·25 µS = 1 mS, the default TIA feedback
+    g_lambda_code: int = 0
+    role: MacroRole = MacroRole.PRIMARY
+    layout: PlaneLayout = PlaneLayout.SINGLE
+
+    @property
+    def g_f(self) -> float:
+        """Feedback conductance selected by ``g_f_code`` (siemens)."""
+        return (self.g_f_code + 1) * G_F_STEP
+
+    @property
+    def g_lambda(self) -> float:
+        """λ feedback conductance selected by ``g_lambda_code`` (siemens)."""
+        return self.g_lambda_code * G_LAMBDA_STEP
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.rows <= 256 or not 1 <= self.cols <= 256:
+            raise ValueError("active region must be 1..256 per side")
+        if not 0 <= self.row_offset <= 255 or not 0 <= self.col_offset <= 255:
+            raise ValueError("offsets must fit in 8 bits")
+        if not 0 <= self.g_f_code <= 255:
+            raise ValueError("g_f_code must fit in 8 bits")
+        if not 0 <= self.g_lambda_code <= 65535:
+            raise ValueError("g_lambda_code must fit in 16 bits")
+
+
+def g_lambda_code_for(g_lambda: float) -> int:
+    """Nearest λ-ladder code for a desired feedback conductance."""
+    if g_lambda < 0.0:
+        raise ValueError("g_lambda must be non-negative")
+    return min(int(round(g_lambda / G_LAMBDA_STEP)), 65535)
+
+
+def g_f_code_for(g_f: float) -> int:
+    """Nearest feedback-ladder code for a desired TIA feedback conductance."""
+    if g_f <= 0.0:
+        raise ValueError("g_f must be positive")
+    return min(max(int(round(g_f / G_F_STEP)) - 1, 0), 255)
+
+
+def encode(config: MacroConfig) -> int:
+    """Pack a :class:`MacroConfig` into its 64-bit register word."""
+    word = _MODE_CODES[config.mode]
+    word |= (config.rows - 1) << 2
+    word |= (config.cols - 1) << 10
+    word |= config.row_offset << 18
+    word |= config.col_offset << 26
+    word |= config.g_f_code << 34
+    word |= config.g_lambda_code << 42
+    word |= int(config.role) << 58
+    word |= _LAYOUT_CODES[config.layout] << 60
+    return word
+
+
+def decode(word: int) -> MacroConfig:
+    """Unpack a 64-bit register word back into a :class:`MacroConfig`."""
+    if word < 0 or word >= (1 << 64):
+        raise ValueError("register word must be an unsigned 64-bit integer")
+    layout_code = (word >> 60) & 0x3
+    if layout_code not in _CODE_LAYOUTS:
+        raise ValueError(f"invalid layout code {layout_code}")
+    return MacroConfig(
+        mode=_CODE_MODES[word & 0x3],
+        rows=((word >> 2) & 0xFF) + 1,
+        cols=((word >> 10) & 0xFF) + 1,
+        row_offset=(word >> 18) & 0xFF,
+        col_offset=(word >> 26) & 0xFF,
+        g_f_code=(word >> 34) & 0xFF,
+        g_lambda_code=(word >> 42) & 0xFFFF,
+        role=MacroRole((word >> 58) & 0x3),
+        layout=_CODE_LAYOUTS[layout_code],
+    )
+
+
+class RegisterArray:
+    """The macro's writable configuration store."""
+
+    def __init__(self) -> None:
+        self._word: int | None = None
+
+    def write(self, config: MacroConfig) -> int:
+        """Store a configuration; returns the encoded word (for the ISA path)."""
+        self._word = encode(config)
+        return self._word
+
+    def write_word(self, word: int) -> MacroConfig:
+        """Store a raw word as delivered by the instruction decoder."""
+        config = decode(word)  # validates
+        self._word = word
+        return config
+
+    @property
+    def configured(self) -> bool:
+        return self._word is not None
+
+    def read(self) -> MacroConfig:
+        if self._word is None:
+            raise RuntimeError("register array has not been configured")
+        return decode(self._word)

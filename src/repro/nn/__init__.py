@@ -1,0 +1,55 @@
+"""Neural-network layer: LeNet-5, SynthDigits, quantization, analog inference."""
+
+from repro.nn.analog_inference import AnalogLeNet5
+from repro.nn.datasets import (
+    IMAGE_SIZE,
+    NUM_CLASSES,
+    DigitDataset,
+    render_digit,
+    synth_digits,
+)
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    col2im,
+    im2col,
+    softmax_cross_entropy,
+)
+from repro.nn.lenet5 import LeNet5
+from repro.nn.quantize import (
+    BitSlicedWeight,
+    QuantizedWeight,
+    bit_slice_weight,
+    quantize_weight,
+    quantized_state_dict,
+)
+from repro.nn.train import Adam, TrainReport, train_lenet5
+
+__all__ = [
+    "Adam",
+    "AnalogLeNet5",
+    "BitSlicedWeight",
+    "Conv2D",
+    "Dense",
+    "DigitDataset",
+    "Flatten",
+    "IMAGE_SIZE",
+    "LeNet5",
+    "MaxPool2D",
+    "NUM_CLASSES",
+    "QuantizedWeight",
+    "ReLU",
+    "TrainReport",
+    "bit_slice_weight",
+    "col2im",
+    "im2col",
+    "quantize_weight",
+    "quantized_state_dict",
+    "render_digit",
+    "softmax_cross_entropy",
+    "synth_digits",
+    "train_lenet5",
+]

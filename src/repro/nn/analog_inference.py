@@ -1,0 +1,142 @@
+"""LeNet-5 inference on the analog system (the Fig. 5 experiment).
+
+Every weight layer (two convolutions, three fully-connected) runs as an
+analog MVM on the GRAMC macros; pooling, ReLU, biases and the classifier
+head run in the digital functional module — precisely the split the paper
+describes ("the convolutional computation results are transferred to the
+digital functional module to execute the pooling and activation").
+
+Two precision modes:
+
+* ``bits=4`` — weights quantize to the 16-level cells directly (one
+  differential plane pair per layer);
+* ``bits=8`` — bit slicing: two 4-bit nibble matrices per layer on separate
+  arrays, recombined by the digital shift-add unit (``16·msb + lsb``).
+
+Convolutions lower to matrix products over im2col patch matrices and
+stream *batched* through the programmed macros, modelling back-to-back
+conversions through the same hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.solver import GramcSolver
+from repro.nn.layers import im2col
+from repro.nn.lenet5 import LeNet5
+from repro.nn.quantize import bit_slice_weight, quantize_weight
+from repro.system import functional
+
+
+@dataclass
+class _AnalogLayer:
+    """One weight layer prepared for analog execution."""
+
+    name: str
+    bias: np.ndarray
+    # INT4 path:
+    weight4: np.ndarray | None = None
+    peak4: float = 0.0
+    # INT8 (bit-sliced) path:
+    scale8: float = 0.0
+    msb: np.ndarray | None = None
+    lsb: np.ndarray | None = None
+
+
+class AnalogLeNet5:
+    """A trained LeNet-5 deployed on the analog matrix system."""
+
+    def __init__(self, model: LeNet5, solver: GramcSolver, bits: int = 4):
+        if bits not in (4, 8):
+            raise ValueError("analog deployment supports 4-bit or 8-bit weights")
+        self.bits = bits
+        self.solver = solver
+        self._layers: dict[str, _AnalogLayer] = {}
+        for name, layer in model.weight_layers().items():
+            if bits == 4:
+                quantized = quantize_weight(layer.weight, 4)
+                # quant_peak = scale·15 aligns the 16-level grid with the
+                # INT4 code grid (level = |code| exactly, no re-quantization).
+                self._layers[name] = _AnalogLayer(
+                    name=name,
+                    bias=layer.bias.copy(),
+                    weight4=quantized.dequantized(),
+                    peak4=quantized.scale * 15.0,
+                )
+            else:
+                sliced = bit_slice_weight(layer.weight)
+                self._layers[name] = _AnalogLayer(
+                    name=name,
+                    bias=layer.bias.copy(),
+                    scale8=sliced.scale,
+                    msb=sliced.msb.astype(float),
+                    lsb=sliced.lsb.astype(float),
+                )
+
+    # -- analog matrix product ------------------------------------------------------
+
+    def _matmul(self, name: str, x: np.ndarray) -> np.ndarray:
+        """``W @ x`` on the macros (x: ``(in,)`` or ``(in, batch)``)."""
+        layer = self._layers[name]
+        if self.bits == 4:
+            assert layer.weight4 is not None
+            result = self.solver.mvm(layer.weight4, x, quant_peak=layer.peak4)
+            return result.value
+        assert layer.msb is not None and layer.lsb is not None
+        # Nibble planes hold integers ≤ 15; quant_peak=15 aligns the level
+        # grid so the stored codes are exact.
+        high = self.solver.mvm(layer.msb, x, quant_peak=15.0)
+        low = self.solver.mvm(layer.lsb, x, quant_peak=15.0)
+        return layer.scale8 * functional.shift_add(high.value, low.value, shift_bits=4)
+
+    def _conv(self, name: str, images: np.ndarray, kernel: int = 5) -> np.ndarray:
+        """Convolution as a batched analog MVM over im2col patches."""
+        layer = self._layers[name]
+        n, _, h, w = images.shape
+        out_h = h - kernel + 1
+        out_w = w - kernel + 1
+        cols = im2col(images, kernel)  # (n, positions, fan_in)
+        fan_in = cols.shape[2]
+        stacked = cols.reshape(n * out_h * out_w, fan_in).T  # (fan_in, n·positions)
+        product = self._matmul(name, stacked)  # (out_c, n·positions)
+        out_c = product.shape[0]
+        product = product + layer.bias[:, None]
+        maps = product.reshape(out_c, n, out_h * out_w).transpose(1, 0, 2)
+        return maps.reshape(n, out_c, out_h, out_w)
+
+    def _dense(self, name: str, x: np.ndarray) -> np.ndarray:
+        """FC layer as a batched analog MVM: x ``(n, in)`` → ``(n, out)``."""
+        layer = self._layers[name]
+        product = self._matmul(name, x.T)  # (out, n)
+        return product.T + layer.bias
+
+    # -- full network ------------------------------------------------------------------
+
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        """Logits for a batch of images ``(n, 1, 28, 28)``."""
+        x = self._conv("conv1", np.asarray(images, dtype=float))
+        x = functional.relu(x)
+        x = np.stack([functional.max_pool2d(sample) for sample in x])
+        x = self._conv("conv2", x)
+        x = functional.relu(x)
+        x = np.stack([functional.max_pool2d(sample) for sample in x])
+        x = x.reshape(x.shape[0], -1)
+        x = functional.relu(self._dense("fc1", x))
+        x = functional.relu(self._dense("fc2", x))
+        return self._dense("fc3", x)
+
+    def predict(self, images: np.ndarray, chunk: int = 100) -> np.ndarray:
+        """Class predictions, streamed through the macros in chunks."""
+        images = np.asarray(images, dtype=float)
+        outputs = []
+        for start in range(0, images.shape[0], chunk):
+            logits = self.forward(images[start : start + chunk])
+            outputs.append(np.argmax(logits, axis=1))
+        return np.concatenate(outputs)
+
+    def accuracy(self, images: np.ndarray, labels: np.ndarray, chunk: int = 100) -> float:
+        """Top-1 accuracy — the Fig. 5 metric."""
+        return float(np.mean(self.predict(images, chunk=chunk) == np.asarray(labels)))

@@ -1,0 +1,207 @@
+"""Pure-numpy neural-network layers (im2col-based), forward and backward.
+
+The convolutions are expressed as matrix products over im2col patch
+matrices — deliberately, because that is exactly the lowering the GRAMC
+system uses: a convolution becomes an MVM whose matrix is the flattened
+kernel bank, which is what gets programmed into the RRAM arrays
+(:mod:`repro.nn.analog_inference` swaps the numpy matmul for the analog
+one without touching anything else).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def im2col(images: np.ndarray, kernel: int, stride: int = 1) -> np.ndarray:
+    """Extract sliding patches: ``(n, c, h, w) → (n, out_h·out_w, c·k·k)``."""
+    n, c, h, w = images.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    shape = (n, c, out_h, out_w, kernel, kernel)
+    strides = (
+        images.strides[0],
+        images.strides[1],
+        images.strides[2] * stride,
+        images.strides[3] * stride,
+        images.strides[2],
+        images.strides[3],
+    )
+    patches = np.lib.stride_tricks.as_strided(images, shape=shape, strides=strides)
+    # → (n, out_h·out_w, c·k·k)
+    return patches.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h * out_w, c * kernel * kernel)
+
+
+def col2im(
+    cols: np.ndarray, image_shape: tuple[int, int, int, int], kernel: int, stride: int = 1
+) -> np.ndarray:
+    """Scatter-add inverse of :func:`im2col` (used by the backward pass)."""
+    n, c, h, w = image_shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    images = np.zeros(image_shape, dtype=cols.dtype)
+    cols = cols.reshape(n, out_h, out_w, c, kernel, kernel)
+    for i in range(kernel):
+        for j in range(kernel):
+            images[:, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride] += (
+                cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+            )
+    return images
+
+
+class Layer:
+    """Interface: forward(x) → y, backward(grad_y) → grad_x, params/grads."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> list[np.ndarray]:
+        return []
+
+    def gradients(self) -> list[np.ndarray]:
+        return []
+
+
+class Conv2D(Layer):
+    """Valid convolution via im2col; weight shape ``(out_c, in_c·k·k)``."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int, rng: np.random.Generator):
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        fan_in = in_channels * kernel * kernel
+        limit = np.sqrt(2.0 / fan_in)
+        self.weight = rng.normal(0.0, limit, size=(out_channels, fan_in))
+        self.bias = np.zeros(out_channels)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        out_h = h - self.kernel + 1
+        out_w = w - self.kernel + 1
+        cols = im2col(x, self.kernel)  # (n, positions, fan_in)
+        out = cols @ self.weight.T + self.bias  # (n, positions, out_c)
+        if training:
+            self._cache = (x.shape, cols)
+        return out.transpose(0, 2, 1).reshape(n, self.out_channels, out_h, out_w)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward(training=True)")
+        x_shape, cols = self._cache
+        n, _, out_h, out_w = grad.shape
+        grad_flat = grad.reshape(n, self.out_channels, out_h * out_w).transpose(0, 2, 1)
+        self.grad_weight = np.einsum("npo,npf->of", grad_flat, cols) / n
+        self.grad_bias = grad_flat.sum(axis=(0, 1)) / n
+        grad_cols = grad_flat @ self.weight  # (n, positions, fan_in)
+        return col2im(grad_cols, x_shape, self.kernel)
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+
+class MaxPool2D(Layer):
+    """2×2 stride-2 max pooling (the functional module's pooling unit)."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        windows = x.reshape(n, c, h // 2, 2, w // 2, 2)
+        out = windows.max(axis=(3, 5))
+        if training:
+            self._mask = windows == out[:, :, :, None, :, None]
+            self._shape = x.shape
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None or self._shape is None:
+            raise RuntimeError("backward before forward(training=True)")
+        expanded = grad[:, :, :, None, :, None] * self._mask
+        return expanded.reshape(self._shape)
+
+
+class ReLU(Layer):
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._mask = x > 0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward before forward(training=True)")
+        return grad * self._mask
+
+
+class Flatten(Layer):
+    def __init__(self) -> None:
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward before forward(training=True)")
+        return grad.reshape(self._shape)
+
+
+class Dense(Layer):
+    """Fully-connected layer; weight shape ``(out, in)``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        limit = np.sqrt(2.0 / in_features)
+        self.weight = rng.normal(0.0, limit, size=(out_features, in_features))
+        self.bias = np.zeros(out_features)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._input = x
+        return x @ self.weight.T + self.bias
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward before forward(training=True)")
+        n = grad.shape[0]
+        self.grad_weight = grad.T @ self._input / n
+        self.grad_bias = grad.mean(axis=0)
+        return grad @ self.weight
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean CE loss and gradient w.r.t. logits."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    n = logits.shape[0]
+    log_likelihood = -np.log(probs[np.arange(n), labels] + 1e-12)
+    loss = float(np.mean(log_likelihood))
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad

@@ -1,0 +1,114 @@
+"""LeNet-5 exactly as the paper maps it (Fig. 5).
+
+Topology: ``[1, 28, 28] → conv1(6@5×5) → pool → [6, 12, 12] →
+conv2(16@5×5) → pool → [16, 4, 4] → 256 → 120 → 84 → 10`` with ReLU
+activations and max pooling (the operations the digital functional module
+provides).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    softmax_cross_entropy,
+)
+
+
+class LeNet5:
+    """The float32 reference network."""
+
+    def __init__(self, rng: np.random.Generator | None = None):
+        rng = rng if rng is not None else np.random.default_rng(42)
+        self.conv1 = Conv2D(1, 6, 5, rng)
+        self.conv2 = Conv2D(6, 16, 5, rng)
+        self.fc1 = Dense(256, 120, rng)
+        self.fc2 = Dense(120, 84, rng)
+        self.fc3 = Dense(84, 10, rng)
+        self.layers: list[Layer] = [
+            self.conv1,
+            ReLU(),
+            MaxPool2D(),
+            self.conv2,
+            ReLU(),
+            MaxPool2D(),
+            Flatten(),
+            self.fc1,
+            ReLU(),
+            self.fc2,
+            ReLU(),
+            self.fc3,
+        ]
+
+    # -- inference/training ------------------------------------------------------
+
+    def forward(self, images: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(images, dtype=float)
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        grad = grad_logits
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def loss_and_grad(self, images: np.ndarray, labels: np.ndarray) -> float:
+        logits = self.forward(images, training=True)
+        loss, grad = softmax_cross_entropy(logits, labels)
+        self.backward(grad)
+        return loss
+
+    def predict(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Class predictions in evaluation mode (batched for memory)."""
+        images = np.asarray(images, dtype=float)
+        outputs = []
+        for start in range(0, images.shape[0], batch_size):
+            logits = self.forward(images[start : start + batch_size])
+            outputs.append(np.argmax(logits, axis=1))
+        return np.concatenate(outputs)
+
+    def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
+        return float(np.mean(self.predict(images) == labels))
+
+    # -- parameter plumbing -------------------------------------------------------
+
+    def parameters(self) -> list[np.ndarray]:
+        params: list[np.ndarray] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def gradients(self) -> list[np.ndarray]:
+        grads: list[np.ndarray] = []
+        for layer in self.layers:
+            grads.extend(layer.gradients())
+        return grads
+
+    def weight_layers(self) -> dict[str, Conv2D | Dense]:
+        """Named handles for the layers the analog system maps."""
+        return {
+            "conv1": self.conv1,
+            "conv2": self.conv2,
+            "fc1": self.fc1,
+            "fc2": self.fc2,
+            "fc3": self.fc3,
+        }
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {}
+        for name, layer in self.weight_layers().items():
+            state[f"{name}.weight"] = layer.weight.copy()
+            state[f"{name}.bias"] = layer.bias.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        for name, layer in self.weight_layers().items():
+            layer.weight[...] = state[f"{name}.weight"]
+            layer.bias[...] = state[f"{name}.bias"]

@@ -1,0 +1,94 @@
+"""Weight quantization and bit slicing for analog mapping (Fig. 5).
+
+* **INT4** — each weight matrix is quantized to 4-bit *magnitudes* on the
+  differential conductance planes (positive part and negative part each get
+  the 16-level grid), which is exactly what
+  :class:`repro.arrays.mapping.DifferentialMapping` implements.  The helper
+  here produces the digitally-quantized weights so the accuracy of the
+  quantization itself can be measured without the analog stack.
+
+* **INT8 (bit slicing)** — weights quantize to signed 8-bit codes, whose
+  magnitudes split into two 4-bit nibbles stored on two arrays; the digital
+  shift-add unit recombines partial products: ``W ≈ s·(16·msb± + lsb±)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantizedWeight:
+    """A weight matrix quantized for analog deployment."""
+
+    scale: float
+    codes: np.ndarray
+    """Signed integer codes; ``weight ≈ scale·codes``."""
+
+    bits: int
+
+    def dequantized(self) -> np.ndarray:
+        return self.scale * self.codes.astype(float)
+
+
+def quantize_weight(weight: np.ndarray, bits: int) -> QuantizedWeight:
+    """Symmetric per-tensor quantization to signed ``bits``-bit codes.
+
+    The conventional signed range ``±(2^(bits−1) − 1)`` is used: INT4 codes
+    span ±7, INT8 codes span ±127.  On the differential conductance planes
+    an INT4 magnitude occupies the lower half of the 16-level grid — the
+    cost of carrying the sign in the plane pair rather than in a 5th bit.
+    """
+    weight = np.asarray(weight, dtype=float)
+    peak = float(np.max(np.abs(weight)))
+    max_code = 2 ** (bits - 1) - 1
+    scale = peak / max_code
+    if scale == 0.0:  # zero or subnormal peak: nothing representable
+        return QuantizedWeight(scale=1.0, codes=np.zeros_like(weight, dtype=np.int64), bits=bits)
+    codes = np.clip(np.rint(weight / scale), -max_code, max_code).astype(np.int64)
+    return QuantizedWeight(scale=scale, codes=codes, bits=bits)
+
+
+@dataclass(frozen=True)
+class BitSlicedWeight:
+    """INT8 weight split into two signed 4-bit nibble matrices.
+
+    ``weight ≈ scale · (16·msb + lsb)`` where ``msb ∈ [−7, 7]`` and
+    ``lsb ∈ [−15, 15]`` carry the sign of the original weight.
+    """
+
+    scale: float
+    msb: np.ndarray
+    lsb: np.ndarray
+
+    def dequantized(self) -> np.ndarray:
+        return self.scale * (16.0 * self.msb + self.lsb)
+
+
+def bit_slice_weight(weight: np.ndarray) -> BitSlicedWeight:
+    """Quantize to INT8 and split magnitudes into signed nibbles."""
+    quantized = quantize_weight(weight, bits=8)
+    magnitude = np.abs(quantized.codes)
+    sign = np.sign(quantized.codes)
+    msb = (magnitude // 16) * sign
+    lsb = (magnitude % 16) * sign
+    return BitSlicedWeight(scale=quantized.scale, msb=msb.astype(np.int64), lsb=lsb.astype(np.int64))
+
+
+def quantized_state_dict(
+    state: dict[str, np.ndarray], bits: int
+) -> dict[str, np.ndarray]:
+    """Digitally-quantized copy of a LeNet state dict (weights only).
+
+    Biases stay float — the paper applies them in the digital functional
+    module after the ADC, where full precision is free.
+    """
+    out: dict[str, np.ndarray] = {}
+    for key, value in state.items():
+        if key.endswith(".weight"):
+            out[key] = quantize_weight(value, bits).dequantized()
+        else:
+            out[key] = value.copy()
+    return out

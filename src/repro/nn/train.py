@@ -1,0 +1,83 @@
+"""Training loop (Adam) for the float32 LeNet-5 reference."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.datasets import DigitDataset
+from repro.nn.lenet5 import LeNet5
+
+
+class Adam:
+    """Standard Adam over a list of parameter arrays (updated in place)."""
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        self.parameters = parameters
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.m = [np.zeros_like(p) for p in parameters]
+        self.v = [np.zeros_like(p) for p in parameters]
+        self.t = 0
+
+    def step(self, gradients: list[np.ndarray]) -> None:
+        self.t += 1
+        for i, (param, grad) in enumerate(zip(self.parameters, gradients)):
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grad
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grad * grad
+            m_hat = self.m[i] / (1.0 - self.beta1**self.t)
+            v_hat = self.v[i] / (1.0 - self.beta2**self.t)
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+@dataclass
+class TrainReport:
+    """Loss/accuracy history of one training run."""
+
+    epoch_losses: list[float] = field(default_factory=list)
+    epoch_accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.epoch_accuracies[-1] if self.epoch_accuracies else 0.0
+
+
+def train_lenet5(
+    model: LeNet5,
+    train_set: DigitDataset,
+    test_set: DigitDataset,
+    epochs: int = 3,
+    batch_size: int = 64,
+    lr: float = 1.5e-3,
+    rng: np.random.Generator | None = None,
+    verbose: bool = False,
+) -> TrainReport:
+    """Train ``model`` with Adam; returns the per-epoch history."""
+    rng = rng if rng is not None else np.random.default_rng(7)
+    optimizer = Adam(model.parameters(), lr=lr)
+    report = TrainReport()
+    for epoch in range(epochs):
+        losses = []
+        for images, labels in train_set.batches(batch_size, rng):
+            loss = model.loss_and_grad(images, labels)
+            optimizer.step(model.gradients())
+            losses.append(loss)
+        accuracy = model.accuracy(test_set.images, test_set.labels)
+        report.epoch_losses.append(float(np.mean(losses)))
+        report.epoch_accuracies.append(accuracy)
+        if verbose:
+            print(
+                f"epoch {epoch + 1}/{epochs}: loss={report.epoch_losses[-1]:.4f} "
+                f"test_acc={accuracy:.4f}"
+            )
+    return report

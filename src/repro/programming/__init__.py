@@ -1,0 +1,41 @@
+"""Programming layer: level maps, pulses, traces, write-verify controllers."""
+
+from repro.programming.levels import (
+    LevelMap,
+    MatrixQuantizer,
+    combine_bit_slices,
+    split_bit_slices,
+)
+from repro.programming.pulses import (
+    Pulse,
+    PulseKind,
+    reset_pulse,
+    reset_staircase,
+    set_pulse,
+    set_staircase,
+)
+from repro.programming.traces import ProgrammingTrace
+from repro.programming.write_verify import (
+    BehavioralProgrammer,
+    ProgramResult,
+    VgEstimator,
+    WriteVerifyController,
+)
+
+__all__ = [
+    "BehavioralProgrammer",
+    "LevelMap",
+    "MatrixQuantizer",
+    "ProgramResult",
+    "ProgrammingTrace",
+    "Pulse",
+    "PulseKind",
+    "VgEstimator",
+    "WriteVerifyController",
+    "combine_bit_slices",
+    "reset_pulse",
+    "reset_staircase",
+    "set_pulse",
+    "set_staircase",
+    "split_bit_slices",
+]

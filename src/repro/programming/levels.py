@@ -1,0 +1,141 @@
+"""Conductance level maps and matrix quantizers (4-bit multi-level cells).
+
+The paper programs RRAM cells to one of 16 conductance levels spanning
+1–100 µS (§II-A).  A :class:`LevelMap` owns that grid; quantizers translate
+between real-valued matrices and level indices.  Bit slicing (Fig. 5, INT8)
+decomposes an 8-bit integer weight into two 4-bit nibbles stored on two
+arrays and recombined digitally as ``16·msb + lsb``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.constants import G_MAX, G_MIN, NUM_LEVELS
+
+
+@dataclass(frozen=True)
+class LevelMap:
+    """Uniform conductance grid: level ``k`` ↦ ``g_min + k·Δ``.
+
+    The paper's map is linear in conductance (levels 0…15 over 1–100 µS),
+    which makes the stored conductance directly proportional to the matrix
+    coefficient plus a constant offset.
+    """
+
+    g_min: float = G_MIN
+    g_max: float = G_MAX
+    num_levels: int = NUM_LEVELS
+
+    def __post_init__(self) -> None:
+        if self.num_levels < 2:
+            raise ValueError("a level map needs at least two levels")
+        if not 0.0 < self.g_min < self.g_max:
+            raise ValueError("require 0 < g_min < g_max")
+
+    @property
+    def step(self) -> float:
+        """Conductance gap between adjacent levels (siemens)."""
+        return (self.g_max - self.g_min) / (self.num_levels - 1)
+
+    @property
+    def bits(self) -> int:
+        """Bit width represented by this map (log2 of the level count)."""
+        return int(round(np.log2(self.num_levels)))
+
+    def level_to_conductance(self, level: np.ndarray | int) -> np.ndarray:
+        """Target conductance(s) for integer level(s)."""
+        level = np.asarray(level)
+        if np.any((level < 0) | (level >= self.num_levels)):
+            raise ValueError(f"levels must lie in [0, {self.num_levels - 1}]")
+        return self.g_min + level * self.step
+
+    def conductance_to_level(self, conductance: np.ndarray | float) -> np.ndarray:
+        """Nearest integer level for conductance value(s), clipped to range."""
+        raw = (np.asarray(conductance, dtype=float) - self.g_min) / self.step
+        return np.clip(np.rint(raw), 0, self.num_levels - 1).astype(np.int64)
+
+    def fractional_level(self, conductance: np.ndarray | float) -> np.ndarray:
+        """Continuous level coordinate (used for Fig. 1 staircase traces)."""
+        return (np.asarray(conductance, dtype=float) - self.g_min) / self.step
+
+    def quantize_conductance(self, conductance: np.ndarray | float) -> np.ndarray:
+        """Snap conductance(s) to the nearest level's target conductance."""
+        return self.level_to_conductance(self.conductance_to_level(conductance))
+
+
+@dataclass(frozen=True)
+class MatrixQuantizer:
+    """Quantize a non-negative real matrix onto a level grid.
+
+    ``scale`` maps matrix units to levels: ``level = round(value / scale)``.
+    Use :func:`MatrixQuantizer.fit` to pick the scale that spreads the
+    matrix's maximum onto the top level (maximising dynamic range, exactly
+    what a compiler targeting the paper's macro would do).
+    """
+
+    level_map: LevelMap
+    scale: float
+
+    @classmethod
+    def fit(cls, matrix: np.ndarray, level_map: LevelMap | None = None) -> "MatrixQuantizer":
+        """Build a quantizer whose top level equals ``max(|matrix|)``."""
+        level_map = level_map or LevelMap()
+        peak = float(np.max(np.abs(matrix)))
+        if peak == 0.0:
+            peak = 1.0
+        return cls(level_map=level_map, scale=peak / (level_map.num_levels - 1))
+
+    def to_levels(self, matrix: np.ndarray) -> np.ndarray:
+        """Integer levels for a non-negative matrix (values are clipped)."""
+        matrix = np.asarray(matrix, dtype=float)
+        if np.any(matrix < 0):
+            raise ValueError(
+                "MatrixQuantizer handles non-negative matrices; split signed "
+                "matrices with repro.arrays.mapping first"
+            )
+        levels = np.rint(matrix / self.scale)
+        return np.clip(levels, 0, self.level_map.num_levels - 1).astype(np.int64)
+
+    def to_conductances(self, matrix: np.ndarray) -> np.ndarray:
+        """Target conductances for a non-negative matrix."""
+        return self.level_map.level_to_conductance(self.to_levels(matrix))
+
+    def reconstruct(self, levels: np.ndarray) -> np.ndarray:
+        """Matrix values represented by integer levels."""
+        return np.asarray(levels, dtype=float) * self.scale
+
+    def conductance_to_value(self, conductance: np.ndarray) -> np.ndarray:
+        """Matrix values encoded by (possibly non-ideal) conductances.
+
+        The inverse of the value→conductance map on the *continuous* scale:
+        ``value = (g − g_min) / step · scale``.  This is what the digital
+        post-processing applies to ADC readings.
+        """
+        lm = self.level_map
+        return (np.asarray(conductance, dtype=float) - lm.g_min) / lm.step * self.scale
+
+
+def split_bit_slices(values: np.ndarray, total_bits: int = 8, slice_bits: int = 4) -> tuple[np.ndarray, np.ndarray]:
+    """Split non-negative integers into (msb, lsb) nibbles.
+
+    ``values`` must be integers in ``[0, 2**total_bits)``.  Returns the most
+    and least significant ``slice_bits``-wide slices; the paper stores them
+    on two separate RRAM arrays (Fig. 5's INT8 configuration).
+    """
+    if total_bits != 2 * slice_bits:
+        raise ValueError("total_bits must equal 2 * slice_bits for a two-array split")
+    values = np.asarray(values)
+    if not np.issubdtype(values.dtype, np.integer):
+        raise TypeError("bit slicing operates on integer weight codes")
+    if np.any((values < 0) | (values >= 2**total_bits)):
+        raise ValueError(f"values must lie in [0, {2**total_bits - 1}]")
+    base = 1 << slice_bits
+    return values // base, values % base
+
+
+def combine_bit_slices(msb: np.ndarray, lsb: np.ndarray, slice_bits: int = 4) -> np.ndarray:
+    """Digital shift-add recombination of two bit slices (functional module)."""
+    return (np.asarray(msb, dtype=float) * (1 << slice_bits)) + np.asarray(lsb, dtype=float)

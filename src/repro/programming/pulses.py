@@ -1,0 +1,74 @@
+"""Programming pulse descriptions for the write-verify scheme.
+
+A pulse is fully described by the three cell terminal voltages and a width;
+the two families the paper uses (§II-A) are:
+
+* **SET** — ``V_BL = V_set``, ``V_SL = 0``, gate at a compliance-selecting
+  voltage that the controller ramps;
+* **RESET** — ``V_BL = 0``, gate hard on, ``V_SL`` ramped.
+
+Keeping pulses as small frozen records makes pulse trains easy to log,
+count (for energy/latency stats) and replay in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.devices.constants import PULSE_WIDTH, WriteVerifyParams
+
+
+class PulseKind(Enum):
+    """Classification used by the statistics and trace layers."""
+
+    SET = "set"
+    RESET = "reset"
+    READ = "read"
+
+
+@dataclass(frozen=True)
+class Pulse:
+    """One programming (or verify-read) pulse applied to a 1T1R cell."""
+
+    kind: PulseKind
+    v_bl: float
+    v_sl: float
+    v_g: float
+    width: float = PULSE_WIDTH
+
+    def terminals(self) -> tuple[float, float, float]:
+        """``(v_bl, v_sl, v_g)`` in the order :meth:`OneT1R.apply_pulse` expects."""
+        return (self.v_bl, self.v_sl, self.v_g)
+
+
+def set_pulse(v_g: float, params: WriteVerifyParams) -> Pulse:
+    """SET pulse at gate voltage ``v_g`` (the ramped compliance knob)."""
+    return Pulse(PulseKind.SET, v_bl=params.v_set, v_sl=0.0, v_g=v_g, width=params.pulse_width)
+
+
+def reset_pulse(v_sl: float, params: WriteVerifyParams) -> Pulse:
+    """RESET pulse at source-line voltage ``v_sl`` (the ramped knob)."""
+    return Pulse(PulseKind.RESET, v_bl=0.0, v_sl=v_sl, v_g=params.vg_reset, width=params.pulse_width)
+
+
+def set_staircase(params: WriteVerifyParams, v_g_step: float | None = None, start: float | None = None) -> list[Pulse]:
+    """The open-loop SET staircase of Fig. 1(b): gate ramps until ``vg_max``."""
+    step = params.vg_step if v_g_step is None else v_g_step
+    v_g = params.vg_start if start is None else start
+    pulses = []
+    while v_g <= params.vg_max + 1e-12:
+        pulses.append(set_pulse(v_g, params))
+        v_g += step
+    return pulses
+
+
+def reset_staircase(params: WriteVerifyParams, v_sl_step: float | None = None, start: float | None = None) -> list[Pulse]:
+    """The open-loop RESET staircase of Fig. 1(c): SL ramps until ``vsl_max``."""
+    step = params.vsl_step if v_sl_step is None else v_sl_step
+    v_sl = params.vsl_start if start is None else start
+    pulses = []
+    while v_sl <= params.vsl_max + 1e-12:
+        pulses.append(reset_pulse(v_sl, params))
+        v_sl += step
+    return pulses

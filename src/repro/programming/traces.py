@@ -1,0 +1,75 @@
+"""Programming traces: the level-vs-pulse-number records behind Fig. 1(b,c)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.programming.levels import LevelMap
+from repro.programming.pulses import PulseKind
+
+
+@dataclass
+class ProgrammingTrace:
+    """Chronological record of one programming sequence on one cell.
+
+    ``conductances[i]`` is the verify-read conductance after pulse ``i``.
+    ``levels`` is the continuous level coordinate under ``level_map`` — the
+    y-axis of Fig. 1(b)/(c).
+    """
+
+    level_map: LevelMap
+    kinds: list[PulseKind] = field(default_factory=list)
+    knob_voltages: list[float] = field(default_factory=list)
+    conductances: list[float] = field(default_factory=list)
+
+    def record(self, kind: PulseKind, knob_voltage: float, conductance: float) -> None:
+        """Append one pulse outcome."""
+        self.kinds.append(kind)
+        self.knob_voltages.append(knob_voltage)
+        self.conductances.append(conductance)
+
+    def __len__(self) -> int:
+        return len(self.conductances)
+
+    @property
+    def pulse_numbers(self) -> np.ndarray:
+        """1-based pulse indices (the x-axis of Fig. 1)."""
+        return np.arange(1, len(self) + 1)
+
+    @property
+    def levels(self) -> np.ndarray:
+        """Continuous level coordinate after each pulse."""
+        return self.level_map.fractional_level(np.array(self.conductances))
+
+    @property
+    def reset_depth_levels(self) -> np.ndarray:
+        """``(num_levels − 1) − level``: the rising-staircase view of RESET.
+
+        Fig. 1(c) plots the RESET progression as an increasing level count;
+        this property provides that convention.
+        """
+        return (self.level_map.num_levels - 1) - self.levels
+
+    def pulses_to_reach_level(self, level: float, from_above: bool = False) -> int | None:
+        """First 1-based pulse index at which the trace crosses ``level``.
+
+        ``from_above`` selects the RESET direction (level decreasing).
+        Returns ``None`` if the level is never reached.
+        """
+        levels = self.levels
+        hits = np.nonzero(levels <= level)[0] if from_above else np.nonzero(levels >= level)[0]
+        if hits.size == 0:
+            return None
+        return int(hits[0]) + 1
+
+    def is_monotone(self, decreasing: bool = False, slack: float = 0.25) -> bool:
+        """Whether the staircase is monotone to within ``slack`` levels."""
+        levels = self.levels
+        if len(levels) < 2:
+            return True
+        deltas = np.diff(levels)
+        if decreasing:
+            return bool(np.all(deltas <= slack))
+        return bool(np.all(deltas >= -slack))

@@ -1,0 +1,278 @@
+"""On-chip write-verify scheme (paper §II-A, Fig. 1).
+
+The controller implements both operating modes:
+
+* **Open-loop staircases** (:meth:`WriteVerifyController.sweep_set` /
+  :meth:`~WriteVerifyController.sweep_reset`) — the gate (SET) or source
+  line (RESET) ramps one step per pulse while verify reads record the level
+  progression.  These regenerate the Fig. 1(b)/(c) traces.
+
+* **Closed-loop programming** (:meth:`~WriteVerifyController.program_conductance`)
+  — the paper's verify loop: pulse, read, compare against the target in the
+  comparison unit, repeat until the conductance sits inside the tolerance
+  band or the pulse budget is exhausted.  Targets are approached from below
+  (RESET to just under the target, then fine SET staircase), the standard
+  strategy for multi-level RRAM because the SET side offers the finest
+  conductance granularity.
+
+A one-time :class:`VgEstimator` (built by sweeping a scratch cell) lets the
+controller jump the gate voltage close to the value whose compliance
+current equilibrates at the target conductance, which keeps per-cell pulse
+counts low — the on-chip analogue of a pre-characterised look-up table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.cell import OneT1R
+from repro.devices.constants import DeviceStack
+from repro.devices.variability import VariabilityModel
+from repro.programming.levels import LevelMap
+from repro.programming.pulses import Pulse, PulseKind, reset_pulse, set_pulse
+from repro.programming.traces import ProgrammingTrace
+
+
+@dataclass(frozen=True)
+class ProgramResult:
+    """Outcome of one closed-loop programming operation."""
+
+    target: float
+    achieved: float
+    success: bool
+    set_pulses: int
+    reset_pulses: int
+    verify_reads: int
+
+    @property
+    def total_pulses(self) -> int:
+        """Programming pulses only (verify reads excluded)."""
+        return self.set_pulses + self.reset_pulses
+
+    @property
+    def error(self) -> float:
+        """Signed conductance error ``achieved − target`` (siemens)."""
+        return self.achieved - self.target
+
+
+class VgEstimator:
+    """Gate-voltage look-up: which V_g equilibrates at which conductance.
+
+    Built once per :class:`DeviceStack` by running the open-loop SET
+    staircase on a scratch cell and recording (V_g, conductance) pairs; the
+    inverse map is then a monotone interpolation.
+    """
+
+    def __init__(self, stack: DeviceStack, v_g_step: float = 0.01):
+        params = stack.write_verify
+        cell = OneT1R(stack)
+        cell.rram.reset_state()
+        voltages: list[float] = []
+        conductances: list[float] = []
+        v_g = params.vg_start
+        while v_g <= params.vg_max + 1e-12:
+            cell.apply_pulse(params.v_set, 0.0, v_g, params.pulse_width)
+            voltages.append(v_g)
+            conductances.append(cell.read_conductance())
+            v_g += v_g_step
+        self._voltages = np.array(voltages)
+        self._conductances = np.array(conductances)
+
+    @property
+    def max_conductance(self) -> float:
+        """Largest conductance reachable within the configured gate range."""
+        return float(self._conductances[-1])
+
+    def gate_voltage_for(self, conductance: float) -> float:
+        """Gate voltage whose SET equilibrium is nearest ``conductance``."""
+        return float(
+            np.interp(conductance, self._conductances, self._voltages)
+        )
+
+
+class WriteVerifyController:
+    """The paper's write-verify state machine for one 1T1R cell at a time."""
+
+    def __init__(
+        self,
+        stack: DeviceStack,
+        level_map: LevelMap | None = None,
+        rng: np.random.Generator | None = None,
+        estimator: VgEstimator | None = None,
+    ):
+        self.stack = stack
+        self.params = stack.write_verify
+        self.level_map = level_map or LevelMap()
+        self._variability = VariabilityModel(
+            stack.variability, rng if rng is not None else np.random.default_rng(0)
+        )
+        self._estimator = estimator if estimator is not None else VgEstimator(stack)
+
+    # -- primitive operations ---------------------------------------------------
+
+    def verify_read(self, cell: OneT1R) -> float:
+        """One verify read: the on-chip ADC sees read noise on top of G."""
+        clean = cell.read_conductance()
+        return float(self._variability.read_noise(np.array(clean)))
+
+    def _apply(self, cell: OneT1R, pulse: Pulse) -> None:
+        cell.apply_pulse(*pulse.terminals(), width=pulse.width)
+
+    # -- open-loop staircases (Fig. 1) -------------------------------------------
+
+    def sweep_set(
+        self,
+        cell: OneT1R,
+        v_g_step: float | None = None,
+        max_pulses: int = 40,
+        stop_at_top: bool = True,
+    ) -> ProgrammingTrace:
+        """Fig. 1(b): ramp V_g one step per pulse, record level after each."""
+        params = self.params
+        step = params.vg_step if v_g_step is None else v_g_step
+        trace = ProgrammingTrace(self.level_map)
+        v_g = params.vg_start
+        for _ in range(max_pulses):
+            pulse = set_pulse(v_g, params)
+            self._apply(cell, pulse)
+            conductance = self.verify_read(cell)
+            trace.record(PulseKind.SET, v_g, conductance)
+            if stop_at_top and conductance >= self.level_map.g_max:
+                break
+            v_g += step
+        return trace
+
+    def sweep_reset(
+        self,
+        cell: OneT1R,
+        v_sl_step: float | None = None,
+        max_pulses: int = 40,
+        stop_at_bottom: bool = True,
+    ) -> ProgrammingTrace:
+        """Fig. 1(c): ramp V_SL one step per pulse, record level after each."""
+        params = self.params
+        step = params.vsl_step if v_sl_step is None else v_sl_step
+        trace = ProgrammingTrace(self.level_map)
+        v_sl = params.vsl_start
+        floor = self.level_map.g_min + 0.25 * self.level_map.step
+        for _ in range(max_pulses):
+            pulse = reset_pulse(v_sl, params)
+            self._apply(cell, pulse)
+            conductance = self.verify_read(cell)
+            trace.record(PulseKind.RESET, v_sl, conductance)
+            if stop_at_bottom and conductance <= floor:
+                break
+            v_sl += step
+        return trace
+
+    # -- closed-loop programming --------------------------------------------------
+
+    def program_level(self, cell: OneT1R, level: int) -> ProgramResult:
+        """Program ``cell`` to integer ``level`` of the controller's map."""
+        target = float(self.level_map.level_to_conductance(level))
+        return self.program_conductance(cell, target)
+
+    def program_conductance(self, cell: OneT1R, target: float) -> ProgramResult:
+        """Closed-loop write-verify to an arbitrary conductance target.
+
+        Strategy (approach-from-below):
+
+        1. verify; stop if already inside the tolerance band;
+        2. if above the band, RESET-ramp until the read falls below the
+           target;
+        3. fine SET staircase from the estimator's jump-start gate voltage;
+           on overshoot, return to step 2 with a finer gate step.
+
+        The paper's stop criteria are preserved: success when the band is
+        hit, failure when the pulse budget ``max_pulses`` is exhausted.
+        """
+        params = self.params
+        tol = params.tolerance * self.level_map.step
+        set_count = 0
+        reset_count = 0
+        reads = 1
+        conductance = self.verify_read(cell)
+        budget = params.max_pulses
+        fine_step = params.vg_step / 2.0
+
+        for _attempt in range(3):
+            if abs(conductance - target) <= tol:
+                break
+            # -- step 2: bring the cell below the target ------------------------
+            if conductance > target - tol:
+                v_sl = params.vsl_start
+                while (
+                    conductance > max(target - tol, self.level_map.g_min)
+                    and set_count + reset_count < budget
+                    and v_sl <= params.vsl_max
+                ):
+                    self._apply(cell, reset_pulse(v_sl, params))
+                    reset_count += 1
+                    conductance = self.verify_read(cell)
+                    reads += 1
+                    v_sl += params.vsl_step
+                if abs(conductance - target) <= tol:
+                    break
+            # -- step 3: fine SET staircase up into the band ---------------------
+            v_g = self._estimator.gate_voltage_for(max(target - 2.0 * tol, 0.0))
+            v_g = max(params.vg_start, v_g - 3.0 * fine_step)
+            while (
+                conductance < target - tol
+                and set_count + reset_count < budget
+                and v_g <= params.vg_max
+            ):
+                self._apply(cell, set_pulse(v_g, params))
+                set_count += 1
+                conductance = self.verify_read(cell)
+                reads += 1
+                v_g += fine_step
+            if abs(conductance - target) <= tol:
+                break
+            if set_count + reset_count >= budget:
+                break
+            # Overshoot: retry with a finer staircase.
+            fine_step /= 2.0
+
+        achieved = cell.read_conductance()
+        success = abs(achieved - target) <= 2.0 * tol
+        return ProgramResult(
+            target=target,
+            achieved=achieved,
+            success=success,
+            set_pulses=set_count,
+            reset_pulses=reset_count,
+            verify_reads=reads,
+        )
+
+
+@dataclass
+class BehavioralProgrammer:
+    """Fast, statistically-equivalent stand-in for per-cell write-verify.
+
+    Programming a 128×128 array cell-by-cell through the physical model is
+    accurate but slow in pure Python; the array layer therefore uses this
+    behavioural model for bulk writes.  A successful write-verify leaves the
+    achieved conductance uniformly distributed inside the tolerance band
+    around the target (the loop stops at the first in-band verify read) with
+    cycle-to-cycle lognormal spread on top.  Its fidelity against the
+    physical controller is asserted by
+    ``tests/programming/test_behavioral_equivalence.py``.
+    """
+
+    stack: DeviceStack
+    level_map: LevelMap = field(default_factory=LevelMap)
+
+    def program(self, targets: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Vectorised programming of conductance ``targets`` (any shape)."""
+        targets = np.asarray(targets, dtype=float)
+        tol = self.stack.write_verify.tolerance * self.level_map.step
+        band_error = rng.uniform(-tol, tol, size=targets.shape)
+        c2c_sigma = self.stack.variability.c2c_sigma
+        if c2c_sigma > 0.0:
+            c2c = rng.lognormal(mean=0.0, sigma=c2c_sigma, size=targets.shape)
+        else:
+            c2c = 1.0
+        achieved = (targets + band_error) * c2c
+        return np.clip(achieved, 0.8 * self.level_map.g_min, None)

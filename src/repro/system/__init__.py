@@ -1,0 +1,43 @@
+"""System layer: ISA, assembler, controller, buffers, functional modules, chip."""
+
+from repro.system.assembler import AssemblyError, assemble, disassemble
+from repro.system.buffers import BufferError, GlobalBuffer, OutputBuffer
+from repro.system.compare import Comparison, ComparisonUnit
+from repro.system.controller import Controller, ExecutionError, ExecutionTrace, Flag
+from repro.system.gramc import GramcChip
+from repro.system.isa import (
+    Instruction,
+    Opcode,
+    pack_partners,
+    pack_pool_meta,
+    pack_pool_shape,
+    unpack_partners,
+    unpack_pool_meta,
+    unpack_pool_shape,
+)
+from repro.system.stats import ChipStats
+
+__all__ = [
+    "AssemblyError",
+    "BufferError",
+    "ChipStats",
+    "Comparison",
+    "ComparisonUnit",
+    "Controller",
+    "ExecutionError",
+    "ExecutionTrace",
+    "Flag",
+    "GlobalBuffer",
+    "GramcChip",
+    "Instruction",
+    "Opcode",
+    "OutputBuffer",
+    "assemble",
+    "disassemble",
+    "pack_partners",
+    "pack_pool_meta",
+    "pack_pool_shape",
+    "unpack_partners",
+    "unpack_pool_meta",
+    "unpack_pool_shape",
+]

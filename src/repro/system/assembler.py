@@ -1,0 +1,201 @@
+"""Two-pass assembler for GRAMC controller programs.
+
+Syntax (one instruction per line)::
+
+    ; comments start with ';' or '#'
+    loop:                 ; labels end with ':'
+        CFG   m0, 16      ; macro id as mN, addresses as plain integers
+        WRV   m0, 32, 64
+        SETN  10
+        EXE   m0, 0, 8, partner=m1
+        MOVO  m0, 100, 8
+        RELU  100, 8
+        BNE   loop
+        HALT
+
+Operands are integers, ``mN`` macro references, ``label`` jump targets or
+``key=value`` options (EXE partners, POOL shape).  The assembler resolves
+labels in a second pass and returns :class:`Instruction` objects ready for
+the controller (or their 64-bit encodings via ``encode=True``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.system.isa import (
+    Instruction,
+    Opcode,
+    pack_partners,
+    pack_pool_meta,
+    pack_pool_shape,
+)
+
+
+class AssemblyError(ValueError):
+    """Malformed assembly source."""
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+_MACRO_RE = re.compile(r"^m(\d+)$")
+
+_BRANCH_OPS = {Opcode.JMP, Opcode.BEQ, Opcode.BNE}
+
+
+def _strip(line: str) -> str:
+    for marker in (";", "#"):
+        if marker in line:
+            line = line.split(marker, 1)[0]
+    return line.strip()
+
+
+def _parse_operand(token: str, labels: dict[str, int]) -> int:
+    token = token.strip()
+    match = _MACRO_RE.match(token)
+    if match:
+        return int(match.group(1))
+    if token in labels:
+        return labels[token]
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblyError(f"cannot parse operand {token!r}") from exc
+
+
+def _split_operands(rest: str) -> tuple[list[str], dict[str, str]]:
+    positional: list[str] = []
+    options: dict[str, str] = {}
+    if not rest:
+        return positional, options
+    for token in rest.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "=" in token:
+            key, value = token.split("=", 1)
+            options[key.strip()] = value.strip()
+        else:
+            positional.append(token)
+    return positional, options
+
+
+def assemble(source: str) -> list[Instruction]:
+    """Assemble ``source`` into an instruction list."""
+    # Pass 1: label addresses.
+    labels: dict[str, int] = {}
+    cleaned: list[tuple[str, str]] = []
+    for raw in source.splitlines():
+        line = _strip(raw)
+        if not line:
+            continue
+        label = _LABEL_RE.match(line)
+        if label:
+            name = label.group(1)
+            if name in labels:
+                raise AssemblyError(f"duplicate label {name!r}")
+            labels[name] = len(cleaned)
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].upper()
+        rest = parts[1] if len(parts) > 1 else ""
+        cleaned.append((mnemonic, rest))
+
+    # Pass 2: encode.
+    program: list[Instruction] = []
+    for mnemonic, rest in cleaned:
+        try:
+            op = Opcode[mnemonic]
+        except KeyError as exc:
+            raise AssemblyError(f"unknown mnemonic {mnemonic!r}") from exc
+        positional, options = _split_operands(rest)
+        args = [_parse_operand(token, labels) for token in positional]
+        instruction = _build(op, args, options, labels)
+        program.append(instruction)
+    return program
+
+
+def _build(
+    op: Opcode, args: list[int], options: dict[str, str], labels: dict[str, int]
+) -> Instruction:
+    def opt_macro(key: str) -> int | None:
+        if key not in options:
+            return None
+        return _parse_operand(options[key], labels)
+
+    if op in (Opcode.NOP, Opcode.HALT):
+        _expect(op, args, 0)
+        return Instruction(op)
+    if op in _BRANCH_OPS:
+        _expect(op, args, 1)
+        return Instruction(op, arg1=args[0])
+    if op is Opcode.SETN:
+        _expect(op, args, 1)
+        return Instruction(op, arg1=args[0])
+    if op is Opcode.CFG:
+        _expect(op, args, 2)
+        return Instruction(op, arg0=args[0], arg1=args[1])
+    if op is Opcode.WRV:
+        _expect(op, args, 3)
+        return Instruction(op, arg0=args[0], arg1=args[1], arg2=args[2])
+    if op is Opcode.EXE:
+        _expect(op, args, 3)
+        arg3 = pack_partners(
+            partner=opt_macro("partner"),
+            partner_t=opt_macro("partner_t"),
+            partner_neg=opt_macro("partner_neg"),
+            partner_t_neg=opt_macro("partner_t_neg"),
+        )
+        return Instruction(op, arg0=args[0], arg1=args[1], arg2=args[2], arg3=arg3)
+    if op in (Opcode.MOVO,):
+        _expect(op, args, 3)
+        return Instruction(op, arg0=args[0], arg1=args[1], arg2=args[2])
+    if op is Opcode.RELU:
+        _expect(op, args, 2)
+        return Instruction(op, arg1=args[0], arg2=args[1])
+    if op is Opcode.POOL:
+        # POOL dst, src, channels, height, width [, kind=max|avg]
+        _expect(op, args, 5)
+        kind_max = options.get("kind", "max").lower() != "avg"
+        return Instruction(
+            op,
+            arg0=pack_pool_meta(kind_max, args[2]),
+            arg1=args[0],
+            arg2=args[1],
+            arg3=pack_pool_shape(args[3], args[4]),
+        )
+    if op is Opcode.ADDS:
+        # ADDS dst, src_msb, src_lsb [, shift=4]
+        _expect(op, args, 3)
+        shift = int(options.get("shift", "4"), 0)
+        return Instruction(op, arg0=shift, arg1=args[0], arg2=args[1], arg3=args[2])
+    if op is Opcode.ARGMAX:
+        _expect(op, args, 2)
+        return Instruction(op, arg1=args[0], arg2=args[1])
+    if op is Opcode.CMPV:
+        # CMPV a, b, tol_addr
+        _expect(op, args, 3)
+        return Instruction(op, arg1=args[0], arg2=args[1], arg3=args[2])
+    if op is Opcode.SCAL:
+        # SCAL dst, src, coef_addr
+        _expect(op, args, 3)
+        return Instruction(op, arg1=args[0], arg2=args[1], arg3=args[2])
+    if op is Opcode.MOVG:
+        _expect(op, args, 3)
+        return Instruction(op, arg1=args[0], arg2=args[1], arg3=args[2])
+    raise AssemblyError(f"no encoder for {op!r}")  # pragma: no cover
+
+
+def _expect(op: Opcode, args: list[int], count: int) -> None:
+    if len(args) != count:
+        raise AssemblyError(f"{op.name} expects {count} positional operands, got {len(args)}")
+
+
+def disassemble(program: list[Instruction]) -> str:
+    """Human-readable listing (used by debugging tools and tests)."""
+    lines = []
+    for index, instruction in enumerate(program):
+        lines.append(
+            f"{index:4d}: {instruction.op.name:<7} a0={instruction.arg0} "
+            f"a1={instruction.arg1} a2={instruction.arg2} a3={instruction.arg3}"
+        )
+    return "\n".join(lines)

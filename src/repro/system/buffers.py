@@ -1,0 +1,77 @@
+"""Global buffer and output buffer (paper Fig. 3).
+
+The global buffer is the chip's digital scratchpad: operands arrive from
+the host, write-verify targets are staged here, analog results are copied
+back here for the digital functional modules.  Values are stored as floats
+— the digital side of the paper's system operates on ADC/DAC codes, whose
+value semantics these floats carry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BufferError(IndexError):
+    """Out-of-range access to a chip buffer."""
+
+
+class GlobalBuffer:
+    """Flat addressable digital memory."""
+
+    def __init__(self, capacity: int = 1 << 16):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._data = np.zeros(capacity)
+
+    def _check(self, address: int, length: int) -> None:
+        if address < 0 or length < 0 or address + length > self.capacity:
+            raise BufferError(
+                f"access [{address}, {address + length}) outside buffer of "
+                f"capacity {self.capacity}"
+            )
+
+    def write(self, address: int, values: np.ndarray) -> None:
+        values = np.atleast_1d(np.asarray(values, dtype=float)).ravel()
+        self._check(address, values.size)
+        self._data[address : address + values.size] = values
+
+    def read(self, address: int, length: int) -> np.ndarray:
+        self._check(address, length)
+        return self._data[address : address + length].copy()
+
+    def write_word(self, address: int, word: int) -> None:
+        """Store a 64-bit configuration word as four 16-bit limbs."""
+        limbs = [(word >> (16 * k)) & 0xFFFF for k in range(4)]
+        self.write(address, np.array(limbs, dtype=float))
+
+    def read_word(self, address: int) -> int:
+        """Reassemble a 64-bit word stored by :meth:`write_word`."""
+        limbs = self.read(address, 4)
+        word = 0
+        for k, limb in enumerate(limbs):
+            word |= (int(limb) & 0xFFFF) << (16 * k)
+        return word
+
+    def clear(self) -> None:
+        self._data[:] = 0.0
+
+
+class OutputBuffer:
+    """Per-chip staging area for ADC results before they move to the GB."""
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self._data = np.zeros(capacity)
+
+    def store(self, address: int, values: np.ndarray) -> None:
+        values = np.atleast_1d(np.asarray(values, dtype=float)).ravel()
+        if address < 0 or address + values.size > self.capacity:
+            raise BufferError("output buffer overflow")
+        self._data[address : address + values.size] = values
+
+    def load(self, address: int, length: int) -> np.ndarray:
+        if address < 0 or address + length > self.capacity:
+            raise BufferError("output buffer overread")
+        return self._data[address : address + length].copy()

@@ -1,0 +1,50 @@
+"""Comparison units (CU) — the verify-side comparators of Fig. 3.
+
+During write-verify, "the output results by ADC will compare to the ideal
+values from global buffer in comparison units".  The CU bank produces the
+three-way comparison (A<B, A=B, A>B within a tolerance band) that drives
+the verify state machine, and an aggregate pass/fail used to set the flag
+register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+
+class Comparison(IntEnum):
+    """Per-element result of one CU."""
+
+    BELOW = -1
+    EQUAL = 0
+    ABOVE = 1
+
+
+@dataclass
+class ComparisonUnit:
+    """Vectorised bank of comparators with a shared tolerance band."""
+
+    tolerance: float
+
+    def compare(self, measured: np.ndarray, ideal: np.ndarray) -> np.ndarray:
+        """Three-way compare of each element pair (returns int8 array)."""
+        measured = np.asarray(measured, dtype=float)
+        ideal = np.asarray(ideal, dtype=float)
+        if measured.shape != ideal.shape:
+            raise ValueError("CU inputs must have identical shapes")
+        delta = measured - ideal
+        out = np.zeros(measured.shape, dtype=np.int8)
+        out[delta > self.tolerance] = int(Comparison.ABOVE)
+        out[delta < -self.tolerance] = int(Comparison.BELOW)
+        return out
+
+    def all_equal(self, measured: np.ndarray, ideal: np.ndarray) -> bool:
+        """Aggregate verify outcome: every element inside the band."""
+        return bool(np.all(self.compare(measured, ideal) == int(Comparison.EQUAL)))
+
+    def mismatch_fraction(self, measured: np.ndarray, ideal: np.ndarray) -> float:
+        """Fraction of elements outside the band (verify diagnostics)."""
+        return float(np.mean(self.compare(measured, ideal) != int(Comparison.EQUAL)))

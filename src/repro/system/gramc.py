@@ -1,0 +1,80 @@
+"""GramcChip: the full system of Fig. 3 — 16 macros + digital control.
+
+Two ways to drive the chip:
+
+* **Compiled path** — hand it assembly (or an :class:`Instruction` list);
+  the controller walks the write-verify and system-solution data flows
+  instruction by instruction.  This is the paper's architecture.
+* **Runtime path** — :attr:`GramcChip.solver` exposes the high-level
+  :class:`~repro.core.solver.GramcSolver` bound to the same macro pool, for
+  users who want ``chip.solver.solve(a, b)`` without writing assembly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pool import MacroPool, PoolConfig
+from repro.core.solver import GramcSolver
+from repro.system.assembler import assemble
+from repro.system.buffers import GlobalBuffer
+from repro.system.controller import Controller, ExecutionTrace
+from repro.system.isa import Instruction
+from repro.system.stats import ChipStats
+
+
+class GramcChip:
+    """One GRAMC chip instance."""
+
+    def __init__(
+        self,
+        pool_config: PoolConfig | None = None,
+        rng: np.random.Generator | None = None,
+        buffer_capacity: int = 1 << 16,
+    ):
+        self.rng = rng if rng is not None else np.random.default_rng(2025)
+        self.pool = MacroPool(pool_config or PoolConfig(), rng=self.rng)
+        self.global_buffer = GlobalBuffer(buffer_capacity)
+        self.stats = ChipStats()
+        self.controller = Controller(self.pool.macros, self.global_buffer, stats=self.stats)
+        self._solver: GramcSolver | None = None
+
+    @property
+    def macros(self):
+        return self.pool.macros
+
+    @property
+    def solver(self) -> GramcSolver:
+        """High-level solver sharing this chip's macros (lazy singleton)."""
+        if self._solver is None:
+            self._solver = GramcSolver(pool=self.pool, rng=self.rng)
+        return self._solver
+
+    # -- compiled path -------------------------------------------------------------
+
+    def load_assembly(self, source: str) -> list[Instruction]:
+        """Assemble and load a controller program."""
+        program = assemble(source)
+        self.controller.load(program)
+        return program
+
+    def load_program(self, program: list[Instruction]) -> None:
+        self.controller.load(program)
+
+    def run(self, max_steps: int = 100_000) -> ExecutionTrace:
+        """Run the loaded program to completion."""
+        return self.controller.run(max_steps=max_steps)
+
+    # -- host I/O --------------------------------------------------------------------
+
+    def write_operand(self, address: int, values: np.ndarray) -> None:
+        """Host-side preload of the global buffer (vectors, tiles, configs)."""
+        self.global_buffer.write(address, np.asarray(values, dtype=float).ravel())
+
+    def read_result(self, address: int, length: int) -> np.ndarray:
+        """Host-side read-back from the global buffer."""
+        return self.global_buffer.read(address, length)
+
+    def write_config_word(self, address: int, word: int) -> None:
+        """Stage a macro configuration word for a CFG instruction."""
+        self.global_buffer.write_word(address, word)

@@ -1,0 +1,139 @@
+"""Instruction set of the GRAMC digital control module (paper Fig. 3).
+
+The paper's controller fetches instructions from an instruction stack,
+decodes them, and steers two data paths: the write-verify path and the
+system solution path.  This module defines that instruction set with a
+concrete 64-bit encoding::
+
+    [7:0]    opcode
+    [15:8]   arg0   (macro id / small immediate)
+    [31:16]  arg1
+    [47:32]  arg2
+    [63:48]  arg3
+
+Vector-length design: data-parallel ops (ADDS, SCAL, CMPV, ARGMAX) read
+their element count from the **VL register** set by ``SETN`` — the classic
+vector-machine solution to fixed-width instruction formats.
+
+EXE partner packing: ``arg3`` carries four 4-bit fields (partner,
+partner_t, partner_neg, partner_t_neg), each ``macro_id + 1`` or 0 for
+none; partner macro ids are therefore limited to 0…14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class Opcode(IntEnum):
+    """All operations of the GRAMC controller."""
+
+    NOP = 0
+    HALT = 1
+    CFG = 2      # configure macro from a 64-bit word in the global buffer
+    WRV = 3      # write-verify a tile of conductance targets
+    EXE = 4      # run the configured analog computation
+    MOVO = 5     # macro output buffer -> global buffer
+    RELU = 6     # functional module: ReLU in place
+    POOL = 7     # functional module: 2x2/2 pooling
+    ADDS = 8     # functional module: shift-add (bit slicing)
+    ARGMAX = 9   # functional module: argmax
+    CMPV = 10    # comparison units: set flag if two GB slices match
+    JMP = 11     # unconditional jump
+    BEQ = 12     # branch if flag == EQUAL
+    BNE = 13     # branch if flag != EQUAL
+    SCAL = 14    # functional module: affine scale via GB coefficients
+    MOVG = 15    # global buffer copy
+    SETN = 16    # set the vector-length (VL) register
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    op: Opcode
+    arg0: int = 0
+    arg1: int = 0
+    arg2: int = 0
+    arg3: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.arg0 <= 0xFF:
+            raise ValueError(f"arg0 out of 8-bit range: {self.arg0}")
+        for name in ("arg1", "arg2", "arg3"):
+            value = getattr(self, name)
+            if not 0 <= value <= 0xFFFF:
+                raise ValueError(f"{name} out of 16-bit range: {value}")
+
+    def encode(self) -> int:
+        """Pack into the 64-bit instruction word."""
+        return (
+            int(self.op)
+            | (self.arg0 << 8)
+            | (self.arg1 << 16)
+            | (self.arg2 << 32)
+            | (self.arg3 << 48)
+        )
+
+    @staticmethod
+    def decode(word: int) -> "Instruction":
+        """Unpack a 64-bit instruction word."""
+        if word < 0 or word >= (1 << 64):
+            raise ValueError("instruction word must be unsigned 64-bit")
+        return Instruction(
+            op=Opcode(word & 0xFF),
+            arg0=(word >> 8) & 0xFF,
+            arg1=(word >> 16) & 0xFFFF,
+            arg2=(word >> 32) & 0xFFFF,
+            arg3=(word >> 48) & 0xFFFF,
+        )
+
+
+def pack_partners(
+    partner: int | None = None,
+    partner_t: int | None = None,
+    partner_neg: int | None = None,
+    partner_t_neg: int | None = None,
+) -> int:
+    """Pack up to four partner macro ids into EXE's arg3."""
+    fields = (partner, partner_t, partner_neg, partner_t_neg)
+    packed = 0
+    for position, macro_id in enumerate(fields):
+        if macro_id is None:
+            continue
+        if not 0 <= macro_id <= 14:
+            raise ValueError("partner macro ids must be in 0..14")
+        packed |= (macro_id + 1) << (4 * position)
+    return packed
+
+
+def unpack_partners(arg3: int) -> tuple[int | None, int | None, int | None, int | None]:
+    """Inverse of :func:`pack_partners`."""
+    out: list[int | None] = []
+    for position in range(4):
+        nibble = (arg3 >> (4 * position)) & 0xF
+        out.append(nibble - 1 if nibble else None)
+    return tuple(out)  # type: ignore[return-value]
+
+
+def pack_pool_shape(height: int, width: int) -> int:
+    """Pack a feature-map shape into POOL's arg3."""
+    if not 0 < height <= 255 or not 0 < width <= 255:
+        raise ValueError("pool shape fields must be 1..255")
+    return (height << 8) | width
+
+
+def unpack_pool_shape(arg3: int) -> tuple[int, int]:
+    return (arg3 >> 8) & 0xFF, arg3 & 0xFF
+
+
+def pack_pool_meta(kind_max: bool, channels: int) -> int:
+    """Pack pooling kind (max/avg) and channel count into POOL's arg0."""
+    if not 0 < channels <= 127:
+        raise ValueError("channels must be 1..127")
+    return (0x80 if kind_max else 0) | channels
+
+
+def unpack_pool_meta(arg0: int) -> tuple[bool, int]:
+    return bool(arg0 & 0x80), arg0 & 0x7F

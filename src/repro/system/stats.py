@@ -1,0 +1,98 @@
+"""Cycle/energy/latency accounting for the GRAMC system.
+
+The paper reports no performance table, so these estimates are an
+*extension*: they use published AMC component figures (documented per
+constant) to let users compare configurations.  The ablation bench
+``benchmarks/test_ablation_settling.py`` builds on the latency side.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+# Energy model constants (order-of-magnitude figures from the AMC/IMC
+# literature; see e.g. ISAAC/PRIME-class accelerator papers).
+ENERGY_DAC_CONVERSION = 2e-12
+"""Joules per 8-bit DAC conversion."""
+
+ENERGY_ADC_CONVERSION = 8e-12
+"""Joules per 8-bit ADC conversion."""
+
+ENERGY_WRITE_PULSE = 1e-11
+"""Joules per programming pulse (SET/RESET, 30 ns at ~100 µA·V scale)."""
+
+POWER_OPAMP = 5e-4
+"""Watts per active OPA during an analog solve."""
+
+DIGITAL_CYCLE_TIME = 1e-9
+"""Seconds per digital controller cycle (1 GHz)."""
+
+ENERGY_DIGITAL_CYCLE = 5e-12
+"""Joules per digital controller cycle."""
+
+
+@dataclass
+class ChipStats:
+    """Mutable counters updated by the controller and macros."""
+
+    instructions: Counter = field(default_factory=Counter)
+    digital_cycles: int = 0
+    analog_solves: Counter = field(default_factory=Counter)
+    analog_solve_time: float = 0.0
+    amp_solve_integral: float = 0.0
+    """Σ (active amplifiers × settling time) over all solves."""
+
+    dac_conversions: int = 0
+    adc_conversions: int = 0
+    write_pulses: int = 0
+    cells_programmed: int = 0
+
+    def record_instruction(self, name: str, cycles: int = 1) -> None:
+        self.instructions[name] += 1
+        self.digital_cycles += cycles
+
+    def record_solve(self, mode: str, amplifiers: int, settling_time: float | None) -> None:
+        self.analog_solves[mode] += 1
+        if settling_time is not None:
+            self.analog_solve_time += settling_time
+            self.amp_solve_integral += amplifiers * settling_time
+
+    def record_conversions(self, dac: int = 0, adc: int = 0) -> None:
+        self.dac_conversions += dac
+        self.adc_conversions += adc
+
+    def record_programming(self, cells: int, pulses_per_cell: float = 9.0) -> None:
+        """Account a bulk write (mean pulse count from the physical model)."""
+        self.cells_programmed += cells
+        self.write_pulses += int(round(cells * pulses_per_cell))
+
+    # -- estimates --------------------------------------------------------------
+
+    def estimated_energy(self) -> float:
+        """Total energy estimate in joules."""
+        return (
+            self.dac_conversions * ENERGY_DAC_CONVERSION
+            + self.adc_conversions * ENERGY_ADC_CONVERSION
+            + self.write_pulses * ENERGY_WRITE_PULSE
+            + self.amp_solve_integral * POWER_OPAMP
+            + self.digital_cycles * ENERGY_DIGITAL_CYCLE
+        )
+
+    def estimated_latency(self) -> float:
+        """Serialised latency estimate in seconds."""
+        return self.digital_cycles * DIGITAL_CYCLE_TIME + self.analog_solve_time
+
+    def summary(self) -> dict[str, float]:
+        """Flat dictionary for report tables."""
+        return {
+            "instructions": float(sum(self.instructions.values())),
+            "digital_cycles": float(self.digital_cycles),
+            "analog_solves": float(sum(self.analog_solves.values())),
+            "dac_conversions": float(self.dac_conversions),
+            "adc_conversions": float(self.adc_conversions),
+            "write_pulses": float(self.write_pulses),
+            "cells_programmed": float(self.cells_programmed),
+            "energy_J": self.estimated_energy(),
+            "latency_s": self.estimated_latency(),
+        }

@@ -1,0 +1,19 @@
+"""Workload layer: evaluation matrices and datasets."""
+
+from repro.workloads.matrices import (
+    diagonally_dominant,
+    gram,
+    symmetric_with_spectrum,
+    wishart,
+)
+from repro.workloads.regression import FEATURE_NAMES, RegressionTask, pm25_like
+
+__all__ = [
+    "FEATURE_NAMES",
+    "RegressionTask",
+    "diagonally_dominant",
+    "gram",
+    "pm25_like",
+    "symmetric_with_spectrum",
+    "wishart",
+]

@@ -1,0 +1,74 @@
+"""Synthetic PM2.5-like regression workload (substitution, see DESIGN.md).
+
+The paper's Fig. 4(c) solves a 128 × 6 linear-regression task on a "PM2.5
+dataset" (air-quality measurements vs weather covariates).  That dataset is
+not redistributable here, so we synthesise a design matrix with the same
+shape and statistical character: six correlated weather-like features
+(temperature, dew point, pressure, wind speed, hours of precipitation and
+an intercept-like seasonal index), standardised, with a linear ground truth
+plus heteroscedastic noise.  What the PINV circuit sees — a tall, modestly
+conditioned 128 × 6 least-squares problem — is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+FEATURE_NAMES = (
+    "temperature",
+    "dew_point",
+    "pressure",
+    "wind_speed",
+    "precip_hours",
+    "season_index",
+)
+
+
+@dataclass(frozen=True)
+class RegressionTask:
+    """One least-squares instance ``min‖X·w − y‖``."""
+
+    design: np.ndarray
+    targets: np.ndarray
+    true_weights: np.ndarray
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.design.shape
+
+    def solution(self) -> np.ndarray:
+        """Float64 least-squares reference."""
+        return np.linalg.lstsq(self.design, self.targets, rcond=None)[0]
+
+    def residual_norm(self, weights: np.ndarray) -> float:
+        return float(np.linalg.norm(self.design @ weights - self.targets))
+
+
+def pm25_like(
+    samples: int = 128,
+    rng: np.random.Generator | None = None,
+    noise_scale: float = 0.15,
+) -> RegressionTask:
+    """Generate the 128 × 6 PM2.5-like regression instance of Fig. 4(c)."""
+    rng = rng if rng is not None else np.random.default_rng(25)
+    t = np.linspace(0.0, 4.0 * np.pi, samples)
+
+    temperature = 12.0 + 9.0 * np.sin(t / 2.0) + rng.normal(0.0, 2.0, samples)
+    dew_point = temperature - rng.uniform(2.0, 9.0, samples)  # correlated with T
+    pressure = 1013.0 + 7.0 * np.cos(t / 3.0) + rng.normal(0.0, 2.0, samples)
+    wind_speed = np.abs(rng.gamma(2.0, 1.6, samples))
+    precip_hours = np.clip(rng.poisson(0.8, samples).astype(float), 0.0, 12.0)
+    season_index = np.sin(t / 4.0) + 0.2 * rng.standard_normal(samples)
+
+    raw = np.column_stack(
+        [temperature, dew_point, pressure, wind_speed, precip_hours, season_index]
+    )
+    design = (raw - raw.mean(axis=0)) / raw.std(axis=0)
+
+    true_weights = np.array([0.55, 0.35, -0.25, -0.45, 0.20, 0.30])
+    clean = design @ true_weights
+    noise = rng.normal(0.0, noise_scale * (1.0 + 0.3 * np.abs(season_index)), samples)
+    targets = clean + noise
+    return RegressionTask(design=design, targets=targets, true_weights=true_weights)

@@ -1,0 +1,81 @@
+"""Unit tests for TIA and inverter blocks."""
+
+import numpy as np
+import pytest
+
+from repro.analog.blocks import InverterBank, TIABank
+from repro.analog.opamp import IDEAL_OPAMP, OpAmpBank, OpAmpParams
+
+
+def _ideal_bank(n: int) -> OpAmpBank:
+    return OpAmpBank.sample(n, IDEAL_OPAMP, np.random.default_rng(0))
+
+
+class TestTIA:
+    def test_ideal_transfer_is_minus_i_over_gf(self):
+        tia = TIABank(_ideal_bank(4), g_f=1e-3)
+        currents = np.array([1e-4, -2e-4, 5e-5, 0.0])
+        g_node = np.full(4, 5e-4)
+        np.testing.assert_allclose(
+            tia.transfer(currents, g_node), -currents / 1e-3, rtol=1e-6
+        )
+
+    def test_finite_gain_error_scales_with_noise_gain(self):
+        params = OpAmpParams(a0=1e3, offset_sigma=0.0, noise_sigma=0.0)
+        bank = OpAmpBank.sample(1, params, np.random.default_rng(0))
+        tia = TIABank(bank, g_f=1e-3)
+        current = np.array([1e-4])
+        light = tia.transfer(current, np.array([1e-4]))
+        heavy = tia.transfer(current, np.array([1e-2]))
+        ideal = -1e-4 / 1e-3
+        assert abs(heavy[0] - ideal) > abs(light[0] - ideal)
+
+    def test_offset_amplified_by_noise_gain(self):
+        params = OpAmpParams(a0=1e7, offset_sigma=0.0, noise_sigma=0.0)
+        bank = OpAmpBank(params, offsets=np.array([1e-3]))
+        tia = TIABank(bank, g_f=1e-3)
+        out = tia.transfer(np.array([0.0]), np.array([9e-3]))
+        # noise gain = 1 + g_node/g_f = 10
+        assert out[0] == pytest.approx(1e-3 * 10.0, rel=1e-3)
+
+    def test_batched_transfer_matches_loop(self):
+        bank = _ideal_bank(3)
+        tia = TIABank(bank, g_f=2e-3)
+        currents = np.random.default_rng(1).uniform(-1e-4, 1e-4, size=(3, 5))
+        g_node = np.array([1e-4, 2e-4, 3e-4])
+        batched = tia.transfer(currents, g_node)
+        for k in range(5):
+            np.testing.assert_allclose(batched[:, k], tia.transfer(currents[:, k], g_node))
+
+    def test_output_saturates(self):
+        params = OpAmpParams(v_sat=1.0, offset_sigma=0.0, noise_sigma=0.0)
+        bank = OpAmpBank.sample(1, params, np.random.default_rng(0))
+        tia = TIABank(bank, g_f=1e-4)
+        out = tia.output(np.array([1e-2]), np.array([1e-4]), np.random.default_rng(0))
+        assert out[0] == pytest.approx(-1.0)
+
+
+class TestInverter:
+    def test_ideal_inversion(self):
+        inverter = InverterBank(_ideal_bank(4))
+        v = np.array([0.5, -0.25, 0.0, 1.0])
+        np.testing.assert_allclose(inverter.invert(v), -v, rtol=1e-6)
+
+    def test_finite_gain_shrinks_magnitude(self):
+        params = OpAmpParams(a0=100.0, offset_sigma=0.0, noise_sigma=0.0)
+        bank = OpAmpBank.sample(1, params, np.random.default_rng(0))
+        inverter = InverterBank(bank)
+        out = inverter.invert(np.array([1.0]))
+        assert out[0] == pytest.approx(-100.0 / 102.0, rel=1e-9)
+
+    def test_offset_doubled_at_output(self):
+        params = OpAmpParams(a0=1e9, offset_sigma=0.0, noise_sigma=0.0)
+        bank = OpAmpBank(params, offsets=np.array([1e-3]))
+        inverter = InverterBank(bank)
+        out = inverter.invert(np.array([0.0]))
+        assert out[0] == pytest.approx(2e-3, rel=1e-6)
+
+    def test_batched_inversion(self):
+        inverter = InverterBank(_ideal_bank(2))
+        v = np.array([[0.1, 0.2, 0.3], [-0.1, -0.2, -0.3]])
+        np.testing.assert_allclose(inverter.invert(v), -v, rtol=1e-6)

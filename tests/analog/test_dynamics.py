@@ -1,0 +1,88 @@
+"""Unit tests for the transient (SPICE-substitute) engine."""
+
+import numpy as np
+import pytest
+
+from repro.analog.dynamics import LinearFeedbackSystem, integrate_nonlinear
+
+
+class TestLinearFeedbackSystem:
+    def test_equilibrium_matches_linear_solve(self):
+        rng = np.random.default_rng(0)
+        m = -np.eye(4) * 10.0 + rng.standard_normal((4, 4))
+        b = rng.standard_normal(4)
+        system = LinearFeedbackSystem(m, b)
+        np.testing.assert_allclose(system.equilibrium(), np.linalg.solve(m, -b))
+
+    def test_stability_detection(self):
+        stable = LinearFeedbackSystem(-np.eye(3), np.zeros(3))
+        unstable = LinearFeedbackSystem(np.diag([-1.0, -1.0, 0.5]), np.zeros(3))
+        assert stable.is_stable
+        assert not unstable.is_stable
+
+    def test_trajectory_converges_to_equilibrium(self):
+        m = np.array([[-5.0, 1.0], [0.5, -4.0]])
+        b = np.array([1.0, -2.0])
+        system = LinearFeedbackSystem(m, b)
+        result = system.trajectory(np.zeros(2), t_end=10.0)
+        np.testing.assert_allclose(result.final, system.equilibrium(), rtol=1e-6)
+        assert result.stable
+
+    def test_trajectory_matches_analytic_scalar(self):
+        """dx/dt = −x + 1 from 0: x(t) = 1 − e^{−t}."""
+        system = LinearFeedbackSystem(np.array([[-1.0]]), np.array([1.0]))
+        result = system.trajectory(np.zeros(1), t_end=3.0, num_points=50)
+        expected = 1.0 - np.exp(-result.times)
+        np.testing.assert_allclose(result.trajectory[:, 0], expected, atol=1e-9)
+
+    def test_settling_time_detected(self):
+        system = LinearFeedbackSystem(np.array([[-1.0]]), np.array([1.0]))
+        result = system.trajectory(np.zeros(1), t_end=20.0, num_points=400)
+        # 0.1% settling of a first-order system: ~6.9 time constants.
+        assert result.settling_time == pytest.approx(6.9, abs=0.6)
+
+    def test_time_constant(self):
+        system = LinearFeedbackSystem(np.diag([-2.0, -10.0]), np.zeros(2))
+        assert system.time_constant() == pytest.approx(0.5)
+
+    def test_unstable_trajectory_flagged(self):
+        system = LinearFeedbackSystem(np.array([[0.5]]), np.array([0.0]))
+        result = system.trajectory(np.ones(1), t_end=5.0)
+        assert not result.stable
+        assert result.settling_time is None
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LinearFeedbackSystem(np.zeros((2, 3)), np.zeros(2))
+        with pytest.raises(ValueError):
+            LinearFeedbackSystem(np.zeros((2, 2)), np.zeros(3))
+
+    def test_oscillatory_mode_handled(self):
+        """Complex eigenvalues (ringing) still settle when damped."""
+        m = np.array([[-1.0, -5.0], [5.0, -1.0]])
+        system = LinearFeedbackSystem(m, np.array([1.0, 0.0]))
+        result = system.trajectory(np.zeros(2), t_end=15.0, num_points=600)
+        assert result.stable
+        np.testing.assert_allclose(result.final, system.equilibrium(), atol=1e-5)
+
+
+class TestNonlinearIntegration:
+    def test_saturating_growth_settles(self):
+        """dx/dt = −x + tanh(2x) + 0.01 grows to a bounded fixed point."""
+
+        def rhs(_t, x):
+            return -x + np.tanh(2.0 * x) + 0.01
+
+        result = integrate_nonlinear(rhs, np.zeros(1), t_end=50.0)
+        assert result.stable
+        # Fixed point of x = tanh(2x) + 0.01 near 0.965.
+        assert result.final[0] == pytest.approx(0.966, abs=0.02)
+
+    def test_matches_linear_engine_in_linear_regime(self):
+        m = np.array([[-3.0, 0.2], [0.1, -2.0]])
+        b = np.array([0.5, -0.3])
+        linear = LinearFeedbackSystem(m, b)
+        nonlinear = integrate_nonlinear(
+            lambda _t, x: m @ x + b, np.zeros(2), t_end=8.0, rtol=1e-9
+        )
+        np.testing.assert_allclose(nonlinear.final, linear.equilibrium(), rtol=1e-5)

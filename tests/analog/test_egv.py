@@ -1,0 +1,120 @@
+"""EGV topology tests: eigenvector recovery, growth condition, sign."""
+
+import numpy as np
+import pytest
+
+from repro.analog.egv import EgvCircuit, estimate_dominant_eigenvalue
+from repro.analog.opamp import OpAmpParams
+from repro.arrays.mapping import DifferentialMapping
+from repro.workloads.matrices import gram
+
+
+def _gram_planes(seed=0, n=12, rank=3):
+    data = np.random.default_rng(seed).standard_normal((n, rank * 4))
+    # Low-rank-ish Gram matrix: clear dominant eigenvalue.
+    matrix = gram(data)
+    mapping = DifferentialMapping.from_matrix(matrix)
+    return matrix, mapping
+
+
+def _dominant(matrix):
+    eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+    vector = eigenvectors[:, -1]
+    pivot = int(np.argmax(np.abs(vector)))
+    return eigenvalues[-1], vector if vector[pivot] >= 0 else -vector
+
+
+class TestEigenvalueEstimate:
+    def test_power_iteration_converges(self):
+        matrix, _ = _gram_planes(0)
+        true_value, _ = _dominant(matrix)
+        estimate = estimate_dominant_eigenvalue(matrix, iterations=50)
+        assert estimate == pytest.approx(true_value, rel=1e-3)
+
+    def test_zero_matrix(self):
+        assert estimate_dominant_eigenvalue(np.zeros((4, 4))) == 0.0
+
+
+class TestStaticSolve:
+    def test_recovers_dominant_eigenvector(self):
+        matrix, mapping = _gram_planes(1)
+        _, reference = _dominant(matrix)
+        lam = estimate_dominant_eigenvalue(mapping.decode()) * 0.93
+        circuit = EgvCircuit(
+            mapping.g_pos, mapping.g_neg, g_lambda=lam / mapping.value_scale,
+            rng=np.random.default_rng(2),
+        )
+        solution = circuit.static_solve(noisy=False)
+        assert solution.stable
+        vector = circuit.eigenvector(solution)
+        assert abs(vector @ reference) > 0.97
+
+    def test_no_growth_when_lambda_above_spectrum(self):
+        matrix, mapping = _gram_planes(3)
+        lam_too_big = estimate_dominant_eigenvalue(mapping.decode()) * 1.5
+        circuit = EgvCircuit(
+            mapping.g_pos, mapping.g_neg,
+            g_lambda=lam_too_big / mapping.value_scale,
+            rng=np.random.default_rng(4),
+        )
+        solution = circuit.static_solve(noisy=False)
+        assert not solution.stable  # the loop never grows
+
+    def test_sign_convention_pivot_positive(self):
+        _, mapping = _gram_planes(5)
+        lam = estimate_dominant_eigenvalue(mapping.decode()) * 0.93
+        circuit = EgvCircuit(
+            mapping.g_pos, mapping.g_neg, g_lambda=lam / mapping.value_scale,
+            rng=np.random.default_rng(6),
+        )
+        vector = circuit.eigenvector(circuit.static_solve(noisy=False))
+        assert vector[int(np.argmax(np.abs(vector)))] >= 0.0
+
+    def test_requires_positive_g_lambda(self):
+        _, mapping = _gram_planes(7)
+        with pytest.raises(ValueError):
+            EgvCircuit(mapping.g_pos, mapping.g_neg, g_lambda=0.0)
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            EgvCircuit(np.full((3, 4), 1e-5), None, g_lambda=1e-5)
+
+
+class TestTransient:
+    def test_transient_recovers_eigenvector(self):
+        matrix, mapping = _gram_planes(8)
+        _, reference = _dominant(matrix)
+        lam = estimate_dominant_eigenvalue(mapping.decode()) * 0.93
+        circuit = EgvCircuit(
+            mapping.g_pos, mapping.g_neg, g_lambda=lam / mapping.value_scale,
+            params=OpAmpParams(offset_sigma=2e-4, noise_sigma=0.0),
+            rng=np.random.default_rng(9),
+        )
+        solution = circuit.transient_solve()
+        assert solution.stable
+        vector = circuit.eigenvector(solution)
+        assert abs(vector @ reference) > 0.97
+
+    def test_amplitude_set_by_saturation(self):
+        """The steady output amplitude sits near the rails, not at the seed."""
+        _, mapping = _gram_planes(10)
+        lam = estimate_dominant_eigenvalue(mapping.decode()) * 0.9
+        params = OpAmpParams(v_sat=1.2, offset_sigma=2e-4, noise_sigma=0.0)
+        circuit = EgvCircuit(
+            mapping.g_pos, mapping.g_neg, g_lambda=lam / mapping.value_scale,
+            params=params, rng=np.random.default_rng(11),
+        )
+        solution = circuit.transient_solve()
+        assert float(np.max(np.abs(solution.outputs))) > 0.2 * params.v_sat
+
+    def test_offsets_seed_the_growth(self):
+        """With zero offsets the numerical seed still starts the loop."""
+        _, mapping = _gram_planes(12)
+        lam = estimate_dominant_eigenvalue(mapping.decode()) * 0.9
+        circuit = EgvCircuit(
+            mapping.g_pos, mapping.g_neg, g_lambda=lam / mapping.value_scale,
+            params=OpAmpParams(offset_sigma=0.0, noise_sigma=0.0),
+            rng=np.random.default_rng(13),
+        )
+        solution = circuit.static_solve(noisy=False)
+        assert solution.stable

@@ -1,0 +1,128 @@
+"""INV topology tests: static vs transient vs numpy, stability."""
+
+import numpy as np
+import pytest
+
+from repro.analog.inv import InvCircuit
+from repro.analog.opamp import IDEAL_OPAMP, OpAmpParams
+from repro.arrays.mapping import DifferentialMapping
+from repro.workloads.matrices import wishart
+
+
+def _spd_planes(seed=0, n=10):
+    matrix = wishart(n, rng=np.random.default_rng(seed)) + 0.3 * np.eye(n)
+    mapping = DifferentialMapping.from_matrix(matrix)
+    return matrix, mapping
+
+
+class TestStaticSolve:
+    def test_matches_numpy_inverse_with_ideal_amps(self):
+        _, mapping = _spd_planes(0)
+        circuit = InvCircuit(
+            mapping.g_pos, mapping.g_neg, params=IDEAL_OPAMP,
+            rng=np.random.default_rng(1),
+        )
+        i_in = np.random.default_rng(2).uniform(-1e-5, 1e-5, 10)
+        solution = circuit.static_solve(i_in, noisy=False)
+        np.testing.assert_allclose(
+            solution.outputs, circuit.ideal_solution(i_in), rtol=1e-4
+        )
+
+    def test_finite_gain_error_shrinks_with_a0(self):
+        _, mapping = _spd_planes(3)
+        i_in = np.full(10, 5e-6)
+        errors = []
+        for a0 in (1e3, 1e5, 1e7):
+            circuit = InvCircuit(
+                mapping.g_pos, mapping.g_neg,
+                params=OpAmpParams(a0=a0, offset_sigma=0.0, noise_sigma=0.0),
+                rng=np.random.default_rng(0),
+            )
+            ideal = circuit.ideal_solution(i_in)
+            got = circuit.static_solve(i_in, noisy=False).outputs
+            errors.append(np.linalg.norm(got - ideal) / np.linalg.norm(ideal))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_unipolar_solve(self):
+        g = np.diag(np.full(5, 6e-5)) + np.full((5, 5), 2e-6)
+        circuit = InvCircuit(g, params=IDEAL_OPAMP, rng=np.random.default_rng(0))
+        i_in = np.full(5, 3e-6)
+        solution = circuit.static_solve(i_in, noisy=False)
+        np.testing.assert_allclose(
+            solution.outputs, -np.linalg.solve(g, i_in), rtol=1e-5
+        )
+
+    def test_input_shape_checked(self):
+        _, mapping = _spd_planes(4)
+        circuit = InvCircuit(mapping.g_pos, mapping.g_neg, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            circuit.static_solve(np.zeros(3))
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            InvCircuit(np.full((3, 4), 1e-5))
+
+
+class TestTransient:
+    def test_transient_agrees_with_static(self):
+        _, mapping = _spd_planes(5)
+        params = OpAmpParams(offset_sigma=0.0, noise_sigma=0.0)
+        circuit = InvCircuit(
+            mapping.g_pos, mapping.g_neg, params=params, rng=np.random.default_rng(6)
+        )
+        i_in = np.random.default_rng(7).uniform(-8e-6, 8e-6, 10)
+        static = circuit.static_solve(i_in, noisy=False)
+        transient = circuit.transient_solve(i_in)
+        assert transient.stable
+        np.testing.assert_allclose(transient.outputs, static.outputs, rtol=0.02)
+
+    def test_settling_time_microseconds(self):
+        """The 'one-step' claim: settle in microseconds at any size."""
+        _, mapping = _spd_planes(8)
+        circuit = InvCircuit(mapping.g_pos, mapping.g_neg, rng=np.random.default_rng(0))
+        solution = circuit.transient_solve(np.full(10, 5e-6))
+        assert solution.settling_time is not None
+        assert solution.settling_time < 1e-4
+
+    def test_negative_definite_matrix_is_unstable(self):
+        """Feedback through a negative-definite G must be flagged unstable."""
+        n = 6
+        g_neg_def = np.diag(np.full(n, 5e-5))
+        # Unipolar circuit with positive G is stable; build instability with
+        # a dominant negative plane instead.
+        mapping_like_pos = np.full((n, n), 1e-6)
+        circuit = InvCircuit(
+            mapping_like_pos, g_neg_def, rng=np.random.default_rng(0)
+        )
+        solution = circuit.static_solve(np.full(n, 1e-6), noisy=False)
+        assert not solution.stable
+
+
+class TestNonIdealities:
+    def test_offsets_shift_solution(self):
+        _, mapping = _spd_planes(9)
+        with_offsets = InvCircuit(
+            mapping.g_pos, mapping.g_neg,
+            params=OpAmpParams(offset_sigma=5e-3, noise_sigma=0.0),
+            rng=np.random.default_rng(10),
+        )
+        without = InvCircuit(
+            mapping.g_pos, mapping.g_neg,
+            params=OpAmpParams(offset_sigma=0.0, noise_sigma=0.0),
+            rng=np.random.default_rng(10),
+        )
+        i_in = np.full(10, 5e-6)
+        a = with_offsets.static_solve(i_in, noisy=False).outputs
+        b = without.static_solve(i_in, noisy=False).outputs
+        assert np.linalg.norm(a - b) > 0.0
+
+    def test_saturation_flagged_for_large_inputs(self):
+        _, mapping = _spd_planes(11)
+        circuit = InvCircuit(
+            mapping.g_pos, mapping.g_neg,
+            params=OpAmpParams(v_sat=0.5, offset_sigma=0.0, noise_sigma=0.0),
+            rng=np.random.default_rng(0),
+        )
+        solution = circuit.static_solve(np.full(10, 5e-4), noisy=False)
+        assert solution.saturated
+        assert not solution.ok

@@ -1,0 +1,129 @@
+"""MVM topology tests: vs numpy, noise budget, saturation."""
+
+import numpy as np
+import pytest
+
+from repro.analog.mvm import MVMCircuit
+from repro.analog.opamp import IDEAL_OPAMP, OpAmpParams
+from repro.arrays.mapping import DifferentialMapping
+
+
+def _planes(seed=0, n=12):
+    matrix = np.random.default_rng(seed).uniform(-1.0, 1.0, size=(n, n))
+    mapping = DifferentialMapping.from_matrix(matrix)
+    return matrix, mapping
+
+
+class TestIdealAccuracy:
+    def test_matches_quantized_matmul_with_ideal_amps(self):
+        _, mapping = _planes(0)
+        circuit = MVMCircuit(
+            mapping.g_pos, mapping.g_neg, params=IDEAL_OPAMP, g_f=1e-3,
+            rng=np.random.default_rng(1),
+        )
+        v = np.random.default_rng(2).uniform(-0.3, 0.3, 12)
+        solution = circuit.solve(v, noisy=False)
+        expected = circuit.ideal_output(v)
+        np.testing.assert_allclose(solution.outputs, expected, rtol=1e-6)
+
+    def test_unipolar_circuit(self):
+        g = np.random.default_rng(3).uniform(1e-6, 9e-5, size=(6, 6))
+        circuit = MVMCircuit(g, params=IDEAL_OPAMP, g_f=1e-3, rng=np.random.default_rng(0))
+        v = np.full(6, 0.2)
+        solution = circuit.solve(v, noisy=False)
+        np.testing.assert_allclose(solution.outputs, -(g @ v) / 1e-3, rtol=1e-6)
+
+    def test_decoded_product_tracks_true_product(self):
+        matrix, mapping = _planes(4)
+        circuit = MVMCircuit(
+            mapping.g_pos, mapping.g_neg, params=IDEAL_OPAMP, g_f=1e-3,
+            rng=np.random.default_rng(5),
+        )
+        v = np.random.default_rng(6).uniform(-0.3, 0.3, 12)
+        solution = circuit.solve(v, noisy=False)
+        product = -solution.outputs * 1e-3 * mapping.value_scale
+        reference = matrix @ v
+        error = np.linalg.norm(product - reference) / np.linalg.norm(reference)
+        assert error < 0.12  # 4-bit quantization only
+
+
+class TestNonIdealities:
+    def test_noise_perturbs_output(self):
+        _, mapping = _planes(7)
+        params = OpAmpParams(noise_sigma=1e-3)
+        circuit = MVMCircuit(
+            mapping.g_pos, mapping.g_neg, params=params, g_f=1e-3,
+            rng=np.random.default_rng(8),
+        )
+        v = np.full(12, 0.2)
+        a = circuit.solve(v).outputs
+        b = circuit.solve(v).outputs
+        assert not np.array_equal(a, b)
+        assert np.std(a - b) < 5e-3
+
+    def test_finite_gain_biases_toward_zero(self):
+        g = np.full((4, 4), 5e-5)
+        weak = MVMCircuit(
+            g, params=OpAmpParams(a0=200.0, offset_sigma=0.0, noise_sigma=0.0),
+            g_f=1e-3, rng=np.random.default_rng(0),
+        )
+        v = np.full(4, 0.3)
+        out_weak = weak.solve(v, noisy=False).outputs
+        ideal = -(g @ v) / 1e-3
+        assert np.all(np.abs(out_weak) < np.abs(ideal))
+
+    def test_saturation_flagged(self):
+        g = np.full((4, 4), 9e-5)
+        circuit = MVMCircuit(
+            g, params=OpAmpParams(v_sat=0.1, offset_sigma=0.0, noise_sigma=0.0),
+            g_f=1e-4, rng=np.random.default_rng(0),
+        )
+        solution = circuit.solve(np.full(4, 0.5), noisy=False)
+        assert solution.saturated
+        assert np.all(np.abs(solution.outputs) <= 0.1 + 1e-12)
+
+    def test_settling_time_reported(self):
+        _, mapping = _planes(9)
+        circuit = MVMCircuit(
+            mapping.g_pos, mapping.g_neg, g_f=1e-3, rng=np.random.default_rng(0)
+        )
+        solution = circuit.solve(np.zeros(12))
+        assert solution.settling_time is not None and solution.settling_time > 0
+
+
+class TestBatched:
+    def test_batched_solve_matches_loop(self):
+        _, mapping = _planes(10)
+        circuit = MVMCircuit(
+            mapping.g_pos, mapping.g_neg, params=IDEAL_OPAMP, g_f=1e-3,
+            rng=np.random.default_rng(11),
+        )
+        batch = np.random.default_rng(12).uniform(-0.3, 0.3, size=(12, 7))
+        solution = circuit.solve(batch, noisy=False)
+        assert solution.outputs.shape == (12, 7)
+        for k in range(7):
+            np.testing.assert_allclose(
+                solution.outputs[:, k],
+                circuit.solve(batch[:, k], noisy=False).outputs,
+                rtol=1e-9,
+            )
+
+
+class TestValidation:
+    def test_rejects_wrong_input_length(self):
+        g = np.full((3, 5), 1e-5)
+        circuit = MVMCircuit(g, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            circuit.solve(np.zeros(3))
+
+    def test_rejects_mismatched_planes(self):
+        with pytest.raises(ValueError):
+            MVMCircuit(np.ones((3, 3)) * 1e-5, np.ones((3, 4)) * 1e-5)
+
+    def test_rejects_wrong_bank_size(self):
+        from repro.analog.opamp import OpAmpBank
+
+        g = np.full((3, 3), 1e-5)
+        bank = OpAmpBank.sample(2, OpAmpParams(), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            MVMCircuit(g, row_amps=bank)

@@ -1,0 +1,90 @@
+"""PINV topology tests: least squares vs numpy pinv, ridge effect."""
+
+import numpy as np
+import pytest
+
+from repro.analog.opamp import IDEAL_OPAMP, OpAmpParams
+from repro.analog.pinv import PinvCircuit
+from repro.arrays.mapping import DifferentialMapping
+
+
+def _circuit(seed=0, m=18, n=5, params=None, g_f=1e-3):
+    matrix = np.random.default_rng(seed).standard_normal((m, n))
+    map_a = DifferentialMapping.from_matrix(matrix)
+    map_at = DifferentialMapping.from_matrix(matrix.T)
+    circuit = PinvCircuit(
+        map_a.g_pos, map_a.g_neg, map_at.g_pos, map_at.g_neg,
+        params=params or IDEAL_OPAMP, g_f=g_f, rng=np.random.default_rng(seed + 1),
+    )
+    return matrix, map_a, circuit
+
+
+class TestStaticSolve:
+    def test_matches_ideal_pseudoinverse(self):
+        _, _, circuit = _circuit(0)
+        i_in = np.random.default_rng(2).uniform(-2e-5, 2e-5, 18)
+        solution = circuit.static_solve(i_in, noisy=False)
+        np.testing.assert_allclose(
+            solution.outputs, circuit.ideal_solution(i_in), rtol=1e-3, atol=1e-9
+        )
+
+    def test_solves_normal_equations(self):
+        """The equilibrium satisfies Gᵀ(G·x + i) ≈ 0."""
+        _, map_a, circuit = _circuit(3)
+        i_in = np.random.default_rng(4).uniform(-2e-5, 2e-5, 18)
+        x = circuit.static_solve(i_in, noisy=False).outputs
+        a1 = map_a.g_pos - map_a.g_neg
+        residual_gradient = a1.T @ (a1 @ x + i_in)
+        assert np.linalg.norm(residual_gradient) / np.linalg.norm(a1.T @ i_in) < 1e-3
+
+    def test_finite_gain_acts_as_ridge(self):
+        """Low stage-2 gain biases the solution toward zero (ridge shrinkage)."""
+        i_in = np.full(18, 1e-5)
+        _, _, strong = _circuit(5, params=OpAmpParams(a0=1e7, offset_sigma=0, noise_sigma=0))
+        _, _, weak = _circuit(5, params=OpAmpParams(a0=3e2, offset_sigma=0, noise_sigma=0))
+        x_strong = strong.static_solve(i_in, noisy=False).outputs
+        x_weak = weak.static_solve(i_in, noisy=False).outputs
+        assert np.linalg.norm(x_weak) < np.linalg.norm(x_strong)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            PinvCircuit(
+                np.full((3, 5), 1e-5), None, np.full((5, 3), 1e-5), None
+            )  # m < n
+        with pytest.raises(ValueError):
+            PinvCircuit(
+                np.full((5, 3), 1e-5), None, np.full((5, 3), 1e-5), None
+            )  # bad transpose shape
+
+    def test_input_length_checked(self):
+        _, _, circuit = _circuit(6)
+        with pytest.raises(ValueError):
+            circuit.static_solve(np.zeros(5))
+
+
+class TestTransient:
+    def test_transient_agrees_with_static(self):
+        params = OpAmpParams(offset_sigma=0.0, noise_sigma=0.0)
+        _, _, circuit = _circuit(7, params=params)
+        i_in = np.random.default_rng(8).uniform(-1e-5, 1e-5, 18)
+        static = circuit.static_solve(i_in, noisy=False)
+        transient = circuit.transient_solve(i_in)
+        assert transient.stable
+        np.testing.assert_allclose(transient.outputs, static.outputs, rtol=0.03, atol=1e-6)
+
+    def test_loop_is_stable(self):
+        _, _, circuit = _circuit(9)
+        system = circuit.system(np.zeros(18))
+        assert system.is_stable
+
+
+class TestIndependentArrays:
+    def test_transpose_array_quantization_is_independent(self):
+        """G and Gᵀ are programmed separately; their planes differ slightly."""
+        matrix = np.random.default_rng(10).standard_normal((12, 4))
+        map_a = DifferentialMapping.from_matrix(matrix)
+        map_at = DifferentialMapping.from_matrix(matrix.T)
+        # Quantized decodes agree only up to quantization, not exactly.
+        assert np.max(np.abs(map_a.decode().T - map_at.decode())) <= (
+            map_a.value_scale * map_a.level_map.step
+        )

@@ -1,0 +1,28 @@
+"""Sanity checks on the topology descriptor table."""
+
+import pytest
+
+from repro.analog.topologies import AMCMode, TOPOLOGIES, descriptor
+
+
+class TestDescriptors:
+    def test_all_modes_registered(self):
+        assert set(TOPOLOGIES) == set(AMCMode)
+
+    def test_mvm_is_feedforward(self):
+        assert not descriptor(AMCMode.MVM).closes_loop
+
+    @pytest.mark.parametrize("mode", [AMCMode.INV, AMCMode.PINV, AMCMode.EGV])
+    def test_solvers_close_loops(self, mode):
+        assert descriptor(mode).closes_loop
+
+    def test_pinv_needs_two_arrays(self):
+        assert descriptor(AMCMode.PINV).arrays_required == 2
+
+    def test_egv_needs_no_input_vector(self):
+        assert not descriptor(AMCMode.EGV).needs_input_vector
+        assert descriptor(AMCMode.MVM).needs_input_vector
+
+    def test_descriptor_mode_matches_key(self):
+        for mode, desc in TOPOLOGIES.items():
+            assert desc.mode is mode

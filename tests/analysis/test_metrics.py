@@ -1,0 +1,81 @@
+"""Metric and reporting tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import cosine_similarity, relative_error, scatter_stats
+from repro.analysis.reporting import banner, format_table, sparkline
+
+
+class TestRelativeError:
+    def test_zero_for_match(self):
+        assert relative_error(np.ones(4), np.ones(4)) == 0.0
+
+    def test_known(self):
+        assert relative_error(np.array([3.0, 4.0]), np.array([3.0, 4.0]) * 1.1) == pytest.approx(0.1)
+
+    def test_zero_reference(self):
+        assert relative_error(np.zeros(2), np.array([1.0, 0.0])) == 1.0
+
+
+class TestCosine:
+    def test_parallel(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([2.0, 0.0])) == 1.0
+
+    def test_sign_insensitive(self):
+        assert cosine_similarity(np.array([1.0, 1.0]), -np.array([1.0, 1.0])) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 0.0
+
+    def test_zero_vector(self):
+        assert cosine_similarity(np.zeros(2), np.ones(2)) == 0.0
+
+
+class TestScatterStats:
+    def test_perfect_scatter(self):
+        ideal = np.linspace(-1, 1, 50)
+        stats = scatter_stats(ideal, ideal)
+        assert stats.rmse == 0.0
+        assert stats.correlation == pytest.approx(1.0)
+        assert stats.rmse_over_range == 0.0
+
+    def test_known_noise_level(self):
+        rng = np.random.default_rng(0)
+        ideal = np.linspace(-1, 1, 20000)
+        noisy = ideal + rng.normal(0, 0.05, ideal.size)
+        stats = scatter_stats(ideal, noisy)
+        assert stats.rmse == pytest.approx(0.05, rel=0.05)
+        assert stats.rmse_over_range == pytest.approx(0.025, rel=0.05)
+        assert stats.correlation > 0.99
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            scatter_stats(np.zeros(3), np.zeros(4))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            scatter_stats(np.array([]), np.array([]))
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1.0], ["bb", 0.123456]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+
+    def test_sparkline_range(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_flat(self):
+        assert sparkline([1.0, 1.0]) == "▁▁"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_banner(self):
+        text = banner("Fig. 4(a)")
+        assert "Fig. 4(a)" in text

@@ -1,0 +1,78 @@
+"""PageRank / Markov stationary-distribution application tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.markov import (
+    google_matrix,
+    pagerank,
+    ring_of_cliques,
+    stationary_distribution,
+)
+from repro.core.solver import GramcError
+
+
+class TestGoogleMatrix:
+    def test_column_stochastic(self):
+        adjacency = ring_of_cliques(3, 4)
+        g = google_matrix(adjacency)
+        np.testing.assert_allclose(g.sum(axis=0), 1.0, atol=1e-12)
+
+    def test_strictly_positive(self):
+        g = google_matrix(ring_of_cliques(2, 3))
+        assert g.min() > 0.0
+
+    def test_dangling_nodes_patched(self):
+        adjacency = np.zeros((3, 3))
+        adjacency[1, 0] = 1.0  # node 0 links to 1; nodes 1, 2 dangle
+        g = google_matrix(adjacency)
+        np.testing.assert_allclose(g.sum(axis=0), 1.0, atol=1e-12)
+
+    def test_damping_validation(self):
+        with pytest.raises(ValueError):
+            google_matrix(np.zeros((2, 2)), damping=1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            google_matrix(np.zeros((2, 3)))
+
+
+class TestStationaryDistribution:
+    def test_pagerank_on_ring_of_cliques(self, small_solver):
+        adjacency = ring_of_cliques(3, 5)
+        result = pagerank(small_solver, adjacency)
+        # A probability vector…
+        assert result.distribution.min() >= 0.0
+        assert result.distribution.sum() == pytest.approx(1.0)
+        # …close to the reference and nearly stationary.
+        assert result.total_variation_error < 0.05
+        assert result.residual < 0.1
+
+    def test_matches_power_iteration(self, small_solver):
+        g = google_matrix(ring_of_cliques(2, 6), damping=0.9)
+        result = stationary_distribution(small_solver, g)
+        pi = np.full(12, 1.0 / 12)
+        for _ in range(500):
+            pi = g @ pi
+        assert 0.5 * np.sum(np.abs(result.distribution - pi)) < 0.05
+
+    def test_rejects_non_stochastic(self, small_solver):
+        with pytest.raises(GramcError):
+            stationary_distribution(small_solver, np.eye(4) * 2.0)
+
+    def test_symmetric_chain_is_uniform(self, small_solver):
+        """A doubly-stochastic chain has the uniform stationary vector."""
+        n = 8
+        chain = np.full((n, n), 0.4 / (n - 1))
+        np.fill_diagonal(chain, 0.6)
+        result = stationary_distribution(small_solver, chain)
+        np.testing.assert_allclose(result.distribution, 1.0 / n, atol=0.03)
+
+
+class TestRingOfCliques:
+    def test_shape_and_symmetric_blocks(self):
+        adjacency = ring_of_cliques(4, 3)
+        assert adjacency.shape == (12, 12)
+        block = adjacency[:3, :3]
+        np.testing.assert_allclose(block, block.T)
+        assert np.all(np.diag(adjacency) == 0.0)

@@ -1,0 +1,59 @@
+"""Analog PCA (EGV + deflation) application tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pca import analog_pca, correlated_gaussian_data, covariance_matrix
+from repro.core.solver import GramcError
+
+
+@pytest.fixture()
+def spiked_data(rng):
+    # Strong spectral decay: components are well separated.
+    spectrum = np.array([8.0, 3.0, 0.4, 0.2, 0.1, 0.1, 0.05, 0.05])
+    return correlated_gaussian_data(400, spectrum, rng=rng)
+
+
+class TestCovariance:
+    def test_symmetric_psd(self, spiked_data):
+        cov = covariance_matrix(spiked_data)
+        np.testing.assert_allclose(cov, cov.T)
+        assert np.min(np.linalg.eigvalsh(cov)) >= -1e-10
+
+    def test_centered(self, rng):
+        data = rng.standard_normal((100, 4)) + 10.0  # large mean offset
+        cov = covariance_matrix(data)
+        reference = np.cov(data, rowvar=False)
+        np.testing.assert_allclose(cov, reference, rtol=1e-9)
+
+
+class TestAnalogPCA:
+    def test_first_component_aligns(self, small_solver, spiked_data):
+        result = analog_pca(small_solver, spiked_data, num_components=1)
+        assert result.subspace_alignment[0] > 0.95
+
+    def test_two_components_via_deflation(self, small_solver, spiked_data):
+        result = analog_pca(small_solver, spiked_data, num_components=2)
+        assert result.subspace_alignment[0] > 0.95
+        assert result.subspace_alignment[1] > 0.85  # deflation noise compounds
+
+    def test_explained_variance_ordered(self, small_solver, spiked_data):
+        result = analog_pca(small_solver, spiked_data, num_components=2)
+        assert result.explained_variance[0] > result.explained_variance[1]
+
+    def test_components_unit_norm(self, small_solver, spiked_data):
+        result = analog_pca(small_solver, spiked_data, num_components=2)
+        np.testing.assert_allclose(
+            np.linalg.norm(result.components, axis=1), 1.0, atol=1e-9
+        )
+
+    def test_explained_variance_near_spectrum(self, small_solver, spiked_data):
+        result = analog_pca(small_solver, spiked_data, num_components=1)
+        top_true = float(np.linalg.eigvalsh(covariance_matrix(spiked_data))[-1])
+        assert result.explained_variance[0] == pytest.approx(top_true, rel=0.1)
+
+    def test_validation(self, small_solver, spiked_data):
+        with pytest.raises(GramcError):
+            analog_pca(small_solver, spiked_data, num_components=0)
+        with pytest.raises(GramcError):
+            analog_pca(small_solver, np.zeros(5), num_components=1)

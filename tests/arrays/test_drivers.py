@@ -1,0 +1,74 @@
+"""Unit tests for the WL/BL/SL driver banks."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.drivers import DriverBank, DriverError, LineDriver
+
+
+class TestLineDriver:
+    def test_selection(self):
+        driver = LineDriver("WL", 8)
+        driver.select(slice(2, 5))
+        np.testing.assert_array_equal(driver.selected_indices, [2, 3, 4])
+
+    def test_select_all(self):
+        driver = LineDriver("WL", 4)
+        driver.select_all()
+        assert driver.selected_indices.size == 4
+
+    def test_validate_grounds_deselected_lines(self):
+        driver = LineDriver("BL", 4)
+        driver.select(slice(0, 2))
+        out = driver.validate(np.array([1.0, 1.0, 1.0, 1.0]))
+        np.testing.assert_array_equal(out, [1.0, 1.0, 0.0, 0.0])
+
+    def test_validate_rejects_wrong_shape(self):
+        driver = LineDriver("BL", 4)
+        with pytest.raises(DriverError):
+            driver.validate(np.zeros(3))
+
+    def test_validate_rejects_rail_violation(self):
+        driver = LineDriver("SL", 2, v_min=-1.0, v_max=2.0)
+        driver.select_all()
+        with pytest.raises(DriverError):
+            driver.validate(np.array([0.0, 2.5]))
+        with pytest.raises(DriverError):
+            driver.validate(np.array([-1.5, 0.0]))
+
+    def test_drive_count_increments(self):
+        driver = LineDriver("WL", 2)
+        driver.select_all()
+        driver.validate(np.zeros(2))
+        driver.validate(np.zeros(2))
+        assert driver.drive_count == 2
+
+
+class TestDriverBank:
+    def test_default_region_is_full_array(self):
+        bank = DriverBank(16, 8)
+        assert bank.active_rows.size == 16
+        assert bank.active_cols.size == 8
+
+    def test_region_with_offset(self):
+        bank = DriverBank(16, 16)
+        bank.select_region(4, 6, row_offset=2, col_offset=10)
+        np.testing.assert_array_equal(bank.active_rows, np.arange(2, 6))
+        np.testing.assert_array_equal(bank.active_cols, np.arange(10, 16))
+
+    def test_wl_and_sl_share_rows(self):
+        bank = DriverBank(8, 8)
+        bank.select_region(3, 8)
+        np.testing.assert_array_equal(bank.wl.selected_indices, bank.sl.selected_indices)
+
+    def test_region_overflow_rejected(self):
+        bank = DriverBank(8, 8)
+        with pytest.raises(DriverError):
+            bank.select_region(4, 4, row_offset=6)
+        with pytest.raises(DriverError):
+            bank.select_region(9, 1)
+
+    def test_empty_region_rejected(self):
+        bank = DriverBank(8, 8)
+        with pytest.raises(DriverError):
+            bank.select_region(0, 4)

@@ -1,0 +1,92 @@
+"""Unit and property tests for signed-matrix conductance mappings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.arrays.mapping import DifferentialMapping, OffsetMapping
+from repro.programming.levels import LevelMap
+
+
+def _random_matrix(seed: int, shape=(6, 6)) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(-2.0, 2.0, size=shape)
+
+
+class TestDifferentialMapping:
+    def test_planes_are_in_conductance_window(self):
+        mapping = DifferentialMapping.from_matrix(_random_matrix(0))
+        level_map = LevelMap()
+        for plane in (mapping.g_pos, mapping.g_neg):
+            assert plane.min() >= level_map.g_min - 1e-15
+            assert plane.max() <= level_map.g_max + 1e-15
+
+    def test_decode_error_bounded_by_quantization(self):
+        matrix = _random_matrix(1)
+        mapping = DifferentialMapping.from_matrix(matrix)
+        quantization_step = mapping.value_scale * mapping.level_map.step
+        assert np.max(np.abs(mapping.decode() - matrix)) <= quantization_step / 2.0 + 1e-12
+
+    def test_only_one_plane_active_per_element(self):
+        """A coefficient is positive OR negative — never both planes > g_min."""
+        matrix = _random_matrix(2)
+        mapping = DifferentialMapping.from_matrix(matrix)
+        level_map = mapping.level_map
+        pos_active = mapping.g_pos > level_map.g_min + 1e-12
+        neg_active = mapping.g_neg > level_map.g_min + 1e-12
+        assert not np.any(pos_active & neg_active)
+
+    def test_gmin_offset_cancels(self):
+        """Zero coefficients decode to exactly zero (both planes at g_min)."""
+        matrix = np.zeros((4, 4))
+        matrix[0, 0] = 1.0  # set the scale
+        mapping = DifferentialMapping.from_matrix(matrix)
+        decoded = mapping.decode()
+        assert decoded[1, 1] == pytest.approx(0.0, abs=1e-15)
+
+    def test_shape_property(self):
+        mapping = DifferentialMapping.from_matrix(_random_matrix(3, (4, 7)))
+        assert mapping.shape == (4, 7)
+
+    @given(
+        matrix=arrays(
+            dtype=np.float64,
+            shape=(5, 5),
+            elements=st.floats(min_value=-10.0, max_value=10.0),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_decode_error_property(self, matrix):
+        mapping = DifferentialMapping.from_matrix(matrix)
+        quantization_step = mapping.value_scale * mapping.level_map.step
+        assert np.max(np.abs(mapping.decode() - matrix)) <= quantization_step / 2.0 + 1e-9
+
+
+class TestOffsetMapping:
+    def test_single_plane_in_window(self):
+        mapping = OffsetMapping.from_matrix(_random_matrix(4))
+        level_map = LevelMap()
+        assert mapping.g.min() >= level_map.g_min - 1e-15
+        assert mapping.g.max() <= level_map.g_max + 1e-15
+
+    def test_decode_error_bounded(self):
+        matrix = _random_matrix(5)
+        mapping = OffsetMapping.from_matrix(matrix)
+        quantization_step = mapping.value_scale * mapping.level_map.step
+        assert np.max(np.abs(mapping.decode() - matrix)) <= quantization_step / 2.0 + 1e-12
+
+    def test_mvm_correction_recovers_product(self):
+        """Raw conductance MVM + rank-one correction ≈ A·x."""
+        matrix = _random_matrix(6)
+        mapping = OffsetMapping.from_matrix(matrix)
+        x = np.random.default_rng(7).uniform(-1, 1, matrix.shape[1])
+        raw = mapping.value_scale * (mapping.g @ x)
+        corrected = raw + mapping.mvm_correction(x)
+        reference = mapping.decode() @ x
+        np.testing.assert_allclose(corrected, reference, atol=1e-12)
+
+    def test_nonnegative_matrix_keeps_zero_shift(self):
+        matrix = np.abs(_random_matrix(8))
+        mapping = OffsetMapping.from_matrix(matrix)
+        assert mapping.shift == pytest.approx(matrix.min())

@@ -1,0 +1,68 @@
+"""Parasitic-wire models: closed form vs exact nodal solve."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.parasitics import NodalCrossbarSolver, effective_conductances
+
+
+class TestEffectiveConductances:
+    def test_zero_resistance_is_identity(self):
+        g = np.random.default_rng(0).uniform(1e-6, 1e-4, size=(8, 8))
+        np.testing.assert_array_equal(effective_conductances(g, 0.0), g)
+
+    def test_degradation_monotone_in_resistance(self):
+        g = np.full((8, 8), 8e-5)
+        weak = effective_conductances(g, 1.0)
+        strong = effective_conductances(g, 10.0)
+        assert np.all(strong < weak)
+        assert np.all(weak < g)
+
+    def test_far_corner_degrades_most(self):
+        g = np.full((8, 8), 8e-5)
+        eff = effective_conductances(g, 5.0)
+        # Cell (0, cols-1) has the most bit-line segments AND most SL segments.
+        assert eff[0, 7] == eff.min()
+
+    def test_negative_resistance_rejected(self):
+        with pytest.raises(ValueError):
+            effective_conductances(np.ones((2, 2)), -1.0)
+
+
+class TestNodalSolver:
+    def test_matches_ideal_at_zero_resistance(self):
+        g = np.random.default_rng(1).uniform(1e-6, 1e-4, size=(4, 4))
+        solver = NodalCrossbarSolver(g, 0.0)
+        v = np.random.default_rng(2).uniform(-0.3, 0.3, 4)
+        np.testing.assert_allclose(solver.output_currents(v), g @ v, rtol=1e-12)
+
+    def test_small_resistance_close_to_ideal(self):
+        g = np.random.default_rng(3).uniform(1e-6, 1e-4, size=(4, 4))
+        solver = NodalCrossbarSolver(g, 0.1)
+        v = np.full(4, 0.2)
+        ideal = g @ v
+        exact = solver.output_currents(v)
+        assert np.linalg.norm(exact - ideal) / np.linalg.norm(ideal) < 0.01
+
+    def test_closed_form_tracks_nodal_solver(self):
+        """The series approximation stays within a few percent of exact."""
+        rng = np.random.default_rng(4)
+        g = rng.uniform(2e-5, 9e-5, size=(6, 6))
+        wire = 2.0
+        v = rng.uniform(0.0, 0.3, 6)
+        exact = NodalCrossbarSolver(g, wire).output_currents(v)
+        approx = effective_conductances(g, wire) @ v
+        assert np.linalg.norm(approx - exact) / np.linalg.norm(exact) < 0.05
+
+    def test_input_shape_check(self):
+        solver = NodalCrossbarSolver(np.ones((3, 3)) * 1e-5, 1.0)
+        with pytest.raises(ValueError):
+            solver.output_currents(np.zeros(2))
+
+    def test_currents_scale_linearly(self):
+        g = np.full((3, 3), 5e-5)
+        solver = NodalCrossbarSolver(g, 3.0)
+        v = np.array([0.1, 0.2, 0.3])
+        i1 = solver.output_currents(v)
+        i2 = solver.output_currents(2.0 * v)
+        np.testing.assert_allclose(i2, 2.0 * i1, rtol=1e-9)

@@ -1,0 +1,65 @@
+"""Shared fixtures for the GRAMC test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pool import MacroPool, PoolConfig
+from repro.core.solver import GramcSolver
+from repro.devices.constants import (
+    DEFAULT_STACK,
+    DeviceStack,
+    VariabilityParams,
+    WriteVerifyParams,
+)
+from repro.programming.write_verify import VgEstimator
+
+
+@pytest.fixture(scope="session")
+def stack() -> DeviceStack:
+    """The calibrated default device stack."""
+    return DEFAULT_STACK
+
+
+@pytest.fixture(scope="session")
+def quiet_stack() -> DeviceStack:
+    """A stack with all stochastic effects disabled (deterministic physics)."""
+    return DeviceStack(
+        variability=VariabilityParams(
+            d2d_sigma=0.0, c2c_sigma=0.0, read_noise_sigma=0.0
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def shared_estimator(stack) -> VgEstimator:
+    """One gate-voltage estimator reused across write-verify tests (slow to build)."""
+    return VgEstimator(stack)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def small_pool() -> MacroPool:
+    """An 8-macro pool of 32×32 arrays — fast enough for unit tests."""
+    return MacroPool(
+        PoolConfig(num_macros=8, rows=32, cols=32), rng=np.random.default_rng(99)
+    )
+
+
+@pytest.fixture()
+def small_solver(small_pool) -> GramcSolver:
+    return GramcSolver(pool=small_pool, rng=np.random.default_rng(17))
+
+
+@pytest.fixture(scope="session")
+def full_solver() -> GramcSolver:
+    """A full 16×(128×128) chip solver for integration-scale tests."""
+    return GramcSolver(
+        pool=MacroPool(PoolConfig(), rng=np.random.default_rng(2025)),
+        rng=np.random.default_rng(7),
+    )

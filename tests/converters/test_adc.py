@@ -1,0 +1,58 @@
+"""Unit tests for the behavioural ADC."""
+
+import numpy as np
+import pytest
+
+from repro.converters.adc import ADC, ADCParams
+
+
+class TestSampling:
+    def test_reconstruction_error_bounded(self):
+        adc = ADC(ADCParams(bits=8, v_ref=1.0))
+        v = np.linspace(-1, 1, 777)
+        err = np.abs(adc.sample(v, noisy=False) - v)
+        assert err.max() <= adc.lsb / 2 + 1e-12
+
+    def test_clipping(self):
+        adc = ADC(ADCParams(bits=8, v_ref=1.0))
+        out = adc.sample(np.array([-3.0, 3.0]), noisy=False)
+        np.testing.assert_allclose(out, [-1.0, 1.0])
+
+    def test_codes_range(self):
+        adc = ADC(ADCParams(bits=4, v_ref=1.0))
+        codes = adc.codes(np.linspace(-1.5, 1.5, 100), noisy=False)
+        assert codes.min() == 0
+        assert codes.max() == 15
+
+    def test_codes_match_sample(self):
+        adc = ADC(ADCParams(bits=6, v_ref=1.0))
+        v = np.linspace(-0.9, 0.9, 50)
+        reconstructed = adc.sample(v, noisy=False)
+        codes = adc.codes(v, noisy=False)
+        np.testing.assert_allclose(codes * adc.lsb - 1.0, reconstructed, atol=1e-12)
+
+    def test_offset_shifts_readings(self):
+        adc = ADC(ADCParams(bits=12, offset=0.1))
+        out = adc.sample(np.array([0.0]), noisy=False)
+        assert out[0] == pytest.approx(0.1, abs=adc.lsb)
+
+    def test_noise_dithers(self):
+        adc = ADC(ADCParams(bits=12, noise_sigma=5e-3), rng=np.random.default_rng(0))
+        a = adc.sample(np.full(200, 0.3))
+        b = adc.sample(np.full(200, 0.3))
+        assert not np.array_equal(a, b)
+
+
+class TestClipDetector:
+    def test_detects_out_of_range(self):
+        adc = ADC(ADCParams(bits=8, v_ref=1.0))
+        assert adc.clips(np.array([0.0, 1.2]))
+        assert not adc.clips(np.array([0.0, 0.9]))
+
+    def test_accounts_for_offset(self):
+        adc = ADC(ADCParams(bits=8, v_ref=1.0, offset=0.2))
+        assert adc.clips(np.array([0.9]))
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            ADC(ADCParams(bits=0))

@@ -1,0 +1,118 @@
+"""Hybrid analog/digital iterative solver tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.iterative import AnalogIterativeSolver
+from repro.core.solver import GramcError
+from repro.workloads.matrices import diagonally_dominant, wishart
+
+
+@pytest.fixture()
+def spd_system(rng):
+    matrix = wishart(20, rng=rng) + 0.6 * np.eye(20)
+    b = rng.uniform(-1, 1, 20)
+    return matrix, b
+
+
+class TestRichardson:
+    def test_converges_digitally(self, small_solver, spd_system):
+        matrix, b = spd_system
+        hybrid = AnalogIterativeSolver(small_solver, use_analog=False)
+        result = hybrid.richardson(matrix, b, tolerance=1e-8, max_iterations=2000)
+        assert result.converged
+        exact = np.linalg.solve(matrix, b)
+        assert np.linalg.norm(result.solution - exact) / np.linalg.norm(exact) < 1e-6
+
+    def test_analog_reaches_error_floor(self, small_solver, spd_system):
+        matrix, b = spd_system
+        hybrid = AnalogIterativeSolver(small_solver, use_analog=True)
+        result = hybrid.richardson(matrix, b, tolerance=0.05, max_iterations=300)
+        # The inexact-matvec floor: the residual must fall well below 1
+        # even though exact convergence is impossible.
+        assert result.final_residual < 0.3
+        assert result.analog_matvecs > 0
+
+    def test_residuals_decrease_initially(self, small_solver, spd_system):
+        matrix, b = spd_system
+        hybrid = AnalogIterativeSolver(small_solver, use_analog=False)
+        result = hybrid.richardson(matrix, b, tolerance=1e-12, max_iterations=30)
+        assert result.residual_norms[5] < result.residual_norms[0]
+
+    def test_rejects_non_square(self, small_solver):
+        hybrid = AnalogIterativeSolver(small_solver)
+        with pytest.raises(GramcError):
+            hybrid.richardson(np.ones((3, 4)), np.zeros(3))
+
+
+class TestJacobi:
+    def test_converges_on_dominant_matrix(self, small_solver, rng):
+        matrix = diagonally_dominant(16, dominance=2.0, rng=rng)
+        b = rng.uniform(-1, 1, 16)
+        hybrid = AnalogIterativeSolver(small_solver, use_analog=False)
+        result = hybrid.jacobi(matrix, b, tolerance=1e-8, max_iterations=500)
+        assert result.converged
+        exact = np.linalg.solve(matrix, b)
+        assert np.linalg.norm(result.solution - exact) / np.linalg.norm(exact) < 1e-6
+
+    def test_analog_jacobi_floor(self, small_solver, rng):
+        matrix = diagonally_dominant(16, dominance=2.0, rng=rng)
+        b = rng.uniform(-1, 1, 16)
+        hybrid = AnalogIterativeSolver(small_solver, use_analog=True)
+        result = hybrid.jacobi(matrix, b, tolerance=0.05, max_iterations=200)
+        assert result.final_residual < 0.3
+
+    def test_zero_diagonal_rejected(self, small_solver):
+        hybrid = AnalogIterativeSolver(small_solver)
+        matrix = np.ones((4, 4)) - np.eye(4)
+        with pytest.raises(GramcError):
+            hybrid.jacobi(matrix, np.ones(4))
+
+
+class TestConjugateGradient:
+    def test_digital_cg_is_exact(self, small_solver, spd_system):
+        matrix, b = spd_system
+        hybrid = AnalogIterativeSolver(small_solver, use_analog=False)
+        result = hybrid.conjugate_gradient(matrix, b, tolerance=1e-10)
+        assert result.converged
+        exact = np.linalg.solve(matrix, b)
+        assert np.linalg.norm(result.solution - exact) / np.linalg.norm(exact) < 1e-8
+
+    def test_analog_cg_reaches_inexact_floor(self, small_solver, spd_system):
+        """With η-inexact matvecs CG stalls near the η·κ floor, not at zero."""
+        matrix, b = spd_system
+        hybrid = AnalogIterativeSolver(small_solver, use_analog=True)
+        iterated = hybrid.conjugate_gradient(matrix, b, tolerance=0.02, max_iterations=150)
+        # It makes real progress from the cold start…
+        assert iterated.final_residual < 0.5 * iterated.residual_norms[0]
+        # …but cannot certify exact convergence with noisy products.
+        exact = np.linalg.solve(matrix, b)
+        error = np.linalg.norm(iterated.solution - exact) / np.linalg.norm(exact)
+        assert error < 0.6
+
+    def test_tiled_system_beyond_one_array(self, small_solver, rng):
+        """A 60-unknown SPD system on 32-wide arrays: only MVM tiling works.
+
+        The direct INV topology cannot fit; analog-matvec CG still produces
+        a usable answer, limited by the inexact-matvec floor η·κ (η is the
+        ~10–20 % analog MVM error at 4 bits).
+        """
+        matrix = wishart(60, rng=rng) + 0.8 * np.eye(60)
+        b = rng.uniform(-1, 1, 60)
+        with pytest.raises(GramcError):
+            small_solver.solve(matrix, b)  # direct INV cannot fit
+        hybrid = AnalogIterativeSolver(small_solver, use_analog=True)
+        result = hybrid.conjugate_gradient(matrix, b, tolerance=0.05, max_iterations=150)
+        exact = np.linalg.solve(matrix, b)
+        error = np.linalg.norm(result.solution - exact) / np.linalg.norm(exact)
+        assert error < 0.6
+        assert result.final_residual < 0.5 * result.residual_norms[0]
+
+
+class TestSeededSolve:
+    def test_seed_reduces_matvec_count(self, small_solver, spd_system):
+        matrix, b = spd_system
+        hybrid = AnalogIterativeSolver(small_solver, use_analog=True)
+        seeded = hybrid.seeded_solve(matrix, b, tolerance=0.05, max_iterations=150)
+        cold = hybrid.conjugate_gradient(matrix, b, tolerance=0.05, max_iterations=150)
+        assert seeded.final_residual <= cold.residual_norms[0]

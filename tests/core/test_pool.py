@@ -1,0 +1,69 @@
+"""Macro pool allocation and eviction tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.pool import MacroPool, PoolConfig
+
+
+def _pool(n=4) -> MacroPool:
+    return MacroPool(PoolConfig(num_macros=n, rows=8, cols=8), rng=np.random.default_rng(0))
+
+
+class TestAcquire:
+    def test_basic_acquire(self):
+        pool = _pool()
+        macros = pool.acquire("op-a", 2)
+        assert len(macros) == 2
+        assert pool.free_count == 2
+        assert pool.holds("op-a")
+
+    def test_acquire_same_owner_is_idempotent(self):
+        pool = _pool()
+        first = pool.acquire("op-a", 2)
+        second = pool.acquire("op-a", 2)
+        assert [m.macro_id for m in first] == [m.macro_id for m in second]
+        assert pool.free_count == 2
+
+    def test_eviction_lru(self):
+        pool = _pool(4)
+        pool.acquire("old", 2)
+        pool.acquire("newer", 2)
+        # Full; asking for two more must evict the least recently used.
+        pool.acquire("newest", 2)
+        assert not pool.holds("old")
+        assert pool.holds("newer")
+        assert pool.holds("newest")
+
+    def test_touching_owner_refreshes_lru(self):
+        pool = _pool(4)
+        pool.acquire("a", 2)
+        pool.acquire("b", 2)
+        pool.acquire("a", 2)  # refresh a
+        pool.acquire("c", 2)  # must evict b, not a
+        assert pool.holds("a")
+        assert not pool.holds("b")
+
+    def test_oversized_request_rejected(self):
+        pool = _pool(2)
+        with pytest.raises(ValueError):
+            pool.acquire("huge", 3)
+
+    def test_release(self):
+        pool = _pool()
+        pool.acquire("op", 3)
+        pool.release("op")
+        assert pool.free_count == 4
+        assert not pool.holds("op")
+
+    def test_release_all(self):
+        pool = _pool()
+        pool.acquire("a", 1)
+        pool.acquire("b", 1)
+        pool.release_all()
+        assert pool.free_count == 4
+
+    def test_macros_have_unique_ids(self):
+        pool = _pool(4)
+        ids = {m.macro_id for m in pool.macros}
+        assert len(ids) == 4

@@ -1,0 +1,42 @@
+"""SolveResult metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.analog.topologies import AMCMode
+from repro.core.results import SolveResult
+
+
+def _result(value, reference, **kwargs) -> SolveResult:
+    return SolveResult(
+        mode=AMCMode.MVM, value=np.asarray(value, dtype=float),
+        reference=np.asarray(reference, dtype=float), **kwargs,
+    )
+
+
+class TestRelativeError:
+    def test_exact_match(self):
+        assert _result([1.0, 2.0], [1.0, 2.0]).relative_error == 0.0
+
+    def test_known_value(self):
+        result = _result([1.1, 2.0], [1.0, 2.0])
+        assert result.relative_error == pytest.approx(0.1 / np.sqrt(5.0))
+
+    def test_zero_reference_guard(self):
+        result = _result([0.5, 0.0], [0.0, 0.0])
+        assert result.relative_error == pytest.approx(0.5)
+
+
+class TestFlags:
+    def test_ok_requires_stable_and_unsaturated(self):
+        assert _result([1.0], [1.0]).ok
+        assert not _result([1.0], [1.0], stable=False).ok
+        assert not _result([1.0], [1.0], saturated=True).ok
+
+    def test_scatter_points_are_copies(self):
+        result = _result([1.0], [2.0])
+        ideal, non_ideal = result.scatter_points()
+        ideal[0] = 99.0
+        non_ideal[0] = 99.0
+        assert result.reference[0] == 2.0
+        assert result.value[0] == 1.0

@@ -1,0 +1,140 @@
+"""GramcSolver tests: the public API against numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.analog.topologies import AMCMode
+from repro.core.solver import GramcError
+from repro.workloads.matrices import gram, wishart
+
+
+class TestMVM:
+    def test_small_product(self, small_solver, rng):
+        matrix = rng.uniform(-1, 1, size=(12, 12))
+        x = rng.uniform(-1, 1, 12)
+        result = small_solver.mvm(matrix, x)
+        assert result.ok
+        assert result.relative_error < 0.35
+
+    def test_zero_vector(self, small_solver, rng):
+        matrix = rng.uniform(-1, 1, size=(8, 8))
+        result = small_solver.mvm(matrix, np.zeros(8))
+        assert np.linalg.norm(result.value) < 0.2 * np.linalg.norm(matrix)
+
+    def test_batched_input(self, small_solver, rng):
+        matrix = rng.uniform(-1, 1, size=(10, 10))
+        batch = rng.uniform(-1, 1, size=(10, 6))
+        result = small_solver.mvm(matrix, batch)
+        assert result.value.shape == (10, 6)
+        assert result.relative_error < 0.35
+
+    def test_tiled_wide_matrix(self, small_solver, rng):
+        """A 12×80 operand must tile across several 32-column macros."""
+        matrix = rng.uniform(-1, 1, size=(12, 80))
+        x = rng.uniform(-1, 1, 80)
+        result = small_solver.mvm(matrix, x)
+        assert result.relative_error < 0.35
+        assert len(result.macro_ids) >= 3
+
+    def test_operator_caching(self, small_solver, rng):
+        matrix = rng.uniform(-1, 1, size=(8, 8))
+        small_solver.mvm(matrix, rng.uniform(-1, 1, 8))
+        op_a = small_solver.program(matrix, AMCMode.MVM)
+        op_b = small_solver.program(matrix, AMCMode.MVM)
+        assert op_a is op_b
+
+    def test_quant_peak_alignment(self, small_solver, rng):
+        """Integer matrices with quant_peak=15 suffer no quantization error."""
+        matrix = rng.integers(0, 16, size=(8, 8)).astype(float)
+        x = rng.uniform(-1, 1, 8)
+        result = small_solver.mvm(matrix, x, quant_peak=15.0)
+        assert result.relative_error < 0.1
+
+    def test_input_length_validation(self, small_solver):
+        with pytest.raises(GramcError):
+            small_solver.mvm(np.eye(4), np.zeros(5))
+
+    def test_solve_counts(self, small_solver, rng):
+        before = small_solver.solve_counts["mvm"]
+        small_solver.mvm(rng.uniform(-1, 1, (6, 6)), rng.uniform(-1, 1, 6))
+        assert small_solver.solve_counts["mvm"] == before + 1
+
+
+class TestINV:
+    def test_spd_solve(self, small_solver, rng):
+        matrix = wishart(12, rng=rng) + 0.5 * np.eye(12)
+        b = rng.uniform(-1, 1, 12)
+        result = small_solver.solve(matrix, b)
+        assert result.ok
+        assert result.relative_error < 0.45
+
+    def test_identity_solve_is_accurate(self, small_solver, rng):
+        matrix = 2.0 * np.eye(10)
+        b = rng.uniform(-1, 1, 10)
+        result = small_solver.solve(matrix, b)
+        assert result.relative_error < 0.1
+
+    def test_requires_square(self, small_solver):
+        with pytest.raises(GramcError):
+            small_solver.solve(np.ones((3, 4)), np.zeros(3))
+
+    def test_requires_matching_rhs(self, small_solver):
+        with pytest.raises(GramcError):
+            small_solver.solve(np.eye(4), np.zeros(5))
+
+    def test_too_large_rejected(self, small_solver):
+        with pytest.raises(GramcError):
+            small_solver.solve(np.eye(64), np.zeros(64))  # pool arrays are 32²
+
+
+class TestPINV:
+    def test_least_squares(self, small_solver, rng):
+        matrix = rng.standard_normal((24, 5))
+        b = rng.uniform(-1, 1, 24)
+        result = small_solver.lstsq(matrix, b)
+        assert result.ok
+        assert result.relative_error < 0.3
+
+    def test_consistent_system_recovers_solution(self, small_solver, rng):
+        matrix = rng.standard_normal((20, 4))
+        true_x = rng.uniform(-1, 1, 4)
+        result = small_solver.lstsq(matrix, matrix @ true_x)
+        assert np.linalg.norm(result.value - true_x) / np.linalg.norm(true_x) < 0.3
+
+    def test_requires_tall(self, small_solver):
+        with pytest.raises(GramcError):
+            small_solver.lstsq(np.ones((3, 5)), np.zeros(3))
+
+
+class TestEGV:
+    def test_gram_dominant_eigenvector(self, small_solver, rng):
+        data = rng.standard_normal((16, 4))
+        matrix = gram(data)
+        result = small_solver.eigvec(matrix)
+        assert result.ok
+        assert abs(result.value @ result.reference) > 0.95
+
+    def test_explicit_lambda(self, small_solver, rng):
+        data = rng.standard_normal((12, 3))
+        matrix = gram(data)
+        lam = float(np.linalg.eigvalsh(matrix)[-1])
+        result = small_solver.eigvec(matrix, lambda_hat=0.9 * lam)
+        assert abs(result.value @ result.reference) > 0.9
+
+    def test_unit_norm_output(self, small_solver, rng):
+        data = rng.standard_normal((12, 3))
+        result = small_solver.eigvec(gram(data))
+        assert np.linalg.norm(result.value) == pytest.approx(1.0, abs=0.02)
+
+    def test_rejects_negative_spectrum(self, small_solver):
+        with pytest.raises(GramcError):
+            small_solver.eigvec(-np.eye(8))
+
+
+class TestResults:
+    def test_scatter_points(self, small_solver, rng):
+        matrix = rng.uniform(-1, 1, size=(8, 8))
+        result = small_solver.mvm(matrix, rng.uniform(-1, 1, 8))
+        ideal, non_ideal = result.scatter_points()
+        assert ideal.shape == non_ideal.shape == (8,)
+        np.testing.assert_array_equal(ideal, result.reference)

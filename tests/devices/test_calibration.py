@@ -1,0 +1,116 @@
+"""Calibration guards: the device stack must stay in the paper's envelope.
+
+These tests pin the Fig. 1 operating regime — 16 levels over 1–100 µS,
+SET staircases completing in ≲35 pulses, RESET reaching the floor — so
+that parameter edits cannot silently break the reproduction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices.cell import OneT1R
+from repro.devices.constants import DEFAULT_STACK, G_MAX, G_MIN
+from repro.programming.levels import LevelMap
+from repro.programming.write_verify import WriteVerifyController
+
+
+@pytest.fixture(scope="module")
+def controller(shared_estimator):
+    return WriteVerifyController(
+        DEFAULT_STACK, rng=np.random.default_rng(0), estimator=shared_estimator
+    )
+
+
+def _fresh_cell(conductance: float | None = None) -> OneT1R:
+    cell = OneT1R(DEFAULT_STACK)
+    if conductance is None:
+        cell.rram.reset_state()
+    else:
+        cell.rram.set_conductance(conductance)
+    return cell
+
+
+class TestSetStaircase:
+    def test_default_step_reaches_top_level_within_budget(self, controller):
+        cell = _fresh_cell()
+        trace = controller.sweep_set(cell, v_g_step=0.01, max_pulses=40)
+        pulses = trace.pulses_to_reach_level(15.0)
+        assert pulses is not None and pulses <= 36
+
+    def test_double_step_roughly_halves_pulse_count(self, controller):
+        slow = controller.sweep_set(_fresh_cell(), v_g_step=0.01, max_pulses=40)
+        fast = controller.sweep_set(_fresh_cell(), v_g_step=0.02, max_pulses=40)
+        slow_pulses = slow.pulses_to_reach_level(15.0)
+        fast_pulses = fast.pulses_to_reach_level(15.0)
+        assert slow_pulses is not None and fast_pulses is not None
+        assert 0.3 <= fast_pulses / slow_pulses <= 0.75
+
+    def test_staircase_is_monotone(self, controller):
+        trace = controller.sweep_set(_fresh_cell(), v_g_step=0.01, max_pulses=40)
+        assert trace.is_monotone()
+
+    def test_staircase_traverses_every_level(self, controller):
+        trace = controller.sweep_set(_fresh_cell(), v_g_step=0.01, max_pulses=40)
+        levels = trace.levels
+        # Each of the 16 level bins must be visited or jumped by < 2 levels.
+        assert levels.max() >= 15.0
+        assert np.max(np.diff(levels)) < 2.5
+
+    def test_different_initial_states_converge(self, controller):
+        """Fig. 1(b): sweeps from different initial states join the staircase."""
+        from_reset = controller.sweep_set(_fresh_cell(), v_g_step=0.01, max_pulses=40)
+        from_mid = controller.sweep_set(
+            _fresh_cell(conductance=30e-6), v_g_step=0.01, max_pulses=40
+        )
+        top_a = from_reset.pulses_to_reach_level(15.0)
+        top_b = from_mid.pulses_to_reach_level(15.0)
+        assert top_a is not None and top_b is not None
+        assert abs(top_a - top_b) <= 4
+
+
+class TestResetStaircase:
+    def test_reaches_stop_floor_within_budget(self, controller):
+        cell = _fresh_cell(conductance=110e-6)
+        trace = controller.sweep_reset(cell, v_sl_step=0.02, max_pulses=40)
+        level_map = LevelMap()
+        assert trace.conductances[-1] <= level_map.g_min + 0.3 * level_map.step
+
+    def test_full_sweep_reaches_physical_floor(self, controller):
+        cell = _fresh_cell(conductance=110e-6)
+        trace = controller.sweep_reset(
+            cell, v_sl_step=0.02, max_pulses=40, stop_at_bottom=False
+        )
+        assert trace.conductances[-1] <= G_MIN * 1.5
+
+    def test_larger_step_resets_faster(self, controller):
+        slow = controller.sweep_reset(
+            _fresh_cell(conductance=110e-6), v_sl_step=0.02, max_pulses=40
+        )
+        fast = controller.sweep_reset(
+            _fresh_cell(conductance=110e-6), v_sl_step=0.03, max_pulses=40
+        )
+        slow_pulses = slow.pulses_to_reach_level(0.5, from_above=True)
+        fast_pulses = fast.pulses_to_reach_level(0.5, from_above=True)
+        assert slow_pulses is not None and fast_pulses is not None
+        assert fast_pulses < slow_pulses
+
+    def test_reset_monotone_decreasing(self, controller):
+        trace = controller.sweep_reset(
+            _fresh_cell(conductance=110e-6), v_sl_step=0.02, max_pulses=40
+        )
+        assert trace.is_monotone(decreasing=True)
+
+
+class TestConductanceWindow:
+    def test_window_spans_paper_range(self):
+        """The effective (selector-included) window must cover 1–100 µS."""
+        low = _fresh_cell()
+        assert low.read_conductance() <= G_MIN * 1.2
+        high = _fresh_cell(conductance=135e-6)  # device headroom above 100 µS
+        assert high.read_conductance() >= G_MAX
+
+    def test_level_map_matches_window(self):
+        level_map = LevelMap()
+        assert level_map.g_min == pytest.approx(G_MIN)
+        assert level_map.g_max == pytest.approx(G_MAX)
+        assert level_map.num_levels == 16

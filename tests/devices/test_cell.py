@@ -1,0 +1,101 @@
+"""Unit tests for the 1T1R cell (series operating point + pulses)."""
+
+import pytest
+
+from repro.devices.cell import OneT1R
+from repro.devices.constants import DEFAULT_STACK, PULSE_WIDTH
+
+
+@pytest.fixture()
+def cell() -> OneT1R:
+    return OneT1R(DEFAULT_STACK)
+
+
+class TestOperatingPoint:
+    def test_kcl_satisfied(self, cell):
+        """RRAM current equals transistor current at the solved node."""
+        cell.rram.set_conductance(30e-6)
+        point = cell.operating_point(v_bl=2.0, v_sl=0.0, v_g=0.7)
+        i_rram = cell.rram.current(2.0 - point.v_internal)
+        i_nmos = cell.transistor.drain_current(0.7, point.v_internal)
+        assert i_rram == pytest.approx(i_nmos, rel=1e-6, abs=1e-12)
+
+    def test_internal_node_between_terminals(self, cell):
+        point = cell.operating_point(2.0, 0.0, 0.8)
+        assert 0.0 <= point.v_internal <= 2.0
+
+    def test_zero_bias_zero_current(self, cell):
+        point = cell.operating_point(0.0, 0.0, 3.0)
+        assert point.current == pytest.approx(0.0, abs=1e-15)
+        assert point.v_device == pytest.approx(0.0, abs=1e-12)
+
+    def test_reset_polarity_negative_device_voltage(self, cell):
+        cell.rram.set_conductance(80e-6)
+        point = cell.operating_point(v_bl=0.0, v_sl=1.0, v_g=3.0)
+        assert point.v_device < 0.0
+        assert point.current < 0.0
+
+    def test_gate_off_blocks_current(self, cell):
+        cell.rram.set_conductance(80e-6)
+        point = cell.operating_point(2.0, 0.0, 0.2)  # below threshold
+        assert abs(point.current) < 1e-9
+
+    def test_compliance_limits_current(self, cell):
+        """Cell current never exceeds the transistor saturation current."""
+        cell.rram.set_conductance(100e-6)
+        v_g = 0.75
+        point = cell.operating_point(2.0, 0.0, v_g)
+        limit = cell.transistor.drain_current(v_g, point.v_internal)
+        assert point.current <= limit * (1.0 + 1e-6)
+
+
+class TestPulses:
+    def test_set_pulse_increases_conductance(self, cell):
+        cell.rram.reset_state()
+        before = cell.device_conductance()
+        cell.apply_pulse(2.0, 0.0, 0.8, PULSE_WIDTH)
+        assert cell.device_conductance() > before
+
+    def test_reset_pulse_decreases_conductance(self, cell):
+        cell.rram.set_conductance(90e-6)
+        before = cell.device_conductance()
+        cell.apply_pulse(0.0, 0.9, 3.0, PULSE_WIDTH)
+        assert cell.device_conductance() < before
+
+    def test_stronger_gate_reaches_higher_conductance(self):
+        results = []
+        for v_g in (0.6, 0.7, 0.8):
+            cell = OneT1R(DEFAULT_STACK)
+            cell.rram.reset_state()
+            for _ in range(3):
+                cell.apply_pulse(2.0, 0.0, v_g, PULSE_WIDTH)
+            results.append(cell.device_conductance())
+        assert results[0] < results[1] < results[2]
+
+    def test_pulse_is_self_limiting(self, cell):
+        """Repeated identical SET pulses converge (compliance equilibrium)."""
+        cell.rram.reset_state()
+        cell.apply_pulse(2.0, 0.0, 0.7, PULSE_WIDTH)
+        after_one = cell.device_conductance()
+        for _ in range(5):
+            cell.apply_pulse(2.0, 0.0, 0.7, PULSE_WIDTH)
+        after_six = cell.device_conductance()
+        assert after_six < after_one * 1.5  # no runaway
+
+
+class TestReads:
+    def test_effective_below_device_conductance(self, cell):
+        """Selector resistance always reduces the observed conductance."""
+        cell.rram.set_conductance(80e-6)
+        assert cell.read_conductance() < cell.device_conductance()
+
+    def test_read_matches_series_model(self, cell):
+        cell.rram.set_conductance(50e-6)
+        g_eff = cell.read_conductance(v_read=0.1, v_g_read=3.0)
+        r_on = cell.transistor.on_resistance(3.0)
+        g_dev = cell.device_conductance()
+        expected = 1.0 / (1.0 / g_dev + r_on)
+        assert g_eff == pytest.approx(expected, rel=0.05)
+
+    def test_zero_read_voltage(self, cell):
+        assert cell.read_conductance(v_read=0.0) == 0.0

@@ -1,0 +1,63 @@
+"""Retention-drift model tests."""
+
+import numpy as np
+import pytest
+
+from repro.devices.constants import G_MAX, G_MIN
+from repro.devices.variability import RetentionModel
+from repro.programming.levels import LevelMap
+
+
+class TestRetentionModel:
+    def test_no_drift_at_time_zero(self):
+        model = RetentionModel()
+        g = np.linspace(G_MIN, G_MAX, 16)
+        np.testing.assert_array_equal(model.drifted(g, 0.0), g)
+
+    def test_drift_moves_toward_equilibrium(self):
+        model = RetentionModel(g_equilibrium=35e-6)
+        high, low = np.array([90e-6]), np.array([2e-6])
+        assert model.drifted(high, 1e6)[0] < high[0]
+        assert model.drifted(low, 1e6)[0] > low[0]
+
+    def test_equilibrium_state_is_fixed_point(self):
+        model = RetentionModel(g_equilibrium=35e-6)
+        g = np.array([35e-6])
+        np.testing.assert_allclose(model.drifted(g, 1e9), g)
+
+    def test_drift_is_monotone_in_time(self):
+        model = RetentionModel()
+        g = np.array([95e-6])
+        short = model.drifted(g, 1e3)[0]
+        long = model.drifted(g, 1e7)[0]
+        assert long < short < g[0]
+
+    def test_power_law_slows_down_in_linear_time(self):
+        """Equal linear windows drift less the later they start.
+
+        (Per *decade* of log-time the power law loses a roughly constant
+        fraction — the slowing shows up in linear time.)
+        """
+        model = RetentionModel()
+        g = np.array([95e-6])
+        window = 1e3
+        early = model.drifted(g, 1e3 + window)[0] - model.drifted(g, 1e3)[0]
+        late = model.drifted(g, 1e5 + window)[0] - model.drifted(g, 1e5)[0]
+        assert abs(late) < abs(early)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            RetentionModel().drifted(np.array([1e-6]), -1.0)
+
+    def test_worst_case_level_drift_grows(self):
+        model = RetentionModel()
+        level_map = LevelMap()
+        early = model.worst_case_level_drift(level_map.step, 1e3)
+        late = model.worst_case_level_drift(level_map.step, 1e7)
+        assert late > early > 0.0
+
+    def test_drift_within_one_level_for_an_hour(self):
+        """Calibration guard: an inference session (~1 h) loses < 1 level."""
+        model = RetentionModel()
+        level_map = LevelMap()
+        assert model.worst_case_level_drift(level_map.step, 3600.0) < 1.0

@@ -1,0 +1,134 @@
+"""Unit tests for the Stanford-PKU RRAM compact model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.constants import G_MAX, G_MIN, RRAMParams, V_READ
+from repro.devices.stanford_pku import StanfordPKUModel
+
+
+@pytest.fixture()
+def params() -> RRAMParams:
+    return RRAMParams()
+
+
+class TestCurrentLaw:
+    def test_current_zero_at_zero_bias(self, params):
+        device = StanfordPKUModel(params)
+        assert device.current(0.0) == 0.0
+
+    def test_current_sign_follows_voltage(self, params):
+        device = StanfordPKUModel(params)
+        assert device.current(0.3) > 0.0
+        assert device.current(-0.3) < 0.0
+
+    def test_current_increases_with_voltage(self, params):
+        device = StanfordPKUModel(params)
+        currents = [device.current(v) for v in (0.05, 0.1, 0.2, 0.4)]
+        assert all(b > a for a, b in zip(currents, currents[1:]))
+
+    def test_current_decreases_with_gap(self, params):
+        lo = StanfordPKUModel(params, gap=params.gap_min)
+        hi = StanfordPKUModel(params, gap=params.gap_max)
+        assert lo.current(V_READ) > hi.current(V_READ)
+
+    def test_voltage_for_current_inverts_current(self, params):
+        device = StanfordPKUModel(params, gap=1.0e-9)
+        for target in (1e-6, 1e-5, 5e-5):
+            v = device.voltage_for_current(target)
+            assert device.current(v) == pytest.approx(target, rel=1e-9)
+
+
+class TestConductanceRange:
+    def test_full_set_state_covers_g_max(self, params):
+        device = StanfordPKUModel(params, gap=params.gap_min)
+        assert device.conductance() > G_MAX
+
+    def test_full_reset_state_at_or_below_g_min(self, params):
+        device = StanfordPKUModel(params, gap=params.gap_max)
+        assert device.conductance() <= G_MIN * 1.25
+
+    def test_gap_for_conductance_roundtrip(self, params):
+        for g in np.linspace(2e-6, 90e-6, 12):
+            gap = params.gap_for_conductance(g)
+            device = StanfordPKUModel(params, gap=gap)
+            assert device.conductance() == pytest.approx(g, rel=1e-6)
+
+    def test_gap_for_conductance_rejects_nonpositive(self, params):
+        with pytest.raises(ValueError):
+            params.gap_for_conductance(0.0)
+
+    @given(g=st.floats(min_value=1.2e-6, max_value=9.9e-5))
+    @settings(max_examples=40, deadline=None)
+    def test_gap_conductance_monotone_inverse(self, g):
+        params = RRAMParams()
+        gap = params.gap_for_conductance(g)
+        gap_bigger = params.gap_for_conductance(g * 1.1)
+        assert gap_bigger <= gap  # more conductance = smaller gap
+
+
+class TestGapDynamics:
+    def test_positive_voltage_shrinks_gap(self, params):
+        device = StanfordPKUModel(params, gap=1.0e-9)
+        assert device.gap_velocity(0.8) < 0.0
+
+    def test_negative_voltage_grows_gap(self, params):
+        device = StanfordPKUModel(params, gap=1.0e-9)
+        assert device.gap_velocity(-0.8) > 0.0
+
+    def test_zero_voltage_is_static(self, params):
+        device = StanfordPKUModel(params, gap=1.0e-9)
+        assert device.gap_velocity(0.0) == 0.0
+
+    def test_apply_voltage_respects_gap_bounds(self, params):
+        device = StanfordPKUModel(params, gap=1.0e-9)
+        device.apply_voltage(5.0, 1e-6)  # massive SET drive
+        assert device.gap == pytest.approx(params.gap_min)
+        device.apply_voltage(-5.0, 1e-6)  # massive RESET drive
+        assert device.gap == pytest.approx(params.gap_max)
+
+    def test_apply_voltage_returns_new_gap(self, params):
+        device = StanfordPKUModel(params)
+        returned = device.apply_voltage(1.2, 30e-9)
+        assert returned == device.gap
+
+    def test_read_voltage_barely_disturbs(self, params):
+        device = StanfordPKUModel(params, gap=1.0e-9)
+        before = device.gap
+        device.apply_voltage(V_READ, 1e-6)  # long read
+        assert abs(device.gap - before) < 0.02e-9
+
+    def test_clone_is_independent(self, params):
+        device = StanfordPKUModel(params, gap=1.0e-9)
+        copy = device.clone()
+        copy.apply_voltage(2.0, 1e-7)
+        assert device.gap == pytest.approx(1.0e-9)
+        assert copy.gap < device.gap
+
+    def test_reset_state(self, params):
+        device = StanfordPKUModel(params, gap=0.5e-9)
+        device.reset_state()
+        assert device.gap == params.gap_max
+
+
+class TestThermalFeedback:
+    def test_joule_heating_accelerates_switching_at_moderate_bias(self):
+        """Below the crossover bias (γ·a0/L·V < Ea) heating speeds switching.
+
+        The net temperature exponent is ``(γ·a0/L·V − Ea)/kT``: at moderate
+        bias the Arrhenius factor dominates and Joule heating accelerates
+        the filament; at high bias the thermal-voltage dilution of the
+        field-drive term wins instead.  Both regimes are physical; this test
+        pins the moderate-bias one.
+        """
+        cold = RRAMParams(rth=0.0)
+        hot = RRAMParams(rth=1e6)
+        v = 0.6  # γ·a0/L·V ≈ 0.49 eV < Ea = 0.65 eV
+        gap = 0.6e-9
+        cold_rate = abs(StanfordPKUModel(cold, gap=gap).gap_velocity(v))
+        hot_rate = abs(StanfordPKUModel(hot, gap=gap).gap_velocity(v))
+        assert hot_rate > cold_rate

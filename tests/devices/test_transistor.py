@@ -1,0 +1,86 @@
+"""Unit tests for the square-law NMOS selector."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.constants import TransistorParams
+from repro.devices.transistor import NMOSTransistor
+
+
+@pytest.fixture()
+def nmos() -> NMOSTransistor:
+    return NMOSTransistor(TransistorParams())
+
+
+class TestRegions:
+    def test_cutoff_below_threshold(self, nmos):
+        assert nmos.drain_current(nmos.params.vth - 0.05, 1.0) == 0.0
+
+    def test_saturation_current_grows_with_gate(self, nmos):
+        currents = [nmos.saturation_current(v) for v in (0.6, 0.8, 1.0, 1.4)]
+        assert all(b > a for a, b in zip(currents, currents[1:]))
+
+    def test_saturation_current_quadratic(self, nmos):
+        vth = nmos.params.vth
+        i1 = nmos.saturation_current(vth + 0.2)
+        i2 = nmos.saturation_current(vth + 0.4)
+        assert i2 == pytest.approx(4.0 * i1, rel=1e-9)
+
+    def test_triode_continuous_with_saturation(self, nmos):
+        """Current must be continuous across the v_ds = v_ov boundary."""
+        v_gs = 1.0
+        v_ov = v_gs - nmos.params.vth
+        below = nmos.drain_current(v_gs, v_ov - 1e-9)
+        above = nmos.drain_current(v_gs, v_ov + 1e-9)
+        assert below == pytest.approx(above, rel=1e-5)
+
+    def test_saturation_region_nearly_flat(self, nmos):
+        v_gs = 1.0
+        i1 = nmos.drain_current(v_gs, 1.0)
+        i2 = nmos.drain_current(v_gs, 1.5)
+        assert i2 > i1  # channel-length modulation
+        assert (i2 - i1) / i1 < 0.05  # but only a few percent
+
+    def test_channel_length_modulation_slope(self):
+        flat = NMOSTransistor(TransistorParams(lam=0.0))
+        assert flat.drain_current(1.0, 1.0) == pytest.approx(
+            flat.drain_current(1.0, 2.0)
+        )
+
+
+class TestSymmetry:
+    def test_reverse_conduction_mirrors(self, nmos):
+        """With v_ds < 0 the device conducts with source/drain swapped.
+
+        Same physical bias both ways: gate at 1.5 V, one terminal at 0 V,
+        the other at 0.3 V.  Viewed from the 0.3 V terminal the gate-source
+        voltage is 1.2 V and v_ds = −0.3 V; the current must be equal and
+        opposite to the forward view.
+        """
+        forward = nmos.drain_current(1.5, 0.3)
+        reverse = nmos.drain_current(1.2, -0.3)
+        assert reverse == pytest.approx(-forward, rel=1e-9)
+
+    @given(
+        v_gs=st.floats(min_value=0.5, max_value=2.5),
+        v_ds=st.floats(min_value=0.01, max_value=2.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_current_nonnegative_forward(self, v_gs, v_ds):
+        nmos = NMOSTransistor(TransistorParams())
+        assert nmos.drain_current(v_gs, v_ds) >= 0.0
+
+
+class TestOnResistance:
+    def test_on_resistance_infinite_when_off(self, nmos):
+        assert nmos.on_resistance(0.1) == float("inf")
+
+    def test_on_resistance_decreases_with_gate(self, nmos):
+        assert nmos.on_resistance(3.0) < nmos.on_resistance(1.0)
+
+    def test_on_resistance_matches_triode_slope(self, nmos):
+        v_gs = 2.0
+        dv = 1e-6
+        slope = nmos.drain_current(v_gs, dv) / dv
+        assert 1.0 / slope == pytest.approx(nmos.on_resistance(v_gs), rel=1e-3)

@@ -1,0 +1,149 @@
+"""AMC macro integration tests: configure → program → compute, all modes."""
+
+import numpy as np
+import pytest
+
+from repro.analog.egv import estimate_dominant_eigenvalue
+from repro.analog.topologies import AMCMode
+from repro.arrays.mapping import DifferentialMapping
+from repro.macro.amc_macro import AMCMacro, PlaneLayout
+from repro.workloads.matrices import wishart
+
+
+def _macro(seed=0, rows=32, cols=32) -> AMCMacro:
+    return AMCMacro(macro_id=seed % 15, rows=rows, cols=cols, rng=np.random.default_rng(seed))
+
+
+def _spd(seed=0, n=12):
+    return wishart(n, rng=np.random.default_rng(seed)) + 0.3 * np.eye(n)
+
+
+class TestConfiguration:
+    def test_configure_writes_registers(self):
+        macro = _macro()
+        config = macro.configure(AMCMode.MVM, 8, 8, g_f=2e-3)
+        assert macro.config == config
+        assert config.g_f == pytest.approx(2e-3, rel=0.3)
+
+    def test_paired_columns_doubles_physical_width(self):
+        macro = _macro()
+        config = macro.configure(AMCMode.MVM, 8, 8, layout=PlaneLayout.PAIRED_COLUMNS)
+        assert config.cols == 16
+
+    def test_mode_mismatch_raises(self):
+        macro = _macro()
+        macro.configure(AMCMode.MVM, 8, 8)
+        with pytest.raises(RuntimeError, match="configured for mvm"):
+            macro.compute_inv(np.zeros(8))
+
+    def test_set_g_f_only_touches_ladder(self):
+        macro = _macro()
+        before = macro.configure(AMCMode.MVM, 8, 8, g_f=1e-3)
+        actual = macro.set_g_f(4e-3)
+        after = macro.config
+        assert after.g_f == pytest.approx(actual)
+        assert (after.rows, after.cols, after.mode) == (before.rows, before.cols, before.mode)
+
+    def test_egv_requires_g_lambda(self):
+        macro = _macro()
+        macro.configure(AMCMode.EGV, 8, 8, layout=PlaneLayout.PAIRED_COLUMNS)
+        macro.program_mapping(DifferentialMapping.from_matrix(np.eye(8)))
+        with pytest.raises(RuntimeError, match="g_lambda"):
+            macro.compute_egv()
+
+
+class TestMVM:
+    def test_paired_columns_mvm(self):
+        matrix = np.random.default_rng(1).uniform(-1, 1, size=(12, 12))
+        mapping = DifferentialMapping.from_matrix(matrix)
+        macro = _macro(2)
+        macro.configure(AMCMode.MVM, 12, 12, layout=PlaneLayout.PAIRED_COLUMNS, g_f=2e-3)
+        macro.program_mapping(mapping)
+        x = np.random.default_rng(3).uniform(-0.3, 0.3, 12)
+        result = macro.compute_mvm(x)
+        decoded = -result.values * macro.config.g_f * mapping.value_scale
+        reference = matrix @ x
+        assert np.linalg.norm(decoded - reference) / np.linalg.norm(reference) < 0.35
+
+    def test_paired_arrays_mvm(self):
+        matrix = np.random.default_rng(4).uniform(-1, 1, size=(16, 16))
+        mapping = DifferentialMapping.from_matrix(matrix)
+        primary, partner = _macro(5), _macro(6)
+        primary.configure(AMCMode.MVM, 16, 16, layout=PlaneLayout.PAIRED_ARRAYS, g_f=2e-3)
+        partner.configure(AMCMode.MVM, 16, 16)
+        primary.program_mapping(mapping, partner=partner)
+        x = np.random.default_rng(7).uniform(-0.3, 0.3, 16)
+        result = primary.compute_mvm(x, partner=partner)
+        decoded = -result.values * primary.config.g_f * mapping.value_scale
+        reference = matrix @ x
+        assert np.linalg.norm(decoded - reference) / np.linalg.norm(reference) < 0.35
+
+    def test_paired_arrays_requires_partner(self):
+        macro = _macro(8)
+        macro.configure(AMCMode.MVM, 8, 8, layout=PlaneLayout.PAIRED_ARRAYS)
+        mapping = DifferentialMapping.from_matrix(np.eye(8))
+        with pytest.raises(ValueError, match="partner"):
+            macro.program_mapping(mapping)
+
+    def test_solve_count_increments(self):
+        macro = _macro(9)
+        macro.configure(AMCMode.MVM, 8, 8, layout=PlaneLayout.PAIRED_COLUMNS)
+        macro.program_mapping(DifferentialMapping.from_matrix(np.eye(8)))
+        macro.compute_mvm(np.zeros(8))
+        macro.compute_mvm(np.zeros(8))
+        assert macro.solve_count == 2
+
+
+class TestINV:
+    def test_paired_columns_inv(self):
+        matrix = _spd(10)
+        mapping = DifferentialMapping.from_matrix(matrix)
+        macro = _macro(11)
+        # g_f sized manually here; GramcSolver normally auto-ranges this.
+        macro.configure(AMCMode.INV, 12, 12, layout=PlaneLayout.PAIRED_COLUMNS, g_f=5e-5)
+        macro.program_mapping(mapping)
+        b = np.random.default_rng(12).uniform(-0.2, 0.2, 12)
+        result = macro.compute_inv(b)
+        assert result.ok
+        i_in = macro.config.g_f * b
+        reference = -np.linalg.solve(matrix / mapping.value_scale, i_in)
+        error = np.linalg.norm(result.values - reference) / np.linalg.norm(reference)
+        assert error < 0.4
+
+
+class TestPINV:
+    def test_two_macro_least_squares(self):
+        matrix = np.random.default_rng(13).standard_normal((24, 6))
+        map_a = DifferentialMapping.from_matrix(matrix)
+        map_at = DifferentialMapping.from_matrix(matrix.T)
+        # The transpose tile (6×24, paired columns) needs 48 physical columns.
+        primary, partner_t = _macro(14, rows=32, cols=64), _macro(15, rows=32, cols=64)
+        primary.configure(AMCMode.PINV, 24, 6, layout=PlaneLayout.PAIRED_COLUMNS, g_f=1e-4)
+        partner_t.configure(AMCMode.PINV, 6, 24, layout=PlaneLayout.PAIRED_COLUMNS, g_f=1e-4)
+        primary.program_mapping(map_a)
+        partner_t.program_mapping(map_at)
+        b = np.random.default_rng(16).uniform(-0.5, 0.5, 24)
+        result = primary.compute_pinv(b, partner_t=partner_t)
+        assert result.ok
+        i_in = primary.config.g_f * b
+        reference = -np.linalg.pinv(matrix / map_a.value_scale) @ i_in
+        error = np.linalg.norm(result.values - reference) / np.linalg.norm(reference)
+        assert error < 0.3
+
+
+class TestEGV:
+    def test_gram_eigenvector(self):
+        data = np.random.default_rng(17).standard_normal((12, 4))
+        matrix = data @ data.T / 4
+        mapping = DifferentialMapping.from_matrix(matrix)
+        lam = estimate_dominant_eigenvalue(mapping.decode()) * 0.93
+        macro = _macro(18)
+        macro.configure(
+            AMCMode.EGV, 12, 12, layout=PlaneLayout.PAIRED_COLUMNS,
+            g_lambda=lam / mapping.value_scale,
+        )
+        macro.program_mapping(mapping)
+        result = macro.compute_egv()
+        eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+        reference = eigenvectors[:, -1]
+        assert abs(result.values @ reference) > 0.95

@@ -1,0 +1,105 @@
+"""Register array: encode/decode roundtrips and ladder codes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analog.topologies import AMCMode
+from repro.macro.registers import (
+    G_F_STEP,
+    G_LAMBDA_STEP,
+    MacroConfig,
+    MacroRole,
+    RegisterArray,
+    decode,
+    encode,
+    g_f_code_for,
+    g_lambda_code_for,
+)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_example(self):
+        config = MacroConfig(
+            mode=AMCMode.PINV, rows=128, cols=6, row_offset=0, col_offset=12,
+            g_f_code=10, g_lambda_code=321, role=MacroRole.PARTNER_T,
+        )
+        assert decode(encode(config)) == config
+
+    @given(
+        mode=st.sampled_from(list(AMCMode)),
+        rows=st.integers(min_value=1, max_value=256),
+        cols=st.integers(min_value=1, max_value=256),
+        row_offset=st.integers(min_value=0, max_value=255),
+        col_offset=st.integers(min_value=0, max_value=255),
+        g_f_code=st.integers(min_value=0, max_value=255),
+        g_lambda_code=st.integers(min_value=0, max_value=65535),
+        role=st.sampled_from(list(MacroRole)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, **kwargs):
+        config = MacroConfig(**kwargs)
+        assert decode(encode(config)) == config
+
+    def test_word_fits_64_bits(self):
+        config = MacroConfig(
+            mode=AMCMode.EGV, rows=256, cols=256, row_offset=255, col_offset=255,
+            g_f_code=255, g_lambda_code=65535, role=MacroRole.PARTNER_T_NEG,
+        )
+        assert 0 <= encode(config) < (1 << 64)
+
+    def test_decode_rejects_bad_word(self):
+        with pytest.raises(ValueError):
+            decode(-1)
+        with pytest.raises(ValueError):
+            decode(1 << 64)
+
+
+class TestLadders:
+    def test_g_f_ladder(self):
+        config = MacroConfig(mode=AMCMode.MVM, rows=1, cols=1, g_f_code=39)
+        assert config.g_f == pytest.approx(1e-3)
+
+    def test_g_f_code_for_roundtrip(self):
+        for g_f in (2.5e-5, 1e-3, 6.4e-3):
+            code = g_f_code_for(g_f)
+            config = MacroConfig(mode=AMCMode.MVM, rows=1, cols=1, g_f_code=code)
+            assert config.g_f == pytest.approx(g_f, rel=0.5)
+
+    def test_g_f_code_clamps(self):
+        assert g_f_code_for(1.0) == 255
+        assert g_f_code_for(1e-9) == 0
+
+    def test_g_lambda_ladder_resolution(self):
+        """λ quantization must cost far less than 4-bit matrix quantization."""
+        target = 123.4e-6
+        code = g_lambda_code_for(target)
+        assert abs(code * G_LAMBDA_STEP - target) <= G_LAMBDA_STEP / 2
+
+    def test_g_lambda_rejects_negative(self):
+        with pytest.raises(ValueError):
+            g_lambda_code_for(-1e-6)
+
+
+class TestValidation:
+    def test_rows_out_of_range(self):
+        with pytest.raises(ValueError):
+            MacroConfig(mode=AMCMode.MVM, rows=0, cols=1)
+        with pytest.raises(ValueError):
+            MacroConfig(mode=AMCMode.MVM, rows=257, cols=1)
+
+    def test_register_array_lifecycle(self):
+        registers = RegisterArray()
+        assert not registers.configured
+        with pytest.raises(RuntimeError):
+            registers.read()
+        config = MacroConfig(mode=AMCMode.INV, rows=8, cols=8)
+        registers.write(config)
+        assert registers.configured
+        assert registers.read() == config
+
+    def test_write_word_validates(self):
+        registers = RegisterArray()
+        config = MacroConfig(mode=AMCMode.MVM, rows=16, cols=16)
+        word = encode(config)
+        assert registers.write_word(word) == config

@@ -1,0 +1,61 @@
+"""Switch-fabric tests: connection lists and short detection."""
+
+import pytest
+
+from repro.analog.topologies import AMCMode
+from repro.macro.switches import (
+    Connection,
+    Terminal,
+    build_connections,
+    validate_connections,
+)
+
+
+class TestBuildConnections:
+    @pytest.mark.parametrize("mode", list(AMCMode))
+    def test_all_modes_validate(self, mode):
+        connections = build_connections(mode, rows=8, cols=8, differential=True)
+        validate_connections(connections)  # must not raise
+
+    def test_mvm_drives_bls_from_dac(self):
+        connections = build_connections(AMCMode.MVM, 4, 4, differential=False)
+        dac_lines = [c.line for c in connections if c.terminal is Terminal.DAC]
+        assert dac_lines == [f"BL[{j}]" for j in range(4)]
+
+    def test_inv_feeds_back_opa_outputs(self):
+        connections = build_connections(AMCMode.INV, 4, 4, differential=False)
+        feedback = [c for c in connections if c.terminal is Terminal.OPA_OUT]
+        assert {c.line for c in feedback} == {f"BL[{j}]" for j in range(4)}
+
+    def test_differential_adds_inverter_lines(self):
+        plain = build_connections(AMCMode.MVM, 4, 4, differential=False)
+        diff = build_connections(AMCMode.MVM, 4, 4, differential=True)
+        inverter_lines = [c for c in diff if c.terminal is Terminal.INVERTER_OUT]
+        assert len(diff) == len(plain) + 4
+        assert len(inverter_lines) == 4
+
+    def test_every_row_has_virtual_ground(self):
+        for mode in AMCMode:
+            connections = build_connections(mode, 6, 3, differential=False)
+            virtual_grounds = {
+                c.line for c in connections if c.terminal is Terminal.OPA_VIN
+            }
+            assert virtual_grounds == {f"SL[{i}]" for i in range(6)}
+
+
+class TestValidator:
+    def test_detects_short(self):
+        shorted = [
+            Connection("BL[0]", Terminal.OPA_OUT, 0),
+            Connection("BL[0]", Terminal.INVERTER_OUT, 1),
+        ]
+        with pytest.raises(ValueError, match="short"):
+            validate_connections(shorted)
+
+    def test_sensing_terminals_may_share(self):
+        shared = [
+            Connection("SL[0]", Terminal.OPA_VIN, 0),
+            Connection("SL[0]", Terminal.DAC, 0),  # current injection
+            Connection("SL[0]", Terminal.ADC, 0),
+        ]
+        validate_connections(shared)  # must not raise

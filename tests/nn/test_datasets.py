@@ -1,0 +1,76 @@
+"""SynthDigits dataset tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.datasets import IMAGE_SIZE, NUM_CLASSES, render_digit, synth_digits
+
+
+class TestRenderer:
+    def test_image_shape_and_range(self):
+        image = render_digit(3, np.random.default_rng(0))
+        assert image.shape == (IMAGE_SIZE, IMAGE_SIZE)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_digit_has_ink(self):
+        for digit in range(10):
+            image = render_digit(digit, np.random.default_rng(digit))
+            assert image.sum() > 5.0, f"digit {digit} rendered empty"
+
+    def test_instances_differ(self):
+        rng = np.random.default_rng(1)
+        a = render_digit(7, rng)
+        b = render_digit(7, rng)
+        assert not np.array_equal(a, b)
+
+    def test_unknown_digit_rejected(self):
+        with pytest.raises(ValueError):
+            render_digit(10, np.random.default_rng(0))
+
+    def test_classes_are_distinguishable(self):
+        """Mean images of different digits must differ substantially."""
+        rng = np.random.default_rng(2)
+        means = []
+        for digit in (0, 1):
+            stack = np.stack([render_digit(digit, rng) for _ in range(20)])
+            means.append(stack.mean(axis=0))
+        difference = np.abs(means[0] - means[1]).mean()
+        assert difference > 0.05
+
+
+class TestDataset:
+    def test_shapes(self):
+        data = synth_digits(50, rng=np.random.default_rng(3))
+        assert data.images.shape == (50, 1, IMAGE_SIZE, IMAGE_SIZE)
+        assert data.labels.shape == (50,)
+        assert len(data) == 50
+
+    def test_balanced_classes(self):
+        data = synth_digits(100, rng=np.random.default_rng(4))
+        counts = np.bincount(data.labels, minlength=NUM_CLASSES)
+        assert counts.min() == counts.max() == 10
+
+    def test_reproducible(self):
+        a = synth_digits(20, rng=np.random.default_rng(5))
+        b = synth_digits(20, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_subset(self):
+        data = synth_digits(30, rng=np.random.default_rng(6))
+        sub = data.subset(np.arange(5))
+        assert len(sub) == 5
+
+    def test_batches_cover_epoch(self):
+        data = synth_digits(25, rng=np.random.default_rng(7))
+        seen = 0
+        for images, labels in data.batches(8, np.random.default_rng(8)):
+            assert images.shape[0] == labels.shape[0]
+            seen += labels.shape[0]
+        assert seen == 25
+
+    def test_difficulty_increases_noise(self):
+        easy = synth_digits(30, rng=np.random.default_rng(9), difficulty=0.3)
+        hard = synth_digits(30, rng=np.random.default_rng(9), difficulty=2.0)
+        # Heavier distortions raise background (off-stroke) intensity spread.
+        assert hard.images.std() != easy.images.std()

@@ -1,0 +1,170 @@
+"""Layer tests: im2col correctness, forward math, numeric gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    col2im,
+    im2col,
+    softmax_cross_entropy,
+)
+
+
+class TestIm2Col:
+    def test_matches_naive_convolution(self):
+        rng = np.random.default_rng(0)
+        images = rng.standard_normal((2, 3, 8, 8))
+        kernel = rng.standard_normal((4, 3, 3, 3))
+        cols = im2col(images, 3)
+        out = cols @ kernel.reshape(4, -1).T  # (n, positions, out_c)
+        out = out.transpose(0, 2, 1).reshape(2, 4, 6, 6)
+        # Naive reference
+        naive = np.zeros((2, 4, 6, 6))
+        for n in range(2):
+            for f in range(4):
+                for i in range(6):
+                    for j in range(6):
+                        patch = images[n, :, i : i + 3, j : j + 3]
+                        naive[n, f, i, j] = np.sum(patch * kernel[f])
+        np.testing.assert_allclose(out, naive, rtol=1e-10)
+
+    def test_col2im_is_adjoint(self):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((2, 2, 6, 6))
+        cols = im2col(x, 3)
+        y = rng.standard_normal(cols.shape)
+        lhs = np.sum(cols * y)
+        rhs = np.sum(x * col2im(y, x.shape, 3))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestForward:
+    def test_conv_output_shape(self):
+        conv = Conv2D(1, 6, 5, np.random.default_rng(0))
+        out = conv.forward(np.zeros((3, 1, 28, 28)))
+        assert out.shape == (3, 6, 24, 24)
+
+    def test_dense_math(self):
+        dense = Dense(4, 2, np.random.default_rng(1))
+        x = np.random.default_rng(2).standard_normal((5, 4))
+        np.testing.assert_allclose(dense.forward(x), x @ dense.weight.T + dense.bias)
+
+    def test_maxpool(self):
+        pool = MaxPool2D()
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = pool.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_relu_and_flatten(self):
+        x = np.array([[[[-1.0, 2.0], [3.0, -4.0]]]])
+        activated = ReLU().forward(x)
+        assert activated.min() == 0.0
+        flat = Flatten().forward(activated)
+        assert flat.shape == (1, 4)
+
+
+class TestGradients:
+    def _numeric_gradient(self, f, x, eps=1e-6):
+        grad = np.zeros_like(x)
+        it = np.nditer(x, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            orig = x[idx]
+            x[idx] = orig + eps
+            hi = f()
+            x[idx] = orig - eps
+            lo = f()
+            x[idx] = orig
+            grad[idx] = (hi - lo) / (2 * eps)
+            it.iternext()
+        return grad
+
+    def test_dense_weight_gradient(self):
+        rng = np.random.default_rng(3)
+        dense = Dense(5, 3, rng)
+        x = rng.standard_normal((4, 5))
+        labels = np.array([0, 1, 2, 1])
+
+        def loss():
+            logits = dense.forward(x, training=True)
+            return softmax_cross_entropy(logits, labels)[0]
+
+        logits = dense.forward(x, training=True)
+        _, grad_logits = softmax_cross_entropy(logits, labels)
+        dense.backward(grad_logits)
+        numeric = self._numeric_gradient(loss, dense.weight)
+        np.testing.assert_allclose(dense.grad_weight, numeric, atol=1e-5)
+
+    def test_conv_weight_gradient(self):
+        rng = np.random.default_rng(4)
+        conv = Conv2D(1, 2, 3, rng)
+        x = rng.standard_normal((2, 1, 5, 5))
+        labels = np.array([0, 1])
+
+        def loss():
+            out = conv.forward(x, training=True)
+            logits = out.reshape(2, -1)[:, :2]
+            return softmax_cross_entropy(logits, labels)[0]
+
+        out = conv.forward(x, training=True)
+        logits = out.reshape(2, -1)[:, :2]
+        _, grad_logits = softmax_cross_entropy(logits, labels)
+        grad_out = np.zeros_like(out.reshape(2, -1))
+        grad_out[:, :2] = grad_logits
+        conv.backward(grad_out.reshape(out.shape))
+        numeric = self._numeric_gradient(loss, conv.weight)
+        np.testing.assert_allclose(conv.grad_weight, numeric, atol=1e-5)
+
+    def test_input_gradient_through_stack(self):
+        """Backprop through conv→relu→pool→flatten→dense vs numeric."""
+        rng = np.random.default_rng(5)
+        conv = Conv2D(1, 2, 3, rng)
+        pool = MaxPool2D()
+        relu = ReLU()
+        flatten = Flatten()
+        dense = Dense(8, 3, rng)
+        x = rng.standard_normal((1, 1, 6, 6))
+        labels = np.array([1])
+
+        def forward_loss():
+            h = conv.forward(x, training=True)
+            h = relu.forward(h, training=True)
+            h = pool.forward(h, training=True)
+            h = flatten.forward(h, training=True)
+            logits = dense.forward(h, training=True)
+            return softmax_cross_entropy(logits, labels)[0]
+
+        forward_loss()
+        h = conv.forward(x, training=True)
+        h = relu.forward(h, training=True)
+        h = pool.forward(h, training=True)
+        h = flatten.forward(h, training=True)
+        logits = dense.forward(h, training=True)
+        _, grad = softmax_cross_entropy(logits, labels)
+        grad = dense.backward(grad)
+        grad = flatten.backward(grad)
+        grad = pool.backward(grad)
+        grad = relu.backward(grad)
+        grad_x = conv.backward(grad)
+
+        numeric = self._numeric_gradient(forward_loss, x)
+        np.testing.assert_allclose(grad_x, numeric, atol=1e-5)
+
+
+class TestLoss:
+    def test_cross_entropy_of_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradient_sums_to_zero_per_sample(self):
+        rng = np.random.default_rng(6)
+        logits = rng.standard_normal((5, 10))
+        _, grad = softmax_cross_entropy(logits, rng.integers(0, 10, 5))
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)

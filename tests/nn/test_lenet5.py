@@ -1,0 +1,96 @@
+"""LeNet-5 model tests: shapes, training, state dict, analog deployment."""
+
+import numpy as np
+import pytest
+
+from repro.core.pool import MacroPool, PoolConfig
+from repro.core.solver import GramcSolver
+from repro.nn.analog_inference import AnalogLeNet5
+from repro.nn.datasets import synth_digits
+from repro.nn.lenet5 import LeNet5
+from repro.nn.train import Adam, train_lenet5
+
+
+@pytest.fixture(scope="module")
+def tiny_data():
+    train = synth_digits(1000, rng=np.random.default_rng(1), difficulty=0.8)
+    test = synth_digits(120, rng=np.random.default_rng(2), difficulty=0.8)
+    return train, test
+
+
+@pytest.fixture(scope="module")
+def trained_model(tiny_data):
+    train, test = tiny_data
+    model = LeNet5(np.random.default_rng(0))
+    train_lenet5(model, train, test, epochs=3, rng=np.random.default_rng(3))
+    return model
+
+
+class TestArchitecture:
+    def test_paper_topology_shapes(self):
+        """[1,28,28]→[6,24,24]→[6,12,12]→[16,8,8]→[16,4,4]→256→120→84→10."""
+        model = LeNet5(np.random.default_rng(0))
+        assert model.conv1.weight.shape == (6, 25)
+        assert model.conv2.weight.shape == (16, 150)
+        assert model.fc1.weight.shape == (120, 256)
+        assert model.fc2.weight.shape == (84, 120)
+        assert model.fc3.weight.shape == (10, 84)
+        logits = model.forward(np.zeros((2, 1, 28, 28)))
+        assert logits.shape == (2, 10)
+
+    def test_state_dict_roundtrip(self):
+        a = LeNet5(np.random.default_rng(1))
+        b = LeNet5(np.random.default_rng(2))
+        b.load_state_dict(a.state_dict())
+        x = np.random.default_rng(3).random((1, 1, 28, 28))
+        np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+    def test_parameters_and_gradients_align(self):
+        model = LeNet5(np.random.default_rng(4))
+        assert len(model.parameters()) == len(model.gradients()) == 10
+
+
+class TestTraining:
+    def test_loss_decreases(self, tiny_data):
+        train, test = tiny_data
+        model = LeNet5(np.random.default_rng(5))
+        report = train_lenet5(model, train, test, epochs=2, rng=np.random.default_rng(6))
+        assert report.epoch_losses[-1] < report.epoch_losses[0]
+
+    def test_accuracy_beats_chance(self, trained_model, tiny_data):
+        _, test = tiny_data
+        assert trained_model.accuracy(test.images, test.labels) > 0.5
+
+    def test_adam_updates_parameters(self):
+        params = [np.ones(3)]
+        grads = [np.full(3, 0.5)]
+        optimizer = Adam(params, lr=0.1)
+        optimizer.step(grads)
+        assert np.all(params[0] < 1.0)
+
+
+class TestAnalogDeployment:
+    def test_analog_int4_tracks_digital(self, trained_model, tiny_data):
+        _, test = tiny_data
+        solver = GramcSolver(
+            pool=MacroPool(PoolConfig(num_macros=16), rng=np.random.default_rng(7)),
+            rng=np.random.default_rng(8),
+        )
+        analog = AnalogLeNet5(trained_model, solver, bits=4)
+        digital_acc = trained_model.accuracy(test.images[:60], test.labels[:60])
+        analog_acc = analog.accuracy(test.images[:60], test.labels[:60])
+        assert analog_acc > digital_acc - 0.15
+
+    def test_bit_widths_validated(self, trained_model):
+        solver = GramcSolver()
+        with pytest.raises(ValueError):
+            AnalogLeNet5(trained_model, solver, bits=5)
+
+    def test_forward_shapes(self, trained_model):
+        solver = GramcSolver(
+            pool=MacroPool(PoolConfig(num_macros=16), rng=np.random.default_rng(9)),
+            rng=np.random.default_rng(10),
+        )
+        analog = AnalogLeNet5(trained_model, solver, bits=4)
+        logits = analog.forward(np.zeros((2, 1, 28, 28)))
+        assert logits.shape == (2, 10)

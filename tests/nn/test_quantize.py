@@ -1,0 +1,90 @@
+"""Quantization and bit-slicing tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.quantize import (
+    bit_slice_weight,
+    quantize_weight,
+    quantized_state_dict,
+)
+
+
+class TestQuantizeWeight:
+    def test_int8_code_range(self):
+        w = np.random.default_rng(0).standard_normal((16, 16))
+        q = quantize_weight(w, 8)
+        assert q.codes.max() <= 127 and q.codes.min() >= -127
+
+    def test_int4_code_range(self):
+        w = np.random.default_rng(1).standard_normal((16, 16))
+        q = quantize_weight(w, 4)
+        assert q.codes.max() <= 7 and q.codes.min() >= -7
+
+    def test_error_bounded_by_half_step(self):
+        w = np.random.default_rng(2).standard_normal((8, 8))
+        q = quantize_weight(w, 8)
+        assert np.max(np.abs(q.dequantized() - w)) <= q.scale / 2 + 1e-12
+
+    def test_int4_coarser_than_int8(self):
+        w = np.random.default_rng(3).standard_normal((32, 32))
+        err4 = np.max(np.abs(quantize_weight(w, 4).dequantized() - w))
+        err8 = np.max(np.abs(quantize_weight(w, 8).dequantized() - w))
+        assert err4 > err8
+
+    def test_zero_matrix(self):
+        q = quantize_weight(np.zeros((4, 4)), 4)
+        assert np.all(q.codes == 0)
+
+    @given(
+        w=arrays(
+            dtype=np.float64, shape=(6, 6),
+            elements=st.floats(min_value=-5.0, max_value=5.0),
+        ),
+        bits=st.sampled_from([4, 8]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dequantized_error_property(self, w, bits):
+        q = quantize_weight(w, bits)
+        assert np.max(np.abs(q.dequantized() - w)) <= q.scale / 2 + 1e-9
+
+
+class TestBitSlicing:
+    def test_reconstruction_matches_int8(self):
+        w = np.random.default_rng(4).standard_normal((12, 12))
+        q8 = quantize_weight(w, 8)
+        sliced = bit_slice_weight(w)
+        np.testing.assert_allclose(sliced.dequantized(), q8.dequantized(), atol=1e-12)
+
+    def test_nibble_ranges(self):
+        w = np.random.default_rng(5).standard_normal((20, 20))
+        sliced = bit_slice_weight(w)
+        assert np.max(np.abs(sliced.msb)) <= 7
+        assert np.max(np.abs(sliced.lsb)) <= 15
+
+    def test_signs_consistent(self):
+        """msb and lsb of one weight never carry opposite signs."""
+        w = np.random.default_rng(6).standard_normal((20, 20))
+        sliced = bit_slice_weight(w)
+        product = sliced.msb * sliced.lsb
+        assert np.all(product >= 0)
+
+
+class TestStateDict:
+    def test_only_weights_quantized(self):
+        state = {
+            "fc1.weight": np.random.default_rng(7).standard_normal((4, 4)),
+            "fc1.bias": np.array([0.123456789, -1.0, 0.5, 0.0]),
+        }
+        quantized = quantized_state_dict(state, 4)
+        np.testing.assert_array_equal(quantized["fc1.bias"], state["fc1.bias"])
+        assert not np.array_equal(quantized["fc1.weight"], state["fc1.weight"])
+
+    def test_copies_are_independent(self):
+        state = {"fc1.bias": np.zeros(3)}
+        quantized = quantized_state_dict(state, 8)
+        quantized["fc1.bias"][0] = 9.0
+        assert state["fc1.bias"][0] == 0.0

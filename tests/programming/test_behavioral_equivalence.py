@@ -1,0 +1,67 @@
+"""Fidelity of the fast behavioural programmer against the physical path.
+
+DESIGN.md promises that bulk array programming (the behavioural model) is
+statistically equivalent to running the pulse-level write-verify controller
+per cell.  These tests quantify that: both paths must land inside the same
+tolerance band around the target, with comparable spread.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices.cell import OneT1R
+from repro.devices.constants import DEFAULT_STACK
+from repro.programming.levels import LevelMap
+from repro.programming.write_verify import BehavioralProgrammer, WriteVerifyController
+
+_LEVEL_MAP = LevelMap()
+_TOL = DEFAULT_STACK.write_verify.tolerance * _LEVEL_MAP.step
+
+
+@pytest.fixture(scope="module")
+def physical_errors(shared_estimator) -> np.ndarray:
+    controller = WriteVerifyController(
+        DEFAULT_STACK, rng=np.random.default_rng(5), estimator=shared_estimator
+    )
+    rng = np.random.default_rng(21)
+    errors = []
+    for _ in range(24):
+        target = float(rng.uniform(8e-6, 95e-6))
+        cell = OneT1R(DEFAULT_STACK)
+        cell.rram.set_conductance(float(rng.uniform(1e-6, 110e-6)))
+        result = controller.program_conductance(cell, target)
+        errors.append(result.error)
+    return np.array(errors)
+
+
+@pytest.fixture(scope="module")
+def behavioral_errors() -> np.ndarray:
+    programmer = BehavioralProgrammer(DEFAULT_STACK, _LEVEL_MAP)
+    rng = np.random.default_rng(22)
+    targets = rng.uniform(8e-6, 95e-6, size=500)
+    achieved = programmer.program(targets, rng)
+    return achieved - targets
+
+
+class TestEquivalence:
+    def test_physical_path_stays_in_band(self, physical_errors):
+        assert np.max(np.abs(physical_errors)) <= 2.5 * _TOL
+
+    def test_behavioral_path_stays_in_band(self, behavioral_errors):
+        # Tolerance band plus the c2c lognormal tail.
+        assert np.max(np.abs(behavioral_errors)) <= 3.0 * _TOL + 0.1 * 95e-6 * 0.02 * 4
+
+    def test_spreads_comparable(self, physical_errors, behavioral_errors):
+        """Same order of magnitude of programming spread on both paths."""
+        physical_std = np.std(physical_errors)
+        behavioral_std = np.std(behavioral_errors)
+        assert 0.2 <= behavioral_std / physical_std <= 5.0
+
+    def test_behavioral_bias_small(self, behavioral_errors):
+        assert abs(np.mean(behavioral_errors)) <= _TOL
+
+    def test_behavioral_never_below_floor(self):
+        programmer = BehavioralProgrammer(DEFAULT_STACK, _LEVEL_MAP)
+        rng = np.random.default_rng(3)
+        achieved = programmer.program(np.full(100, 1e-6), rng)
+        assert np.all(achieved >= 0.8 * _LEVEL_MAP.g_min)

@@ -1,0 +1,152 @@
+"""Unit and property tests for level maps, quantizers and bit slicing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.programming.levels import (
+    LevelMap,
+    MatrixQuantizer,
+    combine_bit_slices,
+    split_bit_slices,
+)
+
+
+class TestLevelMap:
+    def test_defaults_match_paper(self):
+        level_map = LevelMap()
+        assert level_map.num_levels == 16
+        assert level_map.bits == 4
+        assert level_map.g_min == pytest.approx(1e-6)
+        assert level_map.g_max == pytest.approx(100e-6)
+
+    def test_step(self):
+        level_map = LevelMap()
+        assert level_map.step == pytest.approx(99e-6 / 15)
+
+    def test_level_to_conductance_endpoints(self):
+        level_map = LevelMap()
+        assert level_map.level_to_conductance(0) == pytest.approx(1e-6)
+        assert level_map.level_to_conductance(15) == pytest.approx(100e-6)
+
+    def test_level_roundtrip(self):
+        level_map = LevelMap()
+        levels = np.arange(16)
+        conductances = level_map.level_to_conductance(levels)
+        np.testing.assert_array_equal(level_map.conductance_to_level(conductances), levels)
+
+    def test_out_of_range_level_rejected(self):
+        level_map = LevelMap()
+        with pytest.raises(ValueError):
+            level_map.level_to_conductance(16)
+        with pytest.raises(ValueError):
+            level_map.level_to_conductance(-1)
+
+    def test_conductance_to_level_clips(self):
+        level_map = LevelMap()
+        assert level_map.conductance_to_level(0.0) == 0
+        assert level_map.conductance_to_level(1.0) == 15
+
+    def test_quantize_conductance_idempotent(self):
+        level_map = LevelMap()
+        g = np.linspace(1e-6, 100e-6, 33)
+        once = level_map.quantize_conductance(g)
+        twice = level_map.quantize_conductance(once)
+        np.testing.assert_allclose(once, twice)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            LevelMap(num_levels=1)
+        with pytest.raises(ValueError):
+            LevelMap(g_min=2e-6, g_max=1e-6)
+
+    @given(g=st.floats(min_value=1e-6, max_value=100e-6))
+    @settings(max_examples=60, deadline=None)
+    def test_quantization_error_bounded_by_half_step(self, g):
+        level_map = LevelMap()
+        snapped = float(level_map.quantize_conductance(g))
+        assert abs(snapped - g) <= level_map.step / 2.0 + 1e-18
+
+
+class TestMatrixQuantizer:
+    def test_fit_puts_peak_on_top_level(self):
+        matrix = np.array([[0.0, 3.0], [1.5, 0.75]])
+        quantizer = MatrixQuantizer.fit(matrix)
+        levels = quantizer.to_levels(matrix)
+        assert levels.max() == 15
+
+    def test_reconstruct_inverts_levels(self):
+        matrix = np.array([[0.0, 3.0], [1.5, 0.75]])
+        quantizer = MatrixQuantizer.fit(matrix)
+        rebuilt = quantizer.reconstruct(quantizer.to_levels(matrix))
+        assert np.max(np.abs(rebuilt - matrix)) <= quantizer.scale / 2.0 + 1e-12
+
+    def test_rejects_negative_values(self):
+        quantizer = MatrixQuantizer.fit(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            quantizer.to_levels(np.array([[-1.0, 0.0], [0.0, 0.0]]))
+
+    def test_zero_matrix(self):
+        quantizer = MatrixQuantizer.fit(np.zeros((3, 3)))
+        assert np.all(quantizer.to_levels(np.zeros((3, 3))) == 0)
+
+    def test_conductance_to_value_roundtrip(self):
+        matrix = np.abs(np.random.default_rng(0).standard_normal((6, 6)))
+        quantizer = MatrixQuantizer.fit(matrix)
+        conductances = quantizer.to_conductances(matrix)
+        values = quantizer.conductance_to_value(conductances)
+        assert np.max(np.abs(values - matrix)) <= quantizer.scale / 2.0 + 1e-12
+
+    @given(
+        matrix=arrays(
+            dtype=np.float64,
+            shape=(4, 4),
+            elements=st.floats(min_value=0.0, max_value=100.0),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_levels_always_in_range(self, matrix):
+        quantizer = MatrixQuantizer.fit(matrix)
+        levels = quantizer.to_levels(matrix)
+        assert levels.min() >= 0 and levels.max() <= 15
+
+
+class TestBitSlicing:
+    def test_split_combine_roundtrip(self):
+        values = np.arange(256)
+        msb, lsb = split_bit_slices(values)
+        np.testing.assert_array_equal(combine_bit_slices(msb, lsb), values.astype(float))
+
+    def test_nibble_ranges(self):
+        values = np.arange(256)
+        msb, lsb = split_bit_slices(values)
+        assert msb.max() == 15 and lsb.max() == 15
+        assert msb.min() == 0 and lsb.min() == 0
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            split_bit_slices(np.array([1.5]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            split_bit_slices(np.array([256]))
+        with pytest.raises(ValueError):
+            split_bit_slices(np.array([-1]))
+
+    def test_rejects_mismatched_widths(self):
+        with pytest.raises(ValueError):
+            split_bit_slices(np.array([1]), total_bits=8, slice_bits=3)
+
+    @given(
+        values=arrays(
+            dtype=np.int64, shape=(8,), elements=st.integers(min_value=0, max_value=255)
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, values):
+        msb, lsb = split_bit_slices(values)
+        np.testing.assert_array_equal(
+            combine_bit_slices(msb, lsb), values.astype(float)
+        )

@@ -1,0 +1,59 @@
+"""Unit tests for pulse descriptions and staircase generators."""
+
+import pytest
+
+from repro.devices.constants import WriteVerifyParams
+from repro.programming.pulses import (
+    PulseKind,
+    reset_pulse,
+    reset_staircase,
+    set_pulse,
+    set_staircase,
+)
+
+
+@pytest.fixture()
+def params() -> WriteVerifyParams:
+    return WriteVerifyParams()
+
+
+class TestPulseFactories:
+    def test_set_pulse_terminals(self, params):
+        pulse = set_pulse(0.7, params)
+        assert pulse.kind is PulseKind.SET
+        assert pulse.terminals() == (params.v_set, 0.0, 0.7)
+        assert pulse.width == params.pulse_width
+
+    def test_reset_pulse_terminals(self, params):
+        pulse = reset_pulse(0.8, params)
+        assert pulse.kind is PulseKind.RESET
+        assert pulse.terminals() == (0.0, 0.8, params.vg_reset)
+
+    def test_pulses_are_frozen(self, params):
+        pulse = set_pulse(0.7, params)
+        with pytest.raises(AttributeError):
+            pulse.v_g = 1.0  # type: ignore[misc]
+
+
+class TestStaircases:
+    def test_set_staircase_monotone_gate(self, params):
+        pulses = set_staircase(params)
+        voltages = [p.v_g for p in pulses]
+        assert all(b > a for a, b in zip(voltages, voltages[1:]))
+        assert voltages[0] == pytest.approx(params.vg_start)
+        assert voltages[-1] <= params.vg_max + 1e-9
+
+    def test_reset_staircase_monotone_sl(self, params):
+        pulses = reset_staircase(params)
+        voltages = [p.v_sl for p in pulses]
+        assert all(b > a for a, b in zip(voltages, voltages[1:]))
+        assert voltages[-1] <= params.vsl_max + 1e-9
+
+    def test_step_override_changes_count(self, params):
+        fine = set_staircase(params, v_g_step=0.005)
+        coarse = set_staircase(params, v_g_step=0.02)
+        assert len(fine) > 2 * len(coarse)
+
+    def test_start_override(self, params):
+        pulses = set_staircase(params, start=0.8)
+        assert pulses[0].v_g == pytest.approx(0.8)

@@ -1,0 +1,69 @@
+"""Unit tests for programming traces (the Fig. 1 record structure)."""
+
+import numpy as np
+import pytest
+
+from repro.programming.levels import LevelMap
+from repro.programming.pulses import PulseKind
+from repro.programming.traces import ProgrammingTrace
+
+
+def _trace(conductances) -> ProgrammingTrace:
+    trace = ProgrammingTrace(LevelMap())
+    for index, g in enumerate(conductances):
+        trace.record(PulseKind.SET, 0.5 + 0.01 * index, g)
+    return trace
+
+
+class TestBasics:
+    def test_len_and_pulse_numbers(self):
+        trace = _trace([1e-6, 2e-6, 3e-6])
+        assert len(trace) == 3
+        np.testing.assert_array_equal(trace.pulse_numbers, [1, 2, 3])
+
+    def test_levels_fractional(self):
+        level_map = LevelMap()
+        trace = _trace([level_map.level_to_conductance(5)])
+        assert trace.levels[0] == pytest.approx(5.0)
+
+    def test_reset_depth_inverts(self):
+        level_map = LevelMap()
+        trace = _trace([level_map.level_to_conductance(15)])
+        assert trace.reset_depth_levels[0] == pytest.approx(0.0)
+        trace2 = _trace([level_map.level_to_conductance(0)])
+        assert trace2.reset_depth_levels[0] == pytest.approx(15.0)
+
+
+class TestReachAndMonotone:
+    def test_pulses_to_reach_level_upward(self):
+        level_map = LevelMap()
+        gs = [level_map.level_to_conductance(k) for k in (0, 3, 7, 12, 15)]
+        trace = _trace(gs)
+        assert trace.pulses_to_reach_level(7.0) == 3
+        assert trace.pulses_to_reach_level(15.0) == 5
+        assert trace.pulses_to_reach_level(15.5) is None
+
+    def test_pulses_to_reach_level_downward(self):
+        level_map = LevelMap()
+        gs = [level_map.level_to_conductance(k) for k in (15, 10, 5, 0)]
+        trace = _trace(gs)
+        assert trace.pulses_to_reach_level(5.0, from_above=True) == 3
+
+    def test_monotone_detection(self):
+        level_map = LevelMap()
+        up = _trace([level_map.level_to_conductance(k) for k in (0, 2, 4, 8)])
+        assert up.is_monotone()
+        assert not up.is_monotone(decreasing=True)
+
+    def test_monotone_allows_slack(self):
+        level_map = LevelMap()
+        # A 0.2-level dip (read noise) should not break monotonicity.
+        gs = [
+            level_map.level_to_conductance(4),
+            level_map.level_to_conductance(4) - 0.2 * level_map.step,
+            level_map.level_to_conductance(6),
+        ]
+        assert _trace(gs).is_monotone(slack=0.25)
+
+    def test_empty_trace_is_monotone(self):
+        assert _trace([]).is_monotone()

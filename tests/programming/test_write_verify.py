@@ -1,0 +1,77 @@
+"""Closed-loop write-verify tests (the paper's §II-A state machine)."""
+
+import numpy as np
+import pytest
+
+from repro.devices.cell import OneT1R
+from repro.devices.constants import DEFAULT_STACK
+from repro.programming.levels import LevelMap
+from repro.programming.write_verify import VgEstimator, WriteVerifyController
+
+
+@pytest.fixture(scope="module")
+def controller(shared_estimator) -> WriteVerifyController:
+    return WriteVerifyController(
+        DEFAULT_STACK, rng=np.random.default_rng(3), estimator=shared_estimator
+    )
+
+
+def _cell(conductance: float | None = None) -> OneT1R:
+    cell = OneT1R(DEFAULT_STACK)
+    if conductance is None:
+        cell.rram.reset_state()
+    else:
+        cell.rram.set_conductance(conductance)
+    return cell
+
+
+class TestVgEstimator:
+    def test_monotone_lookup(self, shared_estimator):
+        v_low = shared_estimator.gate_voltage_for(5e-6)
+        v_high = shared_estimator.gate_voltage_for(80e-6)
+        assert v_high > v_low
+
+    def test_covers_top_of_window(self, shared_estimator):
+        assert shared_estimator.max_conductance >= 100e-6
+
+
+class TestClosedLoop:
+    @pytest.mark.parametrize("level", [0, 1, 4, 8, 12, 15])
+    def test_programs_each_level_within_band(self, controller, level):
+        level_map = LevelMap()
+        result = controller.program_level(_cell(), level)
+        assert result.success
+        tolerance = DEFAULT_STACK.write_verify.tolerance * level_map.step
+        assert abs(result.error) <= 2.0 * tolerance
+
+    def test_programs_down_from_high_state(self, controller):
+        result = controller.program_conductance(_cell(conductance=110e-6), 20e-6)
+        assert result.success
+        assert result.reset_pulses > 0
+
+    def test_already_in_band_needs_no_pulses(self, controller):
+        level_map = LevelMap()
+        target = float(level_map.level_to_conductance(8))
+        cell = _cell()
+        first = controller.program_conductance(cell, target)
+        assert first.success
+        again = controller.program_conductance(cell, target)
+        assert again.total_pulses == 0
+
+    def test_pulse_budget_respected(self, controller):
+        result = controller.program_conductance(_cell(), 60e-6)
+        assert result.total_pulses <= DEFAULT_STACK.write_verify.max_pulses
+
+    def test_result_accounting(self, controller):
+        result = controller.program_conductance(_cell(), 40e-6)
+        assert result.verify_reads >= result.total_pulses  # one read per pulse + initial
+        assert result.total_pulses == result.set_pulses + result.reset_pulses
+
+    def test_typical_pulse_count_is_modest(self, controller):
+        """The estimator jump-start keeps per-cell cost well under budget."""
+        counts = []
+        rng = np.random.default_rng(11)
+        for _ in range(8):
+            target = float(rng.uniform(10e-6, 95e-6))
+            counts.append(controller.program_conductance(_cell(), target).total_pulses)
+        assert np.mean(counts) < 25.0

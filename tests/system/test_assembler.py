@@ -1,0 +1,99 @@
+"""Assembler tests: parsing, labels, operand forms, errors."""
+
+import pytest
+
+from repro.system.assembler import AssemblyError, assemble, disassemble
+from repro.system.isa import Opcode, unpack_partners, unpack_pool_meta, unpack_pool_shape
+
+
+class TestBasicParsing:
+    def test_simple_program(self):
+        program = assemble(
+            """
+            ; configure and run
+            CFG  m0, 16
+            SETN 8
+            HALT
+            """
+        )
+        assert [i.op for i in program] == [Opcode.CFG, Opcode.SETN, Opcode.HALT]
+        assert program[0].arg0 == 0
+        assert program[0].arg1 == 16
+        assert program[1].arg1 == 8
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("# comment\n\nNOP ; trailing\n")
+        assert len(program) == 1
+
+    def test_macro_operands(self):
+        program = assemble("WRV m7, 100, 64")
+        assert program[0].arg0 == 7
+
+    def test_hex_operands(self):
+        program = assemble("SETN 0x10")
+        assert program[0].arg1 == 16
+
+
+class TestLabels:
+    def test_forward_and_backward_labels(self):
+        program = assemble(
+            """
+            start:
+                NOP
+                BNE start
+                JMP end
+                NOP
+            end:
+                HALT
+            """
+        )
+        assert program[1].arg1 == 0  # start
+        assert program[2].arg1 == 4  # end
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble("a:\nNOP\na:\nNOP")
+
+
+class TestComplexOperands:
+    def test_exe_partners(self):
+        program = assemble("EXE m0, 0, 8, partner=m1, partner_t=m2")
+        partner, partner_t, partner_neg, partner_t_neg = unpack_partners(program[0].arg3)
+        assert (partner, partner_t) == (1, 2)
+        assert partner_neg is None and partner_t_neg is None
+
+    def test_pool_encoding(self):
+        program = assemble("POOL 200, 100, 6, 24, 24, kind=avg")
+        kind_max, channels = unpack_pool_meta(program[0].arg0)
+        assert not kind_max and channels == 6
+        assert unpack_pool_shape(program[0].arg3) == (24, 24)
+
+    def test_adds_default_shift(self):
+        program = assemble("ADDS 10, 20, 30")
+        assert program[0].arg0 == 4
+
+    def test_adds_custom_shift(self):
+        program = assemble("ADDS 10, 20, 30, shift=8")
+        assert program[0].arg0 == 8
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("FROB 1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="expects"):
+            assemble("CFG m0")
+
+    def test_bad_operand(self):
+        with pytest.raises(AssemblyError, match="cannot parse"):
+            assemble("SETN banana")
+
+
+class TestDisassembler:
+    def test_listing_contains_mnemonics(self):
+        program = assemble("NOP\nHALT")
+        listing = disassemble(program)
+        assert "NOP" in listing and "HALT" in listing
+        assert listing.splitlines()[0].startswith("   0:")

@@ -1,0 +1,63 @@
+"""Global/output buffer tests."""
+
+import numpy as np
+import pytest
+
+from repro.system.buffers import BufferError, GlobalBuffer, OutputBuffer
+
+
+class TestGlobalBuffer:
+    def test_write_read_roundtrip(self):
+        gb = GlobalBuffer(64)
+        values = np.array([1.5, -2.25, 3.0])
+        gb.write(10, values)
+        np.testing.assert_array_equal(gb.read(10, 3), values)
+
+    def test_scalar_write(self):
+        gb = GlobalBuffer(8)
+        gb.write(0, 7.0)
+        assert gb.read(0, 1)[0] == 7.0
+
+    def test_bounds_checked(self):
+        gb = GlobalBuffer(8)
+        with pytest.raises(BufferError):
+            gb.write(6, np.zeros(4))
+        with pytest.raises(BufferError):
+            gb.read(7, 2)
+        with pytest.raises(BufferError):
+            gb.read(-1, 1)
+
+    def test_word_roundtrip(self):
+        gb = GlobalBuffer(16)
+        word = 0xDEADBEEF12345678
+        gb.write_word(4, word)
+        assert gb.read_word(4) == word
+
+    def test_word_max_value(self):
+        gb = GlobalBuffer(8)
+        gb.write_word(0, (1 << 64) - 1)
+        assert gb.read_word(0) == (1 << 64) - 1
+
+    def test_clear(self):
+        gb = GlobalBuffer(8)
+        gb.write(0, np.ones(8))
+        gb.clear()
+        np.testing.assert_array_equal(gb.read(0, 8), np.zeros(8))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            GlobalBuffer(0)
+
+
+class TestOutputBuffer:
+    def test_store_load(self):
+        ob = OutputBuffer(16)
+        ob.store(2, np.array([1.0, 2.0]))
+        np.testing.assert_array_equal(ob.load(2, 2), [1.0, 2.0])
+
+    def test_overflow(self):
+        ob = OutputBuffer(4)
+        with pytest.raises(BufferError):
+            ob.store(3, np.zeros(2))
+        with pytest.raises(BufferError):
+            ob.load(3, 2)

@@ -1,0 +1,41 @@
+"""Comparison-unit tests (the CU of the verify path)."""
+
+import numpy as np
+import pytest
+
+from repro.system.compare import Comparison, ComparisonUnit
+
+
+class TestComparison:
+    def test_three_way(self):
+        cu = ComparisonUnit(tolerance=0.1)
+        out = cu.compare(np.array([1.0, 1.05, 1.2]), np.array([1.0, 1.0, 1.0]))
+        np.testing.assert_array_equal(
+            out, [Comparison.EQUAL, Comparison.EQUAL, Comparison.ABOVE]
+        )
+
+    def test_below(self):
+        cu = ComparisonUnit(tolerance=0.05)
+        out = cu.compare(np.array([0.5]), np.array([1.0]))
+        assert out[0] == Comparison.BELOW
+
+    def test_all_equal(self):
+        cu = ComparisonUnit(tolerance=0.1)
+        assert cu.all_equal(np.array([1.0, 2.0]), np.array([1.05, 1.95]))
+        assert not cu.all_equal(np.array([1.0, 2.0]), np.array([1.2, 2.0]))
+
+    def test_mismatch_fraction(self):
+        cu = ComparisonUnit(tolerance=0.1)
+        measured = np.array([1.0, 1.5, 2.0, 2.5])
+        ideal = np.array([1.0, 1.0, 2.0, 2.0])
+        assert cu.mismatch_fraction(measured, ideal) == pytest.approx(0.5)
+
+    def test_shape_mismatch_rejected(self):
+        cu = ComparisonUnit(tolerance=0.1)
+        with pytest.raises(ValueError):
+            cu.compare(np.zeros(3), np.zeros(4))
+
+    def test_matrix_inputs(self):
+        cu = ComparisonUnit(tolerance=1e-6)
+        a = np.random.default_rng(0).random((4, 4))
+        assert cu.all_equal(a, a.copy())

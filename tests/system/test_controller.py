@@ -1,0 +1,180 @@
+"""Controller tests: fetch-decode-execute over real macros."""
+
+import numpy as np
+import pytest
+
+from repro.analog.topologies import AMCMode
+from repro.arrays.mapping import DifferentialMapping
+from repro.core.pool import MacroPool, PoolConfig
+from repro.macro.registers import MacroConfig, PlaneLayout, encode, g_f_code_for
+from repro.system.assembler import assemble
+from repro.system.buffers import GlobalBuffer
+from repro.system.controller import Controller, ExecutionError, Flag
+from repro.system.isa import Instruction, Opcode
+
+
+@pytest.fixture()
+def setup():
+    pool = MacroPool(PoolConfig(num_macros=4, rows=16, cols=16), rng=np.random.default_rng(0))
+    gb = GlobalBuffer(4096)
+    controller = Controller(pool.macros, gb)
+    return pool, gb, controller
+
+
+class TestControlFlow:
+    def test_halt_stops_execution(self, setup):
+        _, _, controller = setup
+        controller.load(assemble("NOP\nHALT\nNOP"))
+        trace = controller.run()
+        assert trace.halted
+        assert trace.instructions_executed == 2
+
+    def test_run_to_end_without_halt(self, setup):
+        _, _, controller = setup
+        controller.load(assemble("NOP\nNOP"))
+        trace = controller.run()
+        assert not trace.halted
+        assert trace.instructions_executed == 2
+
+    def test_jump(self, setup):
+        _, _, controller = setup
+        controller.load(assemble("JMP skip\nNOP\nskip:\nHALT"))
+        trace = controller.run()
+        assert trace.halted
+        assert trace.instructions_executed == 2
+
+    def test_branch_on_flag(self, setup):
+        _, gb, controller = setup
+        gb.write(0, np.array([1.0, 1.0]))   # a
+        gb.write(2, np.array([1.0, 5.0]))   # b (mismatch)
+        gb.write(4, np.array([0.1]))        # tolerance
+        controller.load(assemble("SETN 2\nCMPV 0, 2, 4\nBNE fail\nHALT\nfail:\nNOP\nHALT"))
+        trace = controller.run()
+        assert controller.flag is Flag.NOT_EQUAL
+        assert trace.instructions_executed == 5  # SETN, CMPV, BNE, NOP, HALT
+
+    def test_step_budget(self, setup):
+        _, _, controller = setup
+        controller.load(assemble("loop:\nJMP loop"))
+        trace = controller.run(max_steps=25)
+        assert trace.instructions_executed == 25
+
+
+class TestDigitalOps:
+    def test_relu_in_place(self, setup):
+        _, gb, controller = setup
+        gb.write(100, np.array([-1.0, 2.0, -3.0]))
+        controller.load(assemble("RELU 100, 3\nHALT"))
+        controller.run()
+        np.testing.assert_array_equal(gb.read(100, 3), [0.0, 2.0, 0.0])
+
+    def test_shift_add(self, setup):
+        _, gb, controller = setup
+        gb.write(10, np.array([7.0, 1.0]))  # msb
+        gb.write(12, np.array([15.0, 0.0]))  # lsb
+        controller.load(assemble("SETN 2\nADDS 20, 10, 12\nHALT"))
+        controller.run()
+        np.testing.assert_array_equal(gb.read(20, 2), [127.0, 16.0])
+
+    def test_pool(self, setup):
+        _, gb, controller = setup
+        maps = np.arange(16, dtype=float).reshape(1, 4, 4)
+        gb.write(0, maps.ravel())
+        controller.load(assemble("POOL 100, 0, 1, 4, 4\nHALT"))
+        controller.run()
+        np.testing.assert_array_equal(gb.read(100, 4), [5.0, 7.0, 13.0, 15.0])
+
+    def test_argmax(self, setup):
+        _, gb, controller = setup
+        gb.write(0, np.array([0.3, 0.9, 0.1]))
+        controller.load(assemble("SETN 3\nARGMAX 50, 0\nHALT"))
+        controller.run()
+        assert gb.read(50, 1)[0] == 1.0
+
+    def test_scal(self, setup):
+        _, gb, controller = setup
+        gb.write(0, np.array([1.0, 2.0]))
+        gb.write(10, np.array([3.0, -1.0]))  # gain, offset
+        controller.load(assemble("SETN 2\nSCAL 20, 0, 10\nHALT"))
+        controller.run()
+        np.testing.assert_array_equal(gb.read(20, 2), [2.0, 5.0])
+
+    def test_movg(self, setup):
+        _, gb, controller = setup
+        gb.write(0, np.array([1.0, 2.0, 3.0]))
+        controller.load(assemble("MOVG 10, 0, 3\nHALT"))
+        controller.run()
+        np.testing.assert_array_equal(gb.read(10, 3), [1.0, 2.0, 3.0])
+
+
+class TestAnalogPath:
+    def test_cfg_wrv_exe_movo_pipeline(self, setup):
+        """The full Fig. 3 flow: configure, write-verify, execute, collect."""
+        pool, gb, controller = setup
+        matrix = np.random.default_rng(1).uniform(-1, 1, size=(8, 8))
+        mapping = DifferentialMapping.from_matrix(matrix)
+
+        # Stage the config word (paired columns → 16 physical columns).
+        config = MacroConfig(
+            mode=AMCMode.MVM, rows=8, cols=16, g_f_code=g_f_code_for(2e-3),
+            layout=PlaneLayout.PAIRED_COLUMNS,
+        )
+        gb.write_word(0, encode(config))
+        # Stage the conductance targets (interleaved planes) and the input.
+        interleaved = np.empty((8, 16))
+        interleaved[:, 0::2] = mapping.g_pos
+        interleaved[:, 1::2] = mapping.g_neg
+        gb.write(16, interleaved.ravel())
+        x = np.random.default_rng(2).uniform(-0.3, 0.3, 8)
+        gb.write(200, x)
+
+        controller.load(
+            assemble(
+                """
+                CFG  m0, 0
+                WRV  m0, 16, 128
+                EXE  m0, 200, 8
+                MOVO m0, 300, 8
+                HALT
+                """
+            )
+        )
+        trace = controller.run()
+        assert trace.halted
+
+        outputs = gb.read(300, 8)
+        g_f = pool.macros[0].config.g_f
+        decoded = -outputs * g_f * mapping.value_scale
+        reference = matrix @ x
+        error = np.linalg.norm(decoded - reference) / np.linalg.norm(reference)
+        assert error < 0.4
+
+    def test_wrv_sets_flag_on_success(self, setup):
+        pool, gb, controller = setup
+        pool.macros[0].configure(AMCMode.MVM, 4, 4)
+        gb.write(0, np.full(16, 50e-6))
+        controller.load(assemble("WRV m0, 0, 16\nHALT"))
+        controller.run()
+        assert controller.flag is Flag.EQUAL
+
+    def test_wrv_count_mismatch_raises(self, setup):
+        pool, gb, controller = setup
+        pool.macros[0].configure(AMCMode.MVM, 4, 4)
+        controller.load(assemble("WRV m0, 0, 15\nHALT"))
+        with pytest.raises(ExecutionError, match="WRV count"):
+            controller.run()
+
+    def test_bad_macro_id_raises(self, setup):
+        _, _, controller = setup
+        controller.load([Instruction(Opcode.MOVO, arg0=99, arg1=0, arg2=1)])
+        with pytest.raises(ExecutionError, match="macro id"):
+            controller.run()
+
+    def test_stats_recorded(self, setup):
+        pool, gb, controller = setup
+        pool.macros[0].configure(AMCMode.MVM, 4, 4)
+        gb.write(0, np.full(16, 50e-6))
+        controller.load(assemble("WRV m0, 0, 16\nHALT"))
+        controller.run()
+        assert controller.stats.cells_programmed == 16
+        assert controller.stats.instructions["WRV"] == 1

@@ -1,0 +1,83 @@
+"""ISA encode/decode and packing tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.system.isa import (
+    Instruction,
+    Opcode,
+    pack_partners,
+    pack_pool_meta,
+    pack_pool_shape,
+    unpack_partners,
+    unpack_pool_meta,
+    unpack_pool_shape,
+)
+
+
+class TestInstructionEncoding:
+    def test_roundtrip_example(self):
+        instruction = Instruction(Opcode.EXE, arg0=3, arg1=100, arg2=64, arg3=0x1234)
+        assert Instruction.decode(instruction.encode()) == instruction
+
+    @given(
+        op=st.sampled_from(list(Opcode)),
+        arg0=st.integers(min_value=0, max_value=255),
+        arg1=st.integers(min_value=0, max_value=65535),
+        arg2=st.integers(min_value=0, max_value=65535),
+        arg3=st.integers(min_value=0, max_value=65535),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, op, arg0, arg1, arg2, arg3):
+        instruction = Instruction(op, arg0, arg1, arg2, arg3)
+        assert Instruction.decode(instruction.encode()) == instruction
+
+    def test_field_range_validation(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.NOP, arg0=256)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.NOP, arg1=70000)
+
+    def test_decode_rejects_bad_word(self):
+        with pytest.raises(ValueError):
+            Instruction.decode(-1)
+
+
+class TestPartnerPacking:
+    def test_roundtrip_all_fields(self):
+        packed = pack_partners(partner=3, partner_t=0, partner_neg=14, partner_t_neg=7)
+        assert unpack_partners(packed) == (3, 0, 14, 7)
+
+    def test_none_fields(self):
+        packed = pack_partners(partner_t=5)
+        assert unpack_partners(packed) == (None, 5, None, None)
+
+    def test_empty(self):
+        assert unpack_partners(pack_partners()) == (None, None, None, None)
+
+    def test_id_15_rejected(self):
+        """Nibble encoding reserves 0 for 'none', so ids stop at 14."""
+        with pytest.raises(ValueError):
+            pack_partners(partner=15)
+
+
+class TestPoolPacking:
+    def test_shape_roundtrip(self):
+        assert unpack_pool_shape(pack_pool_shape(12, 24)) == (12, 24)
+
+    def test_meta_roundtrip(self):
+        assert unpack_pool_meta(pack_pool_meta(True, 6)) == (True, 6)
+        assert unpack_pool_meta(pack_pool_meta(False, 127)) == (False, 127)
+
+    def test_shape_limits(self):
+        with pytest.raises(ValueError):
+            pack_pool_shape(0, 4)
+        with pytest.raises(ValueError):
+            pack_pool_shape(4, 256)
+
+    def test_meta_limits(self):
+        with pytest.raises(ValueError):
+            pack_pool_meta(True, 0)
+        with pytest.raises(ValueError):
+            pack_pool_meta(True, 128)

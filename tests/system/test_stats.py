@@ -1,0 +1,61 @@
+"""Chip statistics accounting tests."""
+
+import pytest
+
+from repro.system.stats import (
+    ChipStats,
+    ENERGY_ADC_CONVERSION,
+    ENERGY_DAC_CONVERSION,
+    ENERGY_WRITE_PULSE,
+)
+
+
+class TestCounters:
+    def test_instruction_recording(self):
+        stats = ChipStats()
+        stats.record_instruction("EXE", cycles=8)
+        stats.record_instruction("EXE", cycles=8)
+        stats.record_instruction("NOP")
+        assert stats.instructions["EXE"] == 2
+        assert stats.digital_cycles == 17
+
+    def test_solve_recording(self):
+        stats = ChipStats()
+        stats.record_solve("inv", amplifiers=256, settling_time=2e-6)
+        assert stats.analog_solves["inv"] == 1
+        assert stats.analog_solve_time == pytest.approx(2e-6)
+        assert stats.amp_solve_integral == pytest.approx(256 * 2e-6)
+
+    def test_solve_without_settling_time(self):
+        stats = ChipStats()
+        stats.record_solve("egv", amplifiers=128, settling_time=None)
+        assert stats.analog_solves["egv"] == 1
+        assert stats.analog_solve_time == 0.0
+
+    def test_programming_estimate(self):
+        stats = ChipStats()
+        stats.record_programming(100, pulses_per_cell=9.0)
+        assert stats.cells_programmed == 100
+        assert stats.write_pulses == 900
+
+
+class TestEstimates:
+    def test_energy_composition(self):
+        stats = ChipStats()
+        stats.record_conversions(dac=10, adc=5)
+        stats.record_programming(1, pulses_per_cell=2.0)
+        expected = (
+            10 * ENERGY_DAC_CONVERSION + 5 * ENERGY_ADC_CONVERSION + 2 * ENERGY_WRITE_PULSE
+        )
+        assert stats.estimated_energy() == pytest.approx(expected)
+
+    def test_latency_composition(self):
+        stats = ChipStats()
+        stats.record_instruction("NOP", cycles=1000)
+        stats.record_solve("mvm", amplifiers=16, settling_time=1e-6)
+        assert stats.estimated_latency() == pytest.approx(1000 * 1e-9 + 1e-6)
+
+    def test_summary_keys(self):
+        summary = ChipStats().summary()
+        for key in ("instructions", "analog_solves", "energy_J", "latency_s"):
+            assert key in summary

@@ -1,0 +1,94 @@
+"""Workload generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.matrices import (
+    diagonally_dominant,
+    gram,
+    symmetric_with_spectrum,
+    wishart,
+)
+from repro.workloads.regression import FEATURE_NAMES, pm25_like
+
+
+class TestWishart:
+    def test_symmetric_positive_definite(self):
+        matrix = wishart(16, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(matrix, matrix.T)
+        assert np.min(np.linalg.eigvalsh(matrix)) > 0.0
+
+    def test_reproducible(self):
+        a = wishart(8, rng=np.random.default_rng(5))
+        b = wishart(8, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_singular_dof(self):
+        with pytest.raises(ValueError):
+            wishart(8, dof=4)
+
+    def test_diagonal_near_one(self):
+        matrix = wishart(64, dof=512, rng=np.random.default_rng(1))
+        assert np.mean(np.diag(matrix)) == pytest.approx(1.0, abs=0.15)
+
+
+class TestGram:
+    def test_rank_bounded_by_data_width(self):
+        data = np.random.default_rng(2).standard_normal((16, 3))
+        matrix = gram(data)
+        assert np.linalg.matrix_rank(matrix) == 3
+
+    def test_psd(self):
+        data = np.random.default_rng(3).standard_normal((10, 6))
+        eigenvalues = np.linalg.eigvalsh(gram(data))
+        assert np.min(eigenvalues) >= -1e-12
+
+
+class TestDiagonallyDominant:
+    def test_strict_dominance(self):
+        matrix = diagonally_dominant(12, dominance=1.5, rng=np.random.default_rng(4))
+        for i in range(12):
+            off_diagonal = np.sum(np.abs(matrix[i])) - abs(matrix[i, i])
+            assert abs(matrix[i, i]) > off_diagonal
+
+    def test_rejects_weak_dominance(self):
+        with pytest.raises(ValueError):
+            diagonally_dominant(4, dominance=1.0)
+
+
+class TestSpectrum:
+    def test_prescribed_eigenvalues(self):
+        target = np.array([5.0, 2.0, 1.0, 0.5])
+        matrix = symmetric_with_spectrum(target, rng=np.random.default_rng(6))
+        np.testing.assert_allclose(np.sort(np.linalg.eigvalsh(matrix)), np.sort(target), rtol=1e-9)
+
+    def test_symmetric(self):
+        matrix = symmetric_with_spectrum(np.arange(1.0, 6.0), rng=np.random.default_rng(7))
+        np.testing.assert_allclose(matrix, matrix.T)
+
+
+class TestPM25Like:
+    def test_shape_matches_paper(self):
+        task = pm25_like()
+        assert task.shape == (128, 6)
+        assert len(FEATURE_NAMES) == 6
+
+    def test_standardised_design(self):
+        task = pm25_like(rng=np.random.default_rng(8))
+        np.testing.assert_allclose(task.design.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(task.design.std(axis=0), 1.0, rtol=1e-9)
+
+    def test_solution_close_to_truth(self):
+        task = pm25_like(rng=np.random.default_rng(9), noise_scale=0.05)
+        fitted = task.solution()
+        assert np.linalg.norm(fitted - task.true_weights) / np.linalg.norm(task.true_weights) < 0.2
+
+    def test_conditioning_is_moderate(self):
+        task = pm25_like(rng=np.random.default_rng(10))
+        assert np.linalg.cond(task.design) < 50.0
+
+    def test_residual_norm_at_solution_is_minimal(self):
+        task = pm25_like(rng=np.random.default_rng(11))
+        at_solution = task.residual_norm(task.solution())
+        perturbed = task.residual_norm(task.solution() + 0.1)
+        assert at_solution < perturbed
