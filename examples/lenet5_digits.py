@@ -38,10 +38,12 @@ def main() -> None:
     )
 
     print("Deploying on the analog system …")
-    int4 = AnalogLeNet5(model, make_solver(9), bits=4)
-    int4_accuracy = int4.accuracy(test.images, test.labels)
-    int8 = AnalogLeNet5(model, make_solver(10), bits=8)
-    int8_accuracy = int8.accuracy(test.images, test.labels)
+    # Deployment compiles each weight layer into a persistent AnalogOperator;
+    # the `with` block releases every layer's macros when inference is done.
+    with AnalogLeNet5(model, make_solver(9), bits=4) as int4:
+        int4_accuracy = int4.accuracy(test.images, test.labels)
+    with AnalogLeNet5(model, make_solver(10), bits=8) as int8:
+        int8_accuracy = int8.accuracy(test.images, test.labels)
 
     print(banner("LeNet-5 on GRAMC (500 SynthDigits test images)"))
     print(

@@ -8,7 +8,8 @@ PageRank has two classic formulations and GRAMC can run both:
 * the *linear-system* form ``(I − d·M)·π = (1−d)/n·𝟙`` (the INV topology) —
   the teleport moves to the digital right-hand side where it is exact, and
   the array stores only the well-scaled link matrix.  ``repro.apps.markov``
-  uses this one.
+  uses this one, compiling the link system into a scoped
+  :class:`~repro.core.operator.AnalogOperator` handle.
 
 This example ranks a 60-node hub-structured random graph and compares the
 analog scores with digital power iteration.

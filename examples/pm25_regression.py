@@ -10,7 +10,7 @@ Run:  python examples/pm25_regression.py
 
 import numpy as np
 
-from repro import GramcSolver
+from repro import AMCMode, GramcSolver
 from repro.analysis.reporting import banner, format_table
 from repro.workloads.regression import FEATURE_NAMES, pm25_like
 
@@ -19,7 +19,10 @@ def main() -> None:
     task = pm25_like(rng=np.random.default_rng(25))
     solver = GramcSolver(rng=np.random.default_rng(4))
 
-    result = solver.lstsq(task.design, task.targets)
+    # The design matrix becomes a persistent PINV operator: refitting with
+    # new targets (fresh sensor readings) re-uses the programmed arrays.
+    with solver.compile(task.design, mode=AMCMode.PINV) as operator:
+        result = operator.lstsq(task.targets)
     numpy_weights = task.solution()
 
     print(banner("PM2.5-like regression on the analog pseudoinverse circuit"))

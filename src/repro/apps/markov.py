@@ -17,7 +17,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.solver import GramcError, GramcSolver
+from repro.analog.topologies import AMCMode
+from repro.core.errors import ConvergenceError, GramcError, ShapeError
+from repro.core.solver import GramcSolver
 
 
 @dataclass
@@ -65,9 +67,10 @@ def stationary_distribution(
     transition = np.asarray(transition, dtype=float)
     n = transition.shape[0]
     if transition.shape != (n, n):
-        raise GramcError("transition matrix must be square")
+        raise ShapeError("transition matrix must be square")
     column_sums = transition.sum(axis=0)
     if not np.allclose(column_sums, 1.0, atol=1e-6):
+        # A value-domain defect, not a shape one — keep it out of ShapeError.
         raise GramcError("transition matrix must be column-stochastic")
 
     # λ = 1 for the *exact* stochastic matrix, but 4-bit quantization can
@@ -80,7 +83,7 @@ def stationary_distribution(
     vector = np.maximum(vector, 0.0)
     total = vector.sum()
     if total <= 0.0:
-        raise GramcError("analog eigenvector collapsed (no growth)")
+        raise ConvergenceError("analog eigenvector collapsed (no growth)")
     distribution = vector / total
 
     reference = np.maximum(result.reference, 0.0)
@@ -120,9 +123,13 @@ def pagerank(
     system = np.eye(n) - link_part
     rhs = np.full(n, (1.0 - damping) / n)
 
-    result = solver.solve(system, rhs)
+    # One ranking is one scoped INV solve; the handle returns its macros at
+    # block exit.  Callers that re-rank the same graph repeatedly should
+    # hold `solver.compile(system, mode=AMCMode.INV)` open across calls.
+    with solver.compile(system, mode=AMCMode.INV) as operator:
+        result = operator.solve(rhs)
     if not result.ok:
-        raise GramcError(
+        raise ConvergenceError(
             f"analog PageRank solve railed or went unstable: the margin 1−d "
             f"= {1.0 - damping:.2f} is too small for the 4-bit quantization "
             f"perturbation at n = {n}; lower the damping factor"
@@ -130,7 +137,7 @@ def pagerank(
     vector = np.maximum(result.value, 0.0)
     total = vector.sum()
     if total <= 0.0:
-        raise GramcError("analog PageRank solve collapsed")
+        raise ConvergenceError("analog PageRank solve collapsed")
     distribution = vector / total
 
     reference = np.maximum(result.reference, 0.0)

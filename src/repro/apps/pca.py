@@ -14,7 +14,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.solver import GramcError, GramcSolver
+from repro.analog.topologies import AMCMode
+from repro.core.errors import ConvergenceError, ShapeError
+from repro.core.solver import GramcSolver
 
 
 @dataclass
@@ -49,11 +51,11 @@ def analog_pca(
     """Top-``k`` principal components via repeated analog EGV + deflation."""
     data = np.asarray(data, dtype=float)
     if data.ndim != 2:
-        raise GramcError("data must be (samples, features)")
+        raise ShapeError("data must be (samples, features)")
     covariance = covariance_matrix(data)
     n = covariance.shape[0]
     if not 1 <= num_components <= n:
-        raise GramcError("num_components out of range")
+        raise ShapeError("num_components out of range")
 
     eigenvalues, eigenvectors = np.linalg.eigh(covariance)
     order = np.argsort(eigenvalues)[::-1]
@@ -63,9 +65,13 @@ def analog_pca(
     components = np.zeros((num_components, n))
     explained = np.zeros(num_components)
     for k in range(num_components):
-        result = solver.eigvec(working)
+        # Each deflated matrix is used for exactly one EGV solve, so the
+        # handle's context-manager lifetime returns its macros immediately
+        # instead of waiting for LRU pressure.
+        with solver.compile(working, mode=AMCMode.EGV) as operator:
+            result = operator.eigvec()
         if not result.ok:
-            raise GramcError(f"EGV failed at component {k} (no loop growth)")
+            raise ConvergenceError(f"EGV failed at component {k} (no loop growth)")
         vector = result.value / np.linalg.norm(result.value)
         components[k] = vector
         explained[k] = float(vector @ covariance @ vector)

@@ -1,18 +1,24 @@
-"""Core layer: the public GRAMC solver API."""
+"""Core layer: the public GRAMC solver + operator-handle API."""
 
+from repro.core.errors import CapacityError, ConvergenceError, GramcError, ShapeError
 from repro.core.iterative import AnalogIterativeSolver, IterativeResult
+from repro.core.operator import AnalogOperator, TileBinding
 from repro.core.pool import MacroPool, PoolConfig
 from repro.core.results import SolveResult
-from repro.core.solver import GramcError, GramcSolver, ProgrammedOperator, TileBinding
+from repro.core.solver import GramcSolver, ProgrammedOperator
 
 __all__ = [
     "AnalogIterativeSolver",
+    "AnalogOperator",
+    "CapacityError",
+    "ConvergenceError",
     "GramcError",
     "IterativeResult",
     "GramcSolver",
     "MacroPool",
     "PoolConfig",
     "ProgrammedOperator",
+    "ShapeError",
     "SolveResult",
     "TileBinding",
 ]

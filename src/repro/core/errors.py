@@ -1,0 +1,38 @@
+"""Typed exception hierarchy for the GRAMC runtime.
+
+Everything the runtime can refuse to do derives from :class:`GramcError`,
+so ``except GramcError`` keeps working as the catch-all it has always
+been.  The subclasses let callers react differently to the three distinct
+failure families:
+
+* :class:`ShapeError` — the operands themselves are malformed (wrong
+  dimensionality, mismatched right-hand side, too large for the mode).
+  Also a :class:`ValueError`, because that is what numpy users expect
+  from a shape complaint.
+* :class:`CapacityError` — the chip cannot hold the working set: the
+  request exceeds the macro complement outright, or every resident
+  operator is pinned so nothing can be evicted.  Also a
+  :class:`ValueError` for backward compatibility with the pool's old
+  oversized-request behaviour.
+* :class:`ConvergenceError` — the analog loop cannot produce an answer
+  (no positive dominant eigenvalue, a collapsed eigenvector, a railed
+  solve that auto-ranging could not rescue).
+"""
+
+from __future__ import annotations
+
+
+class GramcError(RuntimeError):
+    """Raised when a problem cannot be executed on the configured chip."""
+
+
+class ShapeError(GramcError, ValueError):
+    """Operand shapes are invalid for the requested analog mode."""
+
+
+class CapacityError(GramcError, ValueError):
+    """The macro pool cannot satisfy an allocation request."""
+
+
+class ConvergenceError(GramcError):
+    """The analog circuit cannot converge to a meaningful solution."""

@@ -1,0 +1,608 @@
+"""AnalogOperator: a matrix programmed on the chip, held as a first-class handle.
+
+The whole point of analog matrix computing is *program once, solve many*:
+writing conductances costs thousands of verify pulses, while a solve is
+one settling time.  The seed API hid that behind stateless
+``solver.mvm(a, x)`` calls; this module exposes it directly:
+
+>>> op = solver.compile(a)                    # programmed, pinned to macros
+>>> y = op @ x                                # vector or batch, zero re-programming
+>>> with solver.compile(a, mode=AMCMode.INV) as op:
+...     y = op.solve(b)                       # released at block exit
+
+A handle knows its lifetime:
+
+* it is **resident** while its macros are held in the pool; if the LRU
+  evicts them, the pool's release callback marks the handle stale and the
+  next use transparently re-programs (``program_count`` says how often);
+* :meth:`AnalogOperator.pin` exempts it from eviction — an allocation
+  that would need its macros raises ``CapacityError`` instead;
+* :meth:`AnalogOperator.close` (or leaving a ``with`` block) returns the
+  macros immediately; a closed handle refuses further work;
+* :meth:`AnalogOperator.refresh` forces a re-program — the drift recovery
+  a long-lived deployment schedules periodically.
+
+The handle also speaks enough of the NumPy protocol to drop into array
+code: ``op @ x``, ``x @ op`` (transpose application through a lazily
+compiled transpose plane, as IBM's aihwkit ``AnalogMatrix`` does),
+``op.T``, ``np.asarray(op)``, ``op.shape`` / ``op.ndim`` / ``op.dtype``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.analog.topologies import AMCMode
+from repro.arrays.mapping import DifferentialMapping
+from repro.core.errors import CapacityError, GramcError, ShapeError
+from repro.core.ranging import autorange_gain, autorange_mvm
+from repro.core.results import SolveResult
+from repro.macro.amc_macro import AMCMacro
+from repro.macro.registers import PlaneLayout
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.solver import GramcSolver
+
+
+@dataclass
+class TileBinding:
+    """One matrix tile resident on one macro (pair)."""
+
+    row_slice: slice
+    col_slice: slice
+    mapping: DifferentialMapping
+    primary: AMCMacro
+    partner: AMCMacro | None
+    layout: PlaneLayout
+    fault_correction: "np.ndarray | None" = None
+    """Sparse signed-value error matrix of the tile's *stuck* cells
+    (``decode(stuck) − decode(intended)``), applied digitally per solve.
+    ``None`` when the tile has no faults (the overwhelmingly common case).
+    Stuck-cell locations come from wafer test (the fault map is known
+    hardware state), so this is an O(#faults) digital correction, not a
+    hidden O(n²) digital matvec."""
+
+
+class AnalogOperator:
+    """A pinned-to-hardware matrix operator with explicit lifetime.
+
+    Instances come from :meth:`GramcSolver.compile` /
+    :meth:`GramcChip.compile` — never construct one directly.
+    """
+
+    __array_ufunc__ = None
+    """Opt out of NumPy's ufunc protocol so ``x @ op`` dispatches to
+    :meth:`__rmatmul__` (the analog transpose application) instead of
+    being silently coerced through :meth:`__array__` into an exact
+    digital product."""
+
+    def __init__(
+        self,
+        solver: "GramcSolver",
+        key: str,
+        mode: AMCMode,
+        matrix: np.ndarray,
+        g_lambda: float = 0.0,
+        quant_peak: float | None = None,
+    ):
+        self._solver = solver
+        self.key = key
+        self.mode = mode
+        self.matrix = matrix
+        self.g_lambda = g_lambda
+        self.quant_peak = quant_peak
+        self.program_count = 0
+        """How many times this handle's tiles have been written to hardware."""
+        self._refs = 1
+        """Holder count: each ``compile`` returning this handle adds one;
+        ``close`` releases hardware only when the last holder lets go."""
+        self._tiles: list[TileBinding] | None = None
+        self._stale = False
+        self._closed = False
+        self._pin_count = 0
+        """Counted like ``_refs``: the macros stay pool-pinned while any
+        holder's pin is outstanding."""
+        self._ref_inverse: np.ndarray | None = None
+        """INV only: cached digital inverse for per-solve references."""
+        self._ref_pinv: np.ndarray | None = None
+        """PINV only: cached digital pseudoinverse for per-solve references."""
+        self._transpose: "AnalogOperator | None" = None
+        """PINV only: the handle holding the Aᵀ plane pair."""
+        self._t_view: "AnalogOperator | None" = None
+        """MVM only: lazily compiled transpose operator for ``x @ op`` / ``op.T``."""
+        self._egv_reference: np.ndarray | None = None
+        """EGV only: cached digital reference eigenvector (the matrix is
+        immutable, so one eigendecomposition serves every solve)."""
+        self._probe: "AnalogOperator | None" = None
+        """EGV only: the λ̂-estimate MVM probe; this handle owns one
+        reference and releases it on close."""
+
+    # ------------------------------------------------------------- introspection
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.matrix.shape  # type: ignore[return-value]
+
+    @property
+    def ndim(self) -> int:
+        return 2
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.matrix.dtype
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        """The digital copy of the programmed matrix (NumPy protocol)."""
+        return np.array(self.matrix, dtype=dtype)
+
+    @property
+    def tiles(self) -> list[TileBinding]:
+        """The resident tile bindings (re-programming first if evicted)."""
+        self._ensure_programmed()
+        assert self._tiles is not None
+        return self._tiles
+
+    @property
+    def macro_ids(self) -> tuple[int, ...]:
+        """Macros backing this handle (including a PINV transpose plane)."""
+        self._ensure_programmed()
+        return self._resident_macro_ids()
+
+    def _resident_macro_ids(self) -> tuple[int, ...]:
+        """Macro ids of the current tile bindings, without re-ensuring —
+        for use right after :meth:`_ensure_programmed` on hot solve paths."""
+        ids: list[int] = []
+        for tile in self._tiles or []:
+            ids.append(tile.primary.macro_id)
+            if tile.partner is not None:
+                ids.append(tile.partner.macro_id)
+        if self._transpose is not None:
+            ids.extend(self._transpose._resident_macro_ids())
+        return tuple(ids)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def is_pinned(self) -> bool:
+        return self._pin_count > 0
+
+    @property
+    def resident(self) -> bool:
+        """Whether the conductances are on the macros right now."""
+        if self._closed or self._tiles is None or self._stale:
+            return False
+        pool = self._solver.pool
+        if not all(pool.holds(owner) for owner in self.owner_names()):
+            return False
+        if self._transpose is not None:
+            return self._transpose.resident
+        return True
+
+    def owner_names(self) -> list[str]:
+        """This handle's tile-owner names inside the macro pool."""
+        count = len(self._tiles) if self._tiles is not None else 0
+        return [f"{self.key}/tile{i}" for i in range(count)]
+
+    def quantized(self) -> np.ndarray:
+        """The 4-bit quantized matrix actually targeted on the arrays."""
+        out = np.zeros(self.shape)
+        for tile in self.tiles:
+            out[tile.row_slice, tile.col_slice] = tile.mapping.quantized_matrix()
+        return out
+
+    def __repr__(self) -> str:
+        state = (
+            "closed"
+            if self._closed
+            else ("resident" if self.resident else "evicted")
+        )
+        pin = ", pinned" if self.is_pinned else ""
+        return (
+            f"<AnalogOperator {self.mode.value} {self.shape[0]}×{self.shape[1]} "
+            f"{state}{pin}, programmed ×{self.program_count}>"
+        )
+
+    # ------------------------------------------------------------------ lifetime
+
+    def _ensure_programmed(self) -> None:
+        if self._closed:
+            raise GramcError(
+                "operator handle is closed; compile the matrix again for a new one"
+            )
+        pool = self._solver.pool
+        if (
+            self._tiles is None
+            or self._stale
+            or not all(pool.holds(owner) for owner in self.owner_names())
+        ):
+            self._solver._program_operator(self)
+        else:
+            for owner in self.owner_names():
+                pool.touch(owner)
+        if self._transpose is not None:
+            self._transpose._ensure_programmed()
+            # Programming the transpose plane may have evicted our own tiles
+            # (both plane sets must be resident *simultaneously* for PINV);
+            # solving with a stale binding would compute garbage.
+            if not all(pool.holds(owner) for owner in self.owner_names()):
+                raise CapacityError(
+                    "the operator and its transpose plane cannot both fit in "
+                    "the pool's evictable capacity; close or unpin other "
+                    "operators first"
+                )
+
+    def _on_evicted(self, owner: str) -> None:
+        """Pool release callback: our macros were taken by another operand."""
+        self._stale = True
+        self._solver._forget(self)
+
+    def _retain(self) -> "AnalogOperator":
+        """Register one more holder (a ``compile`` cache hit)."""
+        self._refs += 1
+        return self
+
+    def refresh(self) -> "AnalogOperator":
+        """Force a re-program (write-verify anew) — drift recovery."""
+        if self._closed:
+            raise GramcError(
+                "operator handle is closed; compile the matrix again for a new one"
+            )
+        self._solver._program_operator(self)
+        if self._transpose is not None:
+            self._transpose.refresh()
+        return self
+
+    def pin(self) -> "AnalogOperator":
+        """Exempt this operator's macros from LRU eviction.
+
+        Pins are counted per holder, like references: the macros become
+        evictable again only after as many :meth:`unpin` calls.
+        """
+        self._ensure_programmed()
+        for owner in self.owner_names():
+            self._solver.pool.pin(owner)
+        self._pin_count += 1
+        if self._transpose is not None:
+            self._transpose.pin()
+        return self
+
+    def _owned_owners(self) -> list[str]:
+        """The pool entries this handle itself holds right now — a stale,
+        superseded handle must not release or unpin a replacement's macros,
+        while a partially evicted handle must still free its survivors."""
+        pool = self._solver.pool
+        return [
+            owner
+            for owner in self.owner_names()
+            if pool.owned_by(owner, self._on_evicted)
+        ]
+
+    def unpin(self) -> "AnalogOperator":
+        """Drop one holder's pin; evictable again when none remain."""
+        if self._pin_count > 0:
+            self._pin_count -= 1
+        if self._pin_count == 0:
+            for owner in self._owned_owners():
+                self._solver.pool.unpin(owner)
+        if self._transpose is not None:
+            self._transpose.unpin()
+        return self
+
+    def close(self) -> None:
+        """Release the macros back to the pool; the handle becomes unusable.
+
+        Handles are cached per operand, so several callers may hold the
+        same one; each ``compile`` adds a reference and the macros are
+        only released when the last holder closes (a ``with`` block on a
+        shared handle therefore never tears it down under another user).
+        Call ``close`` exactly once per ``compile`` — like a duplicated
+        file descriptor, an extra close releases a co-holder's reference.
+        """
+        if self._closed:
+            return
+        self._refs -= 1
+        if self._refs > 0:
+            return
+        pool = self._solver.pool
+        for owner in self._owned_owners():
+            pool.release(owner)
+        if self._solver._operators.get(self.key) is self:
+            self._solver._forget(self)
+        self._tiles = None
+        self._pin_count = 0
+        self._closed = True
+        if self._transpose is not None:
+            self._transpose.close()
+        # Release the holder references this handle took out on its lazily
+        # compiled helpers; refcounting keeps them alive for other holders.
+        if self._t_view is not None:
+            self._t_view.close()
+            self._t_view = None
+        if self._probe is not None:
+            self._probe.close()
+            self._probe = None
+
+    def __enter__(self) -> "AnalogOperator":
+        self._ensure_programmed()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ----------------------------------------------------------------- execution
+
+    @staticmethod
+    def _tile_amplifiers(tile: TileBinding) -> int:
+        """Active amplifier count of one tile (controller EXE convention)."""
+        config = tile.primary.config
+        return config.rows + config.cols
+
+    def _require_mode(self, expected: AMCMode, operation: str) -> None:
+        if self.mode is not expected:
+            raise GramcError(
+                f"{operation} needs an operator compiled for {expected.value}; "
+                f"this handle is configured for {self.mode.value}"
+            )
+
+    def mvm(self, x: np.ndarray) -> SolveResult:
+        """Analog product ``A·x`` with full diagnostics (``x``: vector or batch)."""
+        self._require_mode(AMCMode.MVM, "mvm")
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 0 or x.ndim > 2 or x.shape[0] != self.shape[1]:
+            raise ShapeError(
+                f"x must have leading dimension {self.shape[1]} (vector or batch)"
+            )
+        self._ensure_programmed()
+        solver = self._solver
+        reference = self.matrix @ x
+
+        scale = max(solver._input_scale(x, solver.pool.config.dac.v_ref), 1e-30)
+        accumulator = np.zeros((self.shape[0],) + x.shape[1:])
+        any_saturated = False
+        total_attempts = 0
+        tiles = self._tiles
+        assert tiles is not None
+        for tile in tiles:
+            chunk = x[tile.col_slice] / scale
+            partners = (tile.partner,) if tile.partner is not None else ()
+            result, attempts, saturated = autorange_mvm(
+                lambda: tile.primary.compute_mvm(chunk, partner=tile.partner),
+                tile.primary,
+                partners,
+                target=solver._output_target,
+                max_attempts=solver.max_attempts,
+            )
+            total_attempts += attempts
+            any_saturated |= saturated
+            g_f = tile.primary.config.g_f
+            accumulator[tile.row_slice] += -result.values * g_f * tile.mapping.value_scale * scale
+            if tile.fault_correction is not None:
+                # Known stuck-cell contributions are subtracted digitally.
+                accumulator[tile.row_slice] -= (tile.fault_correction @ chunk) * scale
+            solver._record_solve(
+                AMCMode.MVM,
+                self._tile_amplifiers(tile),
+                result.solution.settling_time,
+            )
+        solver.solve_counts[AMCMode.MVM.value] += 1
+        return SolveResult(
+            mode=AMCMode.MVM,
+            value=accumulator,
+            reference=reference,
+            attempts=total_attempts,
+            input_scale=scale,
+            stable=True,
+            saturated=any_saturated,
+            macro_ids=self._resident_macro_ids(),
+        )
+
+    def solve(self, b: np.ndarray, _reference: np.ndarray | None = None) -> SolveResult:
+        """Analog one-step linear solve ``A·y = b`` (``b``: vector or batch)."""
+        self._require_mode(AMCMode.INV, "solve")
+        b = np.asarray(b, dtype=float)
+        n = self.shape[0]
+        if self._ref_inverse is None:
+            # One factorization of the immutable matrix covers every solve's
+            # digital reference (program-once / solve-many, digitally too).
+            self._ref_inverse = np.linalg.inv(self.matrix)
+        if b.ndim == 2:
+            if b.shape[0] != n:
+                raise ShapeError(f"b must have leading dimension {n}")
+            return self._batched(b, self.solve, self._ref_inverse @ b)
+        if b.shape != (n,):
+            raise ShapeError(f"b must have length {n}")
+        self._ensure_programmed()
+        solver = self._solver
+        assert self._tiles is not None
+        tile = self._tiles[0]
+        reference = self._ref_inverse @ b if _reference is None else _reference
+
+        # Inputs use the full DAC range; output ranging happens through the
+        # input-conductance ladder (INV output ∝ g_f).
+        outcome = autorange_gain(
+            lambda s: tile.primary.compute_inv(b / s, partner=tile.partner),
+            tile.primary,
+            lambda result, s, g_f: -result.values * s / (tile.mapping.value_scale * g_f),
+            scale=max(solver._input_scale(b, solver.pool.config.dac.v_ref), 1e-30),
+            target=solver._output_target,
+            max_attempts=solver.max_attempts,
+        )
+        solver.solve_counts[AMCMode.INV.value] += 1
+        solver._record_solve(
+            AMCMode.INV,
+            self._tile_amplifiers(tile),
+            outcome.result.solution.settling_time,
+        )
+        return SolveResult(
+            mode=AMCMode.INV,
+            value=outcome.value,
+            reference=reference,
+            attempts=outcome.attempts,
+            input_scale=outcome.input_scale,
+            stable=outcome.stable,
+            saturated=outcome.saturated,
+            macro_ids=self._resident_macro_ids(),
+        )
+
+    def lstsq(self, b: np.ndarray, _reference: np.ndarray | None = None) -> SolveResult:
+        """Analog least squares ``min‖A·y − b‖`` (``b``: vector or batch)."""
+        self._require_mode(AMCMode.PINV, "lstsq")
+        if self._transpose is None:
+            raise GramcError(
+                "this PINV handle holds only a transpose plane; "
+                "compile the tall matrix itself to run lstsq"
+            )
+        b = np.asarray(b, dtype=float)
+        m = self.shape[0]
+        if self._ref_pinv is None:
+            # One pseudoinverse of the immutable matrix covers every solve.
+            self._ref_pinv = np.linalg.pinv(self.matrix)
+        if b.ndim == 2:
+            if b.shape[0] != m:
+                raise ShapeError(f"b must have leading dimension {m}")
+            return self._batched(b, self.lstsq, self._ref_pinv @ b)
+        if b.shape != (m,):
+            raise ShapeError(f"b must have length {m}")
+        self._ensure_programmed()
+        solver = self._solver
+        assert self._tiles is not None and self._transpose._tiles is not None
+        tile_a = self._tiles[0]
+        tile_at = self._transpose._tiles[0]
+        reference = self._ref_pinv @ b if _reference is None else _reference
+
+        outcome = autorange_gain(
+            lambda s: tile_a.primary.compute_pinv(
+                b / s,
+                partner_t=tile_at.primary,
+                partner_neg=tile_a.partner,
+                partner_t_neg=tile_at.partner,
+            ),
+            tile_a.primary,
+            lambda result, s, g_f: -result.values * s / (tile_a.mapping.value_scale * g_f),
+            scale=max(solver._input_scale(b, solver.pool.config.dac.v_ref), 1e-30),
+            target=solver._output_target,
+            max_attempts=solver.max_attempts,
+        )
+        solver.solve_counts[AMCMode.PINV.value] += 1
+        solver._record_solve(
+            AMCMode.PINV,
+            self._tile_amplifiers(tile_a) + self._tile_amplifiers(tile_at),
+            outcome.result.solution.settling_time,
+        )
+        return SolveResult(
+            mode=AMCMode.PINV,
+            value=outcome.value,
+            reference=reference,
+            attempts=outcome.attempts,
+            input_scale=outcome.input_scale,
+            stable=outcome.stable,
+            saturated=outcome.saturated,
+            macro_ids=self._resident_macro_ids(),
+        )
+
+    def eigvec(self, transient: bool = False) -> SolveResult:
+        """Dominant eigenvector via the EGV topology (unit norm)."""
+        self._require_mode(AMCMode.EGV, "eigvec")
+        self._ensure_programmed()
+        solver = self._solver
+        assert self._tiles is not None
+        tile = self._tiles[0]
+        result = tile.primary.compute_egv(partner=tile.partner, transient=transient)
+
+        if self._egv_reference is None:
+            eigenvalues, eigenvectors = np.linalg.eig(self.matrix)
+            dominant = int(np.argmax(eigenvalues.real))
+            reference = np.real(eigenvectors[:, dominant])
+            reference = reference / np.linalg.norm(reference)
+            pivot = int(np.argmax(np.abs(reference)))
+            if reference[pivot] < 0:
+                reference = -reference
+            self._egv_reference = reference
+        reference = self._egv_reference
+        # An eigenvector's sign is arbitrary; report the analog vector in
+        # the same orientation as the reference (pivot-based conventions can
+        # flip when two components near-tie under analog noise).
+        value = result.values
+        if float(value @ reference) < 0.0:
+            value = -value
+
+        solver.solve_counts[AMCMode.EGV.value] += 1
+        solver._record_solve(
+            AMCMode.EGV,
+            self._tile_amplifiers(tile),
+            result.solution.settling_time,
+        )
+        return SolveResult(
+            mode=AMCMode.EGV,
+            value=value,
+            reference=reference,
+            attempts=1,
+            input_scale=1.0,
+            stable=result.solution.stable,
+            saturated=result.solution.saturated,
+            settling_time=result.solution.settling_time,
+            macro_ids=self._resident_macro_ids(),
+        )
+
+    def _batched(
+        self, b: np.ndarray, single, reference: np.ndarray
+    ) -> SolveResult:
+        """Column-streamed feedback solves sharing this programmed operator."""
+        if b.shape[1] == 0:
+            return SolveResult(
+                mode=self.mode,
+                value=np.zeros_like(reference),
+                reference=reference,
+                attempts=0,
+                input_scale=1.0,
+                stable=True,
+                saturated=False,
+                macro_ids=self.macro_ids,
+            )
+        results = [
+            single(b[:, j], _reference=reference[:, j]) for j in range(b.shape[1])
+        ]
+        return SolveResult(
+            mode=results[0].mode,
+            value=np.stack([r.value for r in results], axis=1),
+            reference=np.stack([r.reference for r in results], axis=1),
+            attempts=sum(r.attempts for r in results),
+            input_scale=max(r.input_scale for r in results),
+            stable=all(r.stable for r in results),
+            saturated=any(r.saturated for r in results),
+            macro_ids=self.macro_ids,
+        )
+
+    # -------------------------------------------------------------- numpy sugar
+
+    @property
+    def T(self) -> "AnalogOperator":
+        """The transpose as its own operator (compiled on first access)."""
+        self._require_mode(AMCMode.MVM, "transpose application")
+        if self._closed:
+            raise GramcError(
+                "operator handle is closed; compile the matrix again for a new one"
+            )
+        if self._t_view is None or self._t_view.closed:
+            self._t_view = self._solver.compile(
+                self.matrix.T, AMCMode.MVM, quant_peak=self.quant_peak
+            )
+        return self._t_view
+
+    def __matmul__(self, other) -> np.ndarray:
+        """``op @ x`` — the analog product as a plain array (vector or batch)."""
+        self._require_mode(AMCMode.MVM, "'@'")
+        return self.mvm(other).value
+
+    def __rmatmul__(self, other) -> np.ndarray:
+        """``x @ op`` — transpose application ``xᵀ·A = (Aᵀ·x)ᵀ``."""
+        other = np.asarray(other, dtype=float)
+        transpose = self.T
+        if other.ndim == 1:
+            return transpose.mvm(other).value
+        return transpose.mvm(other.T).value.T

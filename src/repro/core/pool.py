@@ -5,18 +5,30 @@ operands claim one or more of them (two for a signed paired-array plane
 pair, four for a signed PINV).  The pool hands out free macros and evicts
 the least-recently-used operand when full — the behaviour a compiler
 runtime would implement on the real chip.
+
+Operator handles participate in eviction through two mechanisms:
+
+* an ``on_evict`` callback registered at :meth:`MacroPool.acquire` time,
+  fired when the owner loses its macros involuntarily (this is how the
+  solver purges its operator cache — evicted entries used to leak);
+* :meth:`MacroPool.pin` — pinned owners are skipped by the eviction scan,
+  and an allocation that cannot proceed without evicting a pinned owner
+  raises :class:`~repro.core.errors.CapacityError` instead of silently
+  tearing down an operator the user promised to keep resident.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro.analog.opamp import OpAmpParams
 from repro.converters.adc import ADCParams
 from repro.converters.dac import DACParams
+from repro.core.errors import CapacityError
 from repro.devices.constants import DEFAULT_STACK, DeviceStack
 from repro.macro.amc_macro import AMCMacro
 from repro.programming.levels import LevelMap
@@ -58,8 +70,12 @@ class MacroPool:
             )
             for i in range(self.config.num_macros)
         ]
-        self._free: list[int] = list(range(self.config.num_macros))
+        self._free: deque[int] = deque(range(self.config.num_macros))
         self._owners: OrderedDict[str, list[int]] = OrderedDict()
+        self._pinned: set[str] = set()
+        self._on_evict: dict[str, Callable[[str], None]] = {}
+        self.acquisitions = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self.macros)
@@ -68,34 +84,122 @@ class MacroPool:
     def free_count(self) -> int:
         return len(self._free)
 
-    def acquire(self, owner: str, count: int) -> list[AMCMacro]:
-        """Claim ``count`` macros for ``owner``, evicting LRU owners if needed."""
+    @property
+    def utilization(self) -> float:
+        """Fraction of the macro complement currently owned [0, 1]."""
+        if not self.macros:
+            return 0.0
+        return 1.0 - len(self._free) / len(self.macros)
+
+    def owner_stats(self) -> dict[str, dict[str, object]]:
+        """Per-owner residency snapshot for the reporting layer.
+
+        Owners are listed in LRU order (the first entry is the next
+        eviction candidate, unless pinned).
+        """
+        return {
+            owner: {
+                "macros": len(indices),
+                "macro_ids": tuple(indices),
+                "pinned": owner in self._pinned,
+            }
+            for owner, indices in self._owners.items()
+        }
+
+    def acquire(
+        self,
+        owner: str,
+        count: int,
+        on_evict: Callable[[str], None] | None = None,
+    ) -> list[AMCMacro]:
+        """Claim ``count`` macros for ``owner``, evicting LRU owners if needed.
+
+        ``on_evict`` is invoked with the owner name if the owner later
+        loses its macros to another allocation (not on an explicit
+        :meth:`release`).  Pinned owners are never chosen as victims; if
+        only pinned owners remain, :class:`CapacityError` is raised.
+        """
         if count > len(self.macros):
-            raise ValueError(
+            raise CapacityError(
                 f"operand needs {count} macros but the chip only has {len(self.macros)}"
             )
+        was_pinned = owner in self._pinned
         if owner in self._owners:
             self._owners.move_to_end(owner)
+            if on_evict is not None:
+                self._on_evict[owner] = on_evict
             held = self._owners[owner]
             if len(held) == count:
                 return [self.macros[i] for i in held]
             self.release(owner)
         while len(self._free) < count:
-            evicted, indices = self._owners.popitem(last=False)
-            del evicted
-            self._free.extend(indices)
-        taken = [self._free.pop(0) for _ in range(count)]
+            victim = next((o for o in self._owners if o not in self._pinned), None)
+            if victim is None:
+                raise CapacityError(
+                    f"cannot allocate {count} macros for {owner!r}: "
+                    f"{len(self._free)} free and every resident operator is pinned"
+                )
+            self._evict(victim)
+        taken = [self._free.popleft() for _ in range(count)]
         self._owners[owner] = taken
+        if was_pinned:
+            # A resize re-acquire goes through release(); keep the pin.
+            self._pinned.add(owner)
+        if on_evict is not None:
+            self._on_evict[owner] = on_evict
+        self.acquisitions += 1
         return [self.macros[i] for i in taken]
+
+    def _evict(self, owner: str) -> None:
+        indices = self._owners.pop(owner)
+        self._free.extend(indices)
+        self.evictions += 1
+        callback = self._on_evict.pop(owner, None)
+        if callback is not None:
+            callback(owner)
 
     def holds(self, owner: str) -> bool:
         """Whether ``owner``'s macros are still resident (not evicted)."""
         return owner in self._owners
 
+    def owned_by(self, owner: str, callback) -> bool:
+        """Whether ``owner`` is resident *and* registered to ``callback``.
+
+        Operator handles use this to tell their own residency apart from a
+        later handle's under the same owner name — only the handle whose
+        eviction callback is registered may release or unpin the entry.
+        """
+        return owner in self._owners and self._on_evict.get(owner) == callback
+
+    def touch(self, owner: str) -> None:
+        """Mark ``owner`` as most recently used (no-op if not resident).
+
+        Solves through an operator handle call this, so "least recently
+        used" means least recently *computed with*, not least recently
+        programmed — a hot operator is not evicted mid-stream.
+        """
+        if owner in self._owners:
+            self._owners.move_to_end(owner)
+
+    def pin(self, owner: str) -> None:
+        """Exempt ``owner`` from LRU eviction until :meth:`unpin`."""
+        if owner not in self._owners:
+            raise KeyError(f"cannot pin unknown owner {owner!r}")
+        self._pinned.add(owner)
+
+    def unpin(self, owner: str) -> None:
+        """Make ``owner`` evictable again (no-op if not pinned)."""
+        self._pinned.discard(owner)
+
+    def pinned(self, owner: str) -> bool:
+        return owner in self._pinned
+
     def release(self, owner: str) -> None:
-        """Return an owner's macros to the free list."""
+        """Return an owner's macros to the free list (no callback fires)."""
         indices = self._owners.pop(owner, [])
         self._free.extend(indices)
+        self._pinned.discard(owner)
+        self._on_evict.pop(owner, None)
 
     def release_all(self) -> None:
         for owner in list(self._owners):

@@ -1,0 +1,130 @@
+"""DAC/ADC auto-ranging through the g_f register ladder.
+
+The digital controller's one cheap knob during a solve is the feedback /
+input-conductance ladder ``g_f`` — rewriting it touches a register, never
+the programmed conductances.  The seed implementation carried three
+near-identical copies of the ranging loop (MVM, INV, PINV); this module is
+the single shared implementation.
+
+Two gain senses exist:
+
+* **MVM** — the TIA gain is ``1/g_f``: a railed output wants a *larger*
+  ``g_f``, an under-ranged one a smaller one
+  (:func:`autorange_mvm`).
+* **INV / PINV** — the output amplitude is proportional to ``g_f``
+  directly, and when the ladder floor is reached while still railed the
+  controller falls back to shrinking the inputs, trading DAC resolution
+  for range (:func:`autorange_gain`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.macro.amc_macro import AMCMacro, MacroResult
+
+
+def autorange_mvm(
+    compute: Callable[[], MacroResult],
+    primary: AMCMacro,
+    partners: Sequence[AMCMacro] = (),
+    *,
+    target: float,
+    max_attempts: int,
+) -> tuple[MacroResult, int, bool]:
+    """Range one tile's multiply (TIA gain ∝ 1/g_f).
+
+    Returns ``(result, attempts, saturated)`` where ``result`` is the last
+    conversion and ``saturated`` reflects its post-ranging clip state.
+    """
+    result = compute()
+    attempts = 1
+    while attempts < max_attempts:
+        saturated = result.solution.saturated or primary.adc.clips(result.raw)
+        peak = float(np.max(np.abs(result.raw)))
+        g_f = primary.config.g_f
+        if saturated:
+            desired = g_f * 4.0
+        elif 0.0 < peak < 0.25 * target:
+            desired = g_f * peak / target
+        else:
+            break
+        actual = primary.set_g_f(desired)
+        for partner in partners:
+            partner.set_g_f(desired)
+        if abs(actual - g_f) < 1e-15:
+            break  # ladder limit reached
+        result = compute()
+        attempts += 1
+    final_saturated = result.solution.saturated or primary.adc.clips(result.raw)
+    return result, attempts, final_saturated
+
+
+@dataclass
+class GainRangingOutcome:
+    """Final state of an INV/PINV ranging loop."""
+
+    result: MacroResult
+    value: np.ndarray
+    attempts: int
+    input_scale: float
+    stable: bool
+    saturated: bool
+
+
+def autorange_gain(
+    compute: Callable[[float], MacroResult],
+    primary: AMCMacro,
+    to_value: Callable[[MacroResult, float, float], np.ndarray],
+    *,
+    scale: float,
+    target: float,
+    max_attempts: int,
+) -> GainRangingOutcome:
+    """Range a feedback solve (output ∝ g_f) with the input-shrink fallback.
+
+    ``compute(scale)`` runs the circuit with inputs divided by ``scale``;
+    ``to_value(result, scale, g_f)`` converts its raw output back to
+    problem units using the ``g_f`` that was active *during* that solve
+    (the ladder may move afterwards without a re-run — the caller must see
+    the value consistent with the result it pairs with).
+    """
+    if max_attempts < 1:
+        raise ValueError("auto-ranging needs at least one attempt")
+    value = np.zeros(0)
+    stable, saturated = True, False
+    result: MacroResult | None = None
+    attempts = 0
+    for attempts in range(1, max_attempts + 1):
+        result = compute(scale)
+        g_f = primary.config.g_f
+        value = to_value(result, scale, g_f)
+        stable = result.solution.stable
+        saturated = result.solution.saturated
+        peak = float(np.max(np.abs(result.raw)))
+        if saturated:
+            desired = g_f / 4.0
+        elif 0.0 < peak < 0.25 * target:
+            desired = g_f * target / peak
+        else:
+            break
+        actual = primary.set_g_f(desired)
+        if abs(actual - g_f) < 1e-15:
+            if saturated:
+                # Ladder floor reached and still railed: fall back to
+                # shrinking the inputs (trading DAC resolution for range).
+                scale *= 2.0
+                continue
+            break  # ladder limit reached
+    assert result is not None
+    return GainRangingOutcome(
+        result=result,
+        value=value,
+        attempts=attempts,
+        input_scale=scale,
+        stable=stable,
+        saturated=saturated,
+    )

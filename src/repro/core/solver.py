@@ -14,35 +14,58 @@ analog system, handling everything a user should never see:
 * conversion of analog outputs back to problem units, with the float64
   numpy reference attached (the paper's accuracy baseline).
 
+The primary API is :meth:`GramcSolver.compile`, which returns an
+:class:`~repro.core.operator.AnalogOperator` — a programmed matrix held as
+a first-class handle with explicit lifetime, supporting ``op @ x`` with
+vector and batch right-hand sides, ``op.solve(b)``, ``op.lstsq(b)`` and
+``op.eigvec()`` with **zero re-programming** between calls.
+
 Example
 -------
 >>> import numpy as np
 >>> from repro.core import GramcSolver
 >>> solver = GramcSolver()
 >>> a = np.eye(8) * 2.0
->>> result = solver.solve(a, np.ones(8))       # analog INV
+>>> op = solver.compile(a, mode=AMCMode.INV)   # programmed once
+>>> result = op.solve(np.ones(8))              # analog INV, repeatable
 >>> bool(result.relative_error < 0.2)
 True
+
+The one-shot methods (``solver.mvm/solve/lstsq/eigvec``) are kept as a
+thin facade over ``compile`` — each call resolves to the cached operator
+for its matrix, so repeated calls also avoid re-programming.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.analog.egv import estimate_dominant_eigenvalue
 from repro.analog.topologies import AMCMode
 from repro.arrays.mapping import DifferentialMapping
+from repro.core.errors import CapacityError, ConvergenceError, GramcError, ShapeError
+from repro.core.operator import AnalogOperator, TileBinding
 from repro.core.pool import MacroPool, PoolConfig
 from repro.core.results import SolveResult
-from repro.macro.amc_macro import AMCMacro, MacroResult, PlaneLayout
-from repro.macro.registers import MacroRole
+from repro.macro.amc_macro import AMCMacro
+from repro.macro.registers import MacroRole, PlaneLayout
 
+if TYPE_CHECKING:  # pragma: no cover - avoids the core ↔ system import cycle
+    from repro.system.stats import ChipStats
 
-class GramcError(RuntimeError):
-    """Raised when a problem cannot be executed on the configured chip."""
+__all__ = [
+    "AnalogOperator",
+    "GramcError",
+    "GramcSolver",
+    "ProgrammedOperator",
+    "TileBinding",
+]
+
+#: Deprecated alias — the seed called the handle ``ProgrammedOperator``.
+ProgrammedOperator = AnalogOperator
 
 
 def _operand_key(matrix: np.ndarray, mode: AMCMode, tag: str = "") -> str:
@@ -52,45 +75,6 @@ def _operand_key(matrix: np.ndarray, mode: AMCMode, tag: str = "") -> str:
     digest.update(str(matrix.shape).encode())
     digest.update(np.ascontiguousarray(matrix, dtype=float).tobytes())
     return digest.hexdigest()
-
-
-@dataclass
-class TileBinding:
-    """One matrix tile resident on one macro (pair)."""
-
-    row_slice: slice
-    col_slice: slice
-    mapping: DifferentialMapping
-    primary: AMCMacro
-    partner: AMCMacro | None
-    layout: PlaneLayout
-    fault_correction: "np.ndarray | None" = None
-    """Sparse signed-value error matrix of the tile's *stuck* cells
-    (``decode(stuck) − decode(intended)``), applied digitally per solve.
-    ``None`` when the tile has no faults (the overwhelmingly common case).
-    Stuck-cell locations come from wafer test (the fault map is known
-    hardware state), so this is an O(#faults) digital correction, not a
-    hidden O(n²) digital matvec."""
-
-
-@dataclass
-class ProgrammedOperator:
-    """A matrix programmed onto the chip, ready for repeated solves."""
-
-    key: str
-    mode: AMCMode
-    matrix: np.ndarray
-    tiles: list[TileBinding]
-    g_lambda: float = 0.0
-
-    @property
-    def macro_ids(self) -> tuple[int, ...]:
-        ids: list[int] = []
-        for tile in self.tiles:
-            ids.append(tile.primary.macro_id)
-            if tile.partner is not None:
-                ids.append(tile.partner.macro_id)
-        return tuple(ids)
 
 
 class GramcSolver:
@@ -103,13 +87,15 @@ class GramcSolver:
         g_f: float = 1e-3,
         headroom: float = 0.80,
         max_attempts: int = 6,
+        stats: "ChipStats | None" = None,
     ):
         self.pool = pool or MacroPool(PoolConfig())
         self.rng = rng if rng is not None else np.random.default_rng(7)
         self.g_f = g_f
         self.headroom = headroom
         self.max_attempts = max_attempts
-        self._operators: dict[str, ProgrammedOperator] = {}
+        self.stats = stats
+        self._operators: dict[str, AnalogOperator] = {}
         self.solve_counts: dict[str, int] = {m.value: 0 for m in AMCMode}
 
     # ------------------------------------------------------------------ helpers
@@ -131,7 +117,206 @@ class GramcSolver:
             return 1.0
         return peak / (self.headroom * v_ref)
 
+    @property
+    def _output_target(self) -> float:
+        """Desired output peak: most of the ADC range without clipping."""
+        return 0.6 * min(self.pool.config.opamp.v_sat, self.pool.config.adc.v_ref)
+
+    def _record_solve(
+        self, mode: AMCMode, amplifiers: int = 0, settling_time: float | None = None
+    ) -> None:
+        """Runtime-path solve accounting, matching the controller's EXE
+        bookkeeping (amplifiers = active rows + cols of the macro config)."""
+        if self.stats is not None:
+            self.stats.record_solve(mode.value, amplifiers, settling_time)
+
+    # --------------------------------------------------------------- compilation
+
+    def compile(
+        self,
+        matrix: np.ndarray,
+        mode: AMCMode = AMCMode.MVM,
+        *,
+        g_lambda: float | None = None,
+        lambda_hat: float | None = None,
+        tag: str = "",
+        quant_peak: float | None = None,
+        pin: bool = False,
+        _transpose_plane: bool = False,
+        _egv_auto: bool = False,
+    ) -> AnalogOperator:
+        """Program ``matrix`` for ``mode`` and return its operator handle.
+
+        Handles are cached per (matrix, mode, tag): compiling the same
+        operand twice returns the same (re-used, already programmed)
+        handle, with one holder reference added per call.  ``pin=True``
+        additionally exempts it from LRU eviction.
+
+        For :attr:`AMCMode.EGV` without an explicit ``g_lambda``, the
+        digital functional module first estimates the dominant eigenvalue
+        of the quantized operand (``lambda_hat`` overrides the estimate).
+
+        Call :meth:`AnalogOperator.close` exactly once per ``compile``
+        call (or use the ``with`` form): handles are shared objects and
+        each close releases one holder reference.
+        """
+        # Copy the operand: a persistent handle must not see the caller's
+        # later in-place mutations, or the programmed conductances would
+        # silently desynchronize from the digital reference and cache key.
+        matrix = np.array(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ShapeError("operands must be 2-D matrices")
+        self._validate_mode_shape(matrix, mode, _transpose_plane)
+        if mode is AMCMode.EGV and g_lambda is None:
+            operator = self._compile_egv(
+                matrix, lambda_hat, tag=tag, quant_peak=quant_peak
+            )
+            if pin:
+                operator.pin()
+            return operator
+        if mode is AMCMode.EGV and not _egv_auto:
+            # An explicitly chosen loop gain is part of the operand identity:
+            # a cached handle with a different g_lambda must not be returned.
+            tag = f"{tag}/gl={g_lambda!r}"
+        if quant_peak is not None:
+            tag = f"{tag}/qp={quant_peak!r}"
+        key = _operand_key(matrix, mode, tag)
+        cached = self._operators.get(key)
+        if cached is not None and not cached.closed:
+            cached._ensure_programmed()
+            if pin:
+                cached.pin()
+            return cached._retain()
+        operator = AnalogOperator(
+            self,
+            key,
+            mode,
+            matrix,
+            g_lambda=0.0 if g_lambda is None else g_lambda,
+            quant_peak=quant_peak,
+        )
+        operator._ensure_programmed()
+        if mode is AMCMode.PINV and not _transpose_plane:
+            base = tag.split("/qp=")[0]
+            transpose_tag = "transpose" if base == "" else f"{base}/transpose"
+            operator._transpose = self.compile(
+                matrix.T,
+                AMCMode.PINV,
+                tag=transpose_tag,
+                quant_peak=quant_peak,
+                _transpose_plane=True,
+            )
+        if pin:
+            operator.pin()
+        return operator
+
+    def _validate_mode_shape(
+        self, matrix: np.ndarray, mode: AMCMode, transpose_plane: bool
+    ) -> None:
+        rows, cols = matrix.shape
+        if mode is AMCMode.INV:
+            if rows != cols:
+                raise ShapeError("solve needs a square matrix")
+            if rows > self._rows_max:
+                raise ShapeError(f"INV supports up to {self._rows_max} unknowns")
+        elif mode is AMCMode.EGV:
+            if rows != cols:
+                raise ShapeError("eigvec needs a square matrix")
+            if rows > self._rows_max:
+                raise ShapeError(f"EGV supports up to {self._rows_max} unknowns")
+        elif mode is AMCMode.PINV:
+            if rows > self._rows_max or cols > self._rows_max:
+                raise ShapeError("PINV operands must fit a single array")
+            if rows < cols and not transpose_plane:
+                raise ShapeError("lstsq expects a tall matrix (m >= n)")
+
+    def _compile_egv(
+        self,
+        matrix: np.ndarray,
+        lambda_hat: float | None = None,
+        tag: str = "",
+        quant_peak: float | None = None,
+    ) -> AnalogOperator:
+        """EGV compilation: probe-based λ̂ estimate, then the loop operator."""
+        auto = lambda_hat is None
+        prefix = f"{tag}/" if tag else ""
+        egv_tag = f"{prefix}egv"
+        lookup_tag = f"{egv_tag}/qp={quant_peak!r}" if quant_peak is not None else egv_tag
+        cached = self._operators.get(_operand_key(matrix, AMCMode.EGV, lookup_tag))
+        if auto and cached is not None and not cached.closed:
+            # Skip the probe + power-iteration estimate: the loop operator is
+            # already compiled (its g_lambda is baked into the registers).
+            # An explicit lambda_hat never takes this shortcut — it compiles
+            # its own handle keyed by the resulting gain.
+            cached._ensure_programmed()
+            return cached._retain()
+        # Digital eigenvalue estimate on the quantized matrix (functional module).
+        probe = self.compile(
+            matrix, AMCMode.MVM, tag=f"{prefix}egv-probe", quant_peak=quant_peak
+        )
+        quantized = probe.tiles[0].mapping.quantized_matrix()
+        if lambda_hat is None:
+            # 7 % margin keeps the loop gain above one even after programming
+            # noise shifts the realised spectrum slightly downward.
+            lambda_hat = 0.93 * estimate_dominant_eigenvalue(quantized, rng=self.rng)
+        if lambda_hat <= 0.0:
+            probe.close()  # release the reference taken above — no operator owns it
+            raise ConvergenceError("EGV requires a positive dominant eigenvalue")
+        value_scale = probe.tiles[0].mapping.value_scale
+        g_lambda = lambda_hat / value_scale
+        operator = self.compile(
+            matrix,
+            AMCMode.EGV,
+            g_lambda=g_lambda,
+            tag=egv_tag,
+            quant_peak=quant_peak,
+            _egv_auto=auto,
+        )
+        # The EGV operator owns the probe's reference: the probe stays cached
+        # for repeated compiles (no re-programming) and is released together
+        # with the operator, so a scoped EGV handle frees everything on close.
+        if operator._probe is None:
+            operator._probe = probe
+        else:
+            probe.close()  # operator already holds a reference — drop this one
+        return operator
+
+    def program(
+        self,
+        matrix: np.ndarray,
+        mode: AMCMode,
+        g_lambda: float = 0.0,
+        tag: str = "",
+        quant_peak: float | None = None,
+    ) -> AnalogOperator:
+        """Deprecated seed spelling of :meth:`compile` (no λ̂ auto-estimate)."""
+        return self.compile(
+            matrix, mode, g_lambda=g_lambda, tag=tag, quant_peak=quant_peak
+        )
+
     # --------------------------------------------------------------- programming
+
+    def _forget(self, operator: AnalogOperator) -> None:
+        """Drop an operator from the cache (eviction callback / close)."""
+        if self._operators.get(operator.key) is operator:
+            del self._operators[operator.key]
+
+    def _program_operator(self, operator: AnalogOperator) -> None:
+        """(Re-)program an operator's tiles and restore its cache/pin state."""
+        operator._tiles = self._program_tiles(
+            operator.matrix,
+            operator.mode,
+            operator.key,
+            g_lambda=operator.g_lambda,
+            quant_peak=operator.quant_peak,
+            on_evict=operator._on_evicted,
+        )
+        operator._stale = False
+        operator.program_count += 1
+        self._operators[operator.key] = operator
+        if operator.is_pinned:
+            for owner in operator.owner_names():
+                self.pool.pin(owner)
 
     def _program_tiles(
         self,
@@ -140,12 +325,13 @@ class GramcSolver:
         key: str,
         g_lambda: float = 0.0,
         quant_peak: float | None = None,
+        on_evict=None,
     ) -> list[TileBinding]:
         """Split ``matrix`` into array-sized tiles, program each on macros."""
         rows, cols = matrix.shape
         if rows > self._rows_max:
             if mode is not AMCMode.MVM:
-                raise GramcError(
+                raise ShapeError(
                     f"{mode.value} supports up to {self._rows_max} rows; "
                     f"block algorithms are out of the paper's scope"
                 )
@@ -175,7 +361,7 @@ class GramcSolver:
                 sub = matrix[row_slice, col_slice]
                 mapping = self._fit_mapping(sub, shared_scale, level_map)
                 owner = f"{key}/tile{tile_index}"
-                macros = self.pool.acquire(owner, self._macros_for(layout))
+                macros = self.pool.acquire(owner, self._macros_for(layout), on_evict=on_evict)
                 primary = macros[0]
                 partner = macros[1] if len(macros) > 1 else None
                 n_rows = row_slice.stop - row_slice.start
@@ -198,6 +384,9 @@ class GramcSolver:
                         role=MacroRole.PARTNER_NEG,
                     )
                 primary.program_mapping(mapping, partner=partner)
+                if self.stats is not None:
+                    # Both conductance planes of the differential pair.
+                    self.stats.record_programming(2 * n_rows * width)
                 tiles.append(
                     TileBinding(
                         row_slice=row_slice,
@@ -213,6 +402,24 @@ class GramcSolver:
                 )
                 tile_index += 1
                 col_cursor += width
+        # An operand whose own tiles cannot co-reside evicts its *own* earlier
+        # tiles while programming the later ones — the seed silently computed
+        # garbage in that regime.  Detect and refuse, naming the real cause.
+        owners = [f"{key}/tile{i}" for i in range(tile_index)]
+        if not all(self.pool.holds(owner) for owner in owners):
+            for owner in owners:
+                self.pool.release(owner)
+            macros_needed = sum(self._macros_for(tile.layout) for tile in tiles)
+            if macros_needed > len(self.pool.macros):
+                raise CapacityError(
+                    f"operand needs {macros_needed} macros, more than the "
+                    f"chip's complement of {len(self.pool.macros)} can hold at once"
+                )
+            raise CapacityError(
+                f"operand needs {macros_needed} macros but pinned operators "
+                f"squeeze the evictable capacity below that; close or unpin "
+                f"other operators first"
+            )
         return tiles
 
     @staticmethod
@@ -279,39 +486,12 @@ class GramcSolver:
             value_scale=quantizer.scale / level_map.step,
         )
 
-    def program(
-        self,
-        matrix: np.ndarray,
-        mode: AMCMode,
-        g_lambda: float = 0.0,
-        tag: str = "",
-        quant_peak: float | None = None,
-    ) -> ProgrammedOperator:
-        """Program (or re-use) ``matrix`` for ``mode``; returns the handle."""
-        matrix = np.asarray(matrix, dtype=float)
-        if matrix.ndim != 2:
-            raise GramcError("operands must be 2-D matrices")
-        if quant_peak is not None:
-            tag = f"{tag}/qp={quant_peak!r}"
-        key = _operand_key(matrix, mode, tag)
-        cached = self._operators.get(key)
-        if cached is not None and all(
-            self.pool.holds(f"{key}/tile{i}") for i in range(len(cached.tiles))
-        ):
-            return cached
-        tiles = self._program_tiles(matrix, mode, key, g_lambda=g_lambda, quant_peak=quant_peak)
-        operator = ProgrammedOperator(
-            key=key, mode=mode, matrix=matrix, tiles=tiles, g_lambda=g_lambda
-        )
-        self._operators[key] = operator
-        return operator
-
-    # ------------------------------------------------------------------- MVM
-
-    @property
-    def _output_target(self) -> float:
-        """Desired output peak: most of the ADC range without clipping."""
-        return 0.6 * min(self.pool.config.opamp.v_sat, self.pool.config.adc.v_ref)
+    # ------------------------------------------------------ one-shot facade
+    #
+    # Deprecated paths: these keep the seed's stateless signatures alive on
+    # top of the operator-handle API.  Each call resolves (via the compile
+    # cache) to the persistent handle for its matrix, so repeated calls on
+    # the same operand still perform zero re-programming.
 
     def mvm(
         self, matrix: np.ndarray, x: np.ndarray, quant_peak: float | None = None
@@ -321,241 +501,58 @@ class GramcSolver:
         ``x`` may be a vector ``(n,)`` or a batch ``(n, k)`` — the batch
         form runs back-to-back conversions through the same programmed
         hardware, which is how the LeNet-5 demo streams image patches.
-
-        Inputs always occupy the full DAC range (shrinking them would trade
-        away converter resolution); output ranging is done per tile through
-        the ``g_f`` ladder, which only rewrites a register.
         """
         matrix = np.asarray(matrix, dtype=float)
         x = np.asarray(x, dtype=float)
-        if x.shape[0] != matrix.shape[1] or x.ndim > 2:
-            raise GramcError(
+        if matrix.ndim == 2 and (x.ndim == 0 or x.ndim > 2 or x.shape[0] != matrix.shape[1]):
+            # Reject a mismatched x *before* compiling — programming the
+            # matrix for a doomed call would waste macros and write pulses.
+            raise ShapeError(
                 f"x must have leading dimension {matrix.shape[1]} (vector or batch)"
             )
-        operator = self.program(matrix, AMCMode.MVM, quant_peak=quant_peak)
-        reference = matrix @ x
-
-        scale = max(self._input_scale(x, self.pool.config.dac.v_ref), 1e-30)
-        accumulator = np.zeros((matrix.shape[0],) + x.shape[1:])
-        any_saturated = False
-        total_attempts = 0
-        for tile in operator.tiles:
-            chunk = x[tile.col_slice] / scale
-            result, attempts, saturated = self._run_tile_mvm(tile, chunk)
-            total_attempts += attempts
-            any_saturated |= saturated
-            g_f = tile.primary.config.g_f
-            accumulator[tile.row_slice] += -result.values * g_f * tile.mapping.value_scale * scale
-            if tile.fault_correction is not None:
-                # Known stuck-cell contributions are subtracted digitally.
-                accumulator[tile.row_slice] -= (tile.fault_correction @ chunk) * scale
-        self.solve_counts[AMCMode.MVM.value] += 1
-        return SolveResult(
-            mode=AMCMode.MVM,
-            value=accumulator,
-            reference=reference,
-            attempts=total_attempts,
-            input_scale=scale,
-            stable=True,
-            saturated=any_saturated,
-            macro_ids=operator.macro_ids,
-        )
-
-    def _run_tile_mvm(
-        self, tile: TileBinding, chunk: np.ndarray
-    ) -> tuple[MacroResult, int, bool]:
-        """One tile's multiply with g_f auto-ranging (MVM gain ∝ 1/g_f)."""
-        target = self._output_target
-        result = tile.primary.compute_mvm(chunk, partner=tile.partner)
-        attempts = 1
-        while attempts < self.max_attempts:
-            saturated = result.solution.saturated or tile.primary.adc.clips(result.raw)
-            peak = float(np.max(np.abs(result.raw)))
-            g_f = tile.primary.config.g_f
-            if saturated:
-                desired = g_f * 4.0
-            elif 0.0 < peak < 0.25 * target:
-                desired = g_f * peak / target
-            else:
-                break
-            actual = tile.primary.set_g_f(desired)
-            if tile.partner is not None:
-                tile.partner.set_g_f(desired)
-            if abs(actual - g_f) < 1e-15:
-                break  # ladder limit reached
-            result = tile.primary.compute_mvm(chunk, partner=tile.partner)
-            attempts += 1
-        final_saturated = result.solution.saturated or tile.primary.adc.clips(result.raw)
-        return result, attempts, final_saturated
-
-    # ------------------------------------------------------------------- INV
+        operator = self.compile(matrix, AMCMode.MVM, quant_peak=quant_peak)
+        try:
+            return operator.mvm(x)
+        finally:
+            operator._refs -= 1  # a facade call is not a holder
 
     def solve(self, matrix: np.ndarray, b: np.ndarray) -> SolveResult:
         """Analog one-step linear solve ``A·y = b`` via the INV topology."""
         matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ShapeError("solve needs a square matrix")
         b = np.asarray(b, dtype=float)
-        n = matrix.shape[0]
-        if matrix.shape != (n, n):
-            raise GramcError("solve needs a square matrix")
-        if b.shape != (n,):
-            raise GramcError(f"b must have length {n}")
-        if n > self._rows_max:
-            raise GramcError(f"INV supports up to {self._rows_max} unknowns")
-        operator = self.program(matrix, AMCMode.INV)
-        tile = operator.tiles[0]
-        reference = np.linalg.solve(matrix, b)
-
-        # Inputs use the full DAC range; output ranging happens through the
-        # input-conductance ladder (INV output ∝ g_f).
-        scale = max(self._input_scale(b, self.pool.config.dac.v_ref), 1e-30)
-        target = self._output_target
-        value = np.zeros(n)
-        stable, saturated = True, False
-        attempts = 0
-        for attempts in range(1, self.max_attempts + 1):
-            result = tile.primary.compute_inv(b / scale, partner=tile.partner)
-            g_f = tile.primary.config.g_f
-            value = -result.values * scale / (tile.mapping.value_scale * g_f)
-            stable = result.solution.stable
-            saturated = result.solution.saturated
-            peak = float(np.max(np.abs(result.raw)))
-            if saturated:
-                desired = g_f / 4.0
-            elif 0.0 < peak < 0.25 * target:
-                desired = g_f * target / peak
-            else:
-                break
-            actual = tile.primary.set_g_f(desired)
-            if abs(actual - g_f) < 1e-15:
-                if saturated:
-                    # Ladder floor reached and still railed: fall back to
-                    # shrinking the inputs (trading DAC resolution for range).
-                    scale *= 2.0
-                    continue
-                break  # ladder limit reached
-        self.solve_counts[AMCMode.INV.value] += 1
-        return SolveResult(
-            mode=AMCMode.INV,
-            value=value,
-            reference=reference,
-            attempts=attempts,
-            input_scale=scale,
-            stable=stable,
-            saturated=saturated,
-            macro_ids=operator.macro_ids,
-        )
-
-    # ------------------------------------------------------------------- PINV
+        if b.shape != (matrix.shape[0],):
+            raise ShapeError(f"b must have length {matrix.shape[0]}")
+        operator = self.compile(matrix, AMCMode.INV)
+        try:
+            return operator.solve(b)
+        finally:
+            operator._refs -= 1
 
     def lstsq(self, matrix: np.ndarray, b: np.ndarray) -> SolveResult:
         """Analog least squares ``min‖A·y − b‖`` via the PINV topology."""
         matrix = np.asarray(matrix, dtype=float)
         b = np.asarray(b, dtype=float)
-        m, n = matrix.shape
-        if m < n:
-            raise GramcError("lstsq expects a tall matrix (m >= n)")
-        if b.shape != (m,):
-            raise GramcError(f"b must have length {m}")
-        if m > self._rows_max or n > self._rows_max:
-            raise GramcError("PINV operands must fit a single array")
-        op_a = self.program(matrix, AMCMode.PINV)
-        op_at = self.program(matrix.T, AMCMode.PINV, tag="transpose")
-        tile_a, tile_at = op_a.tiles[0], op_at.tiles[0]
-        reference = np.linalg.pinv(matrix) @ b
-
-        scale = max(self._input_scale(b, self.pool.config.dac.v_ref), 1e-30)
-        target = self._output_target
-        value = np.zeros(n)
-        stable, saturated = True, False
-        attempts = 0
-        for attempts in range(1, self.max_attempts + 1):
-            result = tile_a.primary.compute_pinv(
-                b / scale,
-                partner_t=tile_at.primary,
-                partner_neg=tile_a.partner,
-                partner_t_neg=tile_at.partner,
-            )
-            g_f = tile_a.primary.config.g_f
-            value = -result.values * scale / (tile_a.mapping.value_scale * g_f)
-            stable = result.solution.stable
-            saturated = result.solution.saturated
-            peak = float(np.max(np.abs(result.raw)))
-            if saturated:
-                desired = g_f / 4.0
-            elif 0.0 < peak < 0.25 * target:
-                desired = g_f * target / peak
-            else:
-                break
-            actual = tile_a.primary.set_g_f(desired)
-            if abs(actual - g_f) < 1e-15:
-                if saturated:
-                    scale *= 2.0  # ladder floor: shrink inputs instead
-                    continue
-                break
-        self.solve_counts[AMCMode.PINV.value] += 1
-        return SolveResult(
-            mode=AMCMode.PINV,
-            value=value,
-            reference=reference,
-            attempts=attempts,
-            input_scale=scale,
-            stable=stable,
-            saturated=saturated,
-            macro_ids=op_a.macro_ids + op_at.macro_ids,
-        )
-
-    # ------------------------------------------------------------------- EGV
+        if matrix.ndim == 2 and b.shape != (matrix.shape[0],):
+            raise ShapeError(f"b must have length {matrix.shape[0]}")
+        operator = self.compile(matrix, AMCMode.PINV)
+        try:
+            return operator.lstsq(b)
+        finally:
+            operator._refs -= 1
 
     def eigvec(
         self, matrix: np.ndarray, lambda_hat: float | None = None, transient: bool = False
     ) -> SolveResult:
         """Dominant eigenvector via the EGV topology (unit norm)."""
         matrix = np.asarray(matrix, dtype=float)
-        n = matrix.shape[0]
-        if matrix.shape != (n, n):
-            raise GramcError("eigvec needs a square matrix")
-        if n > self._rows_max:
-            raise GramcError(f"EGV supports up to {self._rows_max} unknowns")
-
-        # Digital eigenvalue estimate on the quantized matrix (functional module).
-        probe = self.program(matrix, AMCMode.MVM, tag="egv-probe")
-        quantized = probe.tiles[0].mapping.quantized_matrix()
-        if lambda_hat is None:
-            # 7 % margin keeps the loop gain above one even after programming
-            # noise shifts the realised spectrum slightly downward.
-            lambda_hat = 0.93 * estimate_dominant_eigenvalue(quantized, rng=self.rng)
-        if lambda_hat <= 0.0:
-            raise GramcError("EGV requires a positive dominant eigenvalue")
-        value_scale = probe.tiles[0].mapping.value_scale
-        g_lambda = lambda_hat / value_scale
-
-        operator = self.program(matrix, AMCMode.EGV, g_lambda=g_lambda, tag="egv")
-        tile = operator.tiles[0]
-        result = tile.primary.compute_egv(partner=tile.partner, transient=transient)
-
-        eigenvalues, eigenvectors = np.linalg.eig(matrix)
-        dominant = int(np.argmax(eigenvalues.real))
-        reference = np.real(eigenvectors[:, dominant])
-        reference = reference / np.linalg.norm(reference)
-        pivot = int(np.argmax(np.abs(reference)))
-        if reference[pivot] < 0:
-            reference = -reference
-        # An eigenvector's sign is arbitrary; report the analog vector in
-        # the same orientation as the reference (pivot-based conventions can
-        # flip when two components near-tie under analog noise).
-        value = result.values
-        if float(value @ reference) < 0.0:
-            value = -value
-
-        self.solve_counts[AMCMode.EGV.value] += 1
-        return SolveResult(
-            mode=AMCMode.EGV,
-            value=value,
-            reference=reference,
-            attempts=1,
-            input_scale=1.0,
-            stable=result.solution.stable,
-            saturated=result.solution.saturated,
-            settling_time=result.solution.settling_time,
-            macro_ids=operator.macro_ids,
-        )
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ShapeError("eigvec needs a square matrix")
+        if matrix.shape[0] > self._rows_max:
+            raise ShapeError(f"EGV supports up to {self._rows_max} unknowns")
+        operator = self._compile_egv(matrix, lambda_hat)
+        try:
+            return operator.eigvec(transient=transient)
+        finally:
+            operator._refs -= 1

@@ -6,16 +6,19 @@ head run in the digital functional module — precisely the split the paper
 describes ("the convolutional computation results are transferred to the
 digital functional module to execute the pooling and activation").
 
+Deployment **compiles each weight layer once** into an
+:class:`~repro.core.operator.AnalogOperator` handle; inference then
+streams im2col patch batches through the resident conductances
+(``op @ batch``) with zero re-programming per batch.  When the network's
+working set exceeds the macro pool, the LRU evicts cold layers and the
+handles transparently re-program on their next use.
+
 Two precision modes:
 
 * ``bits=4`` — weights quantize to the 16-level cells directly (one
   differential plane pair per layer);
 * ``bits=8`` — bit slicing: two 4-bit nibble matrices per layer on separate
   arrays, recombined by the digital shift-add unit (``16·msb + lsb``).
-
-Convolutions lower to matrix products over im2col patch matrices and
-stream *batched* through the programmed macros, modelling back-to-back
-conversions through the same hardware.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.operator import AnalogOperator
 from repro.core.solver import GramcSolver
 from repro.nn.layers import im2col
 from repro.nn.lenet5 import LeNet5
@@ -33,17 +37,16 @@ from repro.system import functional
 
 @dataclass
 class _AnalogLayer:
-    """One weight layer prepared for analog execution."""
+    """One weight layer compiled onto the analog macros."""
 
     name: str
     bias: np.ndarray
-    # INT4 path:
-    weight4: np.ndarray | None = None
-    peak4: float = 0.0
-    # INT8 (bit-sliced) path:
+    # INT4 path: one handle.
+    op4: AnalogOperator | None = None
+    # INT8 (bit-sliced) path: one handle per nibble plane.
     scale8: float = 0.0
-    msb: np.ndarray | None = None
-    lsb: np.ndarray | None = None
+    op_msb: AnalogOperator | None = None
+    op_lsb: AnalogOperator | None = None
 
 
 class AnalogLeNet5:
@@ -63,18 +66,34 @@ class AnalogLeNet5:
                 self._layers[name] = _AnalogLayer(
                     name=name,
                     bias=layer.bias.copy(),
-                    weight4=quantized.dequantized(),
-                    peak4=quantized.scale * 15.0,
+                    op4=solver.compile(
+                        quantized.dequantized(), quant_peak=quantized.scale * 15.0
+                    ),
                 )
             else:
                 sliced = bit_slice_weight(layer.weight)
+                # Nibble planes hold integers ≤ 15; quant_peak=15 aligns the
+                # level grid so the stored codes are exact.
                 self._layers[name] = _AnalogLayer(
                     name=name,
                     bias=layer.bias.copy(),
                     scale8=sliced.scale,
-                    msb=sliced.msb.astype(float),
-                    lsb=sliced.lsb.astype(float),
+                    op_msb=solver.compile(sliced.msb.astype(float), quant_peak=15.0),
+                    op_lsb=solver.compile(sliced.lsb.astype(float), quant_peak=15.0),
                 )
+
+    def close(self) -> None:
+        """Release every layer's macros back to the pool."""
+        for layer in self._layers.values():
+            for op in (layer.op4, layer.op_msb, layer.op_lsb):
+                if op is not None:
+                    op.close()
+
+    def __enter__(self) -> "AnalogLeNet5":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- analog matrix product ------------------------------------------------------
 
@@ -82,15 +101,12 @@ class AnalogLeNet5:
         """``W @ x`` on the macros (x: ``(in,)`` or ``(in, batch)``)."""
         layer = self._layers[name]
         if self.bits == 4:
-            assert layer.weight4 is not None
-            result = self.solver.mvm(layer.weight4, x, quant_peak=layer.peak4)
-            return result.value
-        assert layer.msb is not None and layer.lsb is not None
-        # Nibble planes hold integers ≤ 15; quant_peak=15 aligns the level
-        # grid so the stored codes are exact.
-        high = self.solver.mvm(layer.msb, x, quant_peak=15.0)
-        low = self.solver.mvm(layer.lsb, x, quant_peak=15.0)
-        return layer.scale8 * functional.shift_add(high.value, low.value, shift_bits=4)
+            assert layer.op4 is not None
+            return layer.op4 @ x
+        assert layer.op_msb is not None and layer.op_lsb is not None
+        high = layer.op_msb @ x
+        low = layer.op_lsb @ x
+        return layer.scale8 * functional.shift_add(high, low, shift_bits=4)
 
     def _conv(self, name: str, images: np.ndarray, kernel: int = 5) -> np.ndarray:
         """Convolution as a batched analog MVM over im2col patches."""

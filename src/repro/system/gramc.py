@@ -1,19 +1,28 @@
 """GramcChip: the full system of Fig. 3 — 16 macros + digital control.
 
-Two ways to drive the chip:
+Three ways to drive the chip:
 
 * **Compiled path** — hand it assembly (or an :class:`Instruction` list);
   the controller walks the write-verify and system-solution data flows
   instruction by instruction.  This is the paper's architecture.
+* **Operator path** — :meth:`GramcChip.compile` programs a matrix once and
+  returns an :class:`~repro.core.operator.AnalogOperator` handle:
+  ``op = chip.compile(a); y = op @ x_batch`` streams batches through the
+  resident conductances with zero re-programming.
 * **Runtime path** — :attr:`GramcChip.solver` exposes the high-level
   :class:`~repro.core.solver.GramcSolver` bound to the same macro pool, for
-  users who want ``chip.solver.solve(a, b)`` without writing assembly.
+  users who want the one-shot ``chip.solver.solve(a, b)`` facade.
+
+Both runtime paths account programming and solve activity into
+:attr:`GramcChip.stats`, alongside the compiled path's counters.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.analog.topologies import AMCMode
+from repro.core.operator import AnalogOperator
 from repro.core.pool import MacroPool, PoolConfig
 from repro.core.solver import GramcSolver
 from repro.system.assembler import assemble
@@ -47,8 +56,18 @@ class GramcChip:
     def solver(self) -> GramcSolver:
         """High-level solver sharing this chip's macros (lazy singleton)."""
         if self._solver is None:
-            self._solver = GramcSolver(pool=self.pool, rng=self.rng)
+            self._solver = GramcSolver(pool=self.pool, rng=self.rng, stats=self.stats)
         return self._solver
+
+    def compile(
+        self, matrix: np.ndarray, mode: AMCMode = AMCMode.MVM, **kwargs
+    ) -> AnalogOperator:
+        """Program ``matrix`` on this chip and return its operator handle.
+
+        Accepts the same keyword options as :meth:`GramcSolver.compile`
+        (``pin=True``, ``quant_peak=...``, ``lambda_hat=...``, ...).
+        """
+        return self.solver.compile(matrix, mode, **kwargs)
 
     # -- compiled path -------------------------------------------------------------
 

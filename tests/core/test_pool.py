@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.errors import CapacityError
 from repro.core.pool import MacroPool, PoolConfig
 
 
@@ -67,3 +68,115 @@ class TestAcquire:
         pool = _pool(4)
         ids = {m.macro_id for m in pool.macros}
         assert len(ids) == 4
+
+    def test_free_list_is_fifo(self):
+        """Releases recycle macros in order (deque, not a shifted list)."""
+        pool = _pool(4)
+        first = [m.macro_id for m in pool.acquire("a", 2)]
+        pool.release("a")
+        pool.acquire("pad", 2)  # takes the next two free macros
+        second = [m.macro_id for m in pool.acquire("b", 2)]
+        assert second == first
+
+
+class TestPinning:
+    def test_pinned_owner_skipped_by_eviction(self):
+        pool = _pool(4)
+        pool.acquire("keep", 2)
+        pool.pin("keep")
+        pool.acquire("churn", 2)
+        pool.acquire("new", 2)  # must evict churn despite keep being older
+        assert pool.holds("keep")
+        assert not pool.holds("churn")
+
+    def test_all_pinned_raises_capacity_error(self):
+        pool = _pool(4)
+        pool.acquire("a", 2)
+        pool.acquire("b", 2)
+        pool.pin("a")
+        pool.pin("b")
+        with pytest.raises(CapacityError):
+            pool.acquire("c", 2)
+
+    def test_unpin_restores_evictability(self):
+        pool = _pool(4)
+        pool.acquire("a", 2)
+        pool.acquire("b", 2)
+        pool.pin("a")
+        pool.pin("b")
+        pool.unpin("a")
+        pool.acquire("c", 2)
+        assert not pool.holds("a")
+        assert pool.holds("b")
+
+    def test_pin_unknown_owner_rejected(self):
+        pool = _pool(2)
+        with pytest.raises(KeyError):
+            pool.pin("ghost")
+
+    def test_release_clears_pin(self):
+        pool = _pool(2)
+        pool.acquire("a", 1)
+        pool.pin("a")
+        pool.release("a")
+        assert not pool.pinned("a")
+
+    def test_resize_reacquire_keeps_pin(self):
+        pool = _pool(4)
+        pool.acquire("a", 1)
+        pool.pin("a")
+        pool.acquire("a", 2)  # internal release + re-acquire
+        assert pool.pinned("a")
+        pool.acquire("b", 2)
+        pool.acquire("c", 2)  # must not evict the still-pinned a
+        assert pool.holds("a")
+
+
+class TestCallbacksAndStats:
+    def test_eviction_fires_callback(self):
+        pool = _pool(2)
+        evicted = []
+        pool.acquire("a", 2, on_evict=evicted.append)
+        pool.acquire("b", 2)
+        assert evicted == ["a"]
+
+    def test_explicit_release_does_not_fire_callback(self):
+        pool = _pool(2)
+        evicted = []
+        pool.acquire("a", 2, on_evict=evicted.append)
+        pool.release("a")
+        assert evicted == []
+
+    def test_eviction_counter(self):
+        pool = _pool(2)
+        pool.acquire("a", 2)
+        pool.acquire("b", 2)
+        pool.acquire("c", 2)
+        assert pool.evictions == 2
+        assert pool.acquisitions == 3
+
+    def test_utilization(self):
+        pool = _pool(4)
+        assert pool.utilization == 0.0
+        pool.acquire("a", 3)
+        assert pool.utilization == pytest.approx(0.75)
+        pool.release_all()
+        assert pool.utilization == 0.0
+
+    def test_owner_stats_lru_order(self):
+        pool = _pool(4)
+        pool.acquire("old", 1)
+        pool.acquire("new", 2)
+        pool.pin("new")
+        stats = pool.owner_stats()
+        assert list(stats) == ["old", "new"]
+        assert stats["old"] == {"macros": 1, "macro_ids": (0,), "pinned": False}
+        assert stats["new"]["macros"] == 2
+        assert stats["new"]["pinned"] is True
+
+    def test_oversized_request_is_capacity_and_value_error(self):
+        pool = _pool(2)
+        with pytest.raises(CapacityError):
+            pool.acquire("huge", 3)
+        with pytest.raises(ValueError):  # backward-compatible type
+            pool.acquire("huge", 3)
