@@ -13,6 +13,20 @@ directly expose stability and settling time (the paper's "solves in one
 step" property is precisely "settling time is a few amplifier time
 constants, independent of matrix size").
 
+The physics makes ``M`` and ``b`` fundamentally different objects: ``M`` is
+set by the *programmed conductances* and the register configuration — it is
+frozen between programming events — while ``b`` carries the *inputs* of one
+solve.  The crossbar applies ``M`` to every column simultaneously, so a
+feedback solve with many right-hand sides settles in the same few amplifier
+time constants as a single one.  The engine mirrors that: one
+:class:`LinearFeedbackSystem` per programmed circuit, its eigendecomposition
+and LU factors computed **once** and shared by every subsequent solve —
+vector or matrix-valued ``B`` alike (``ẋ = M·X + B`` column-wise).
+:func:`eig_call_count` counts the engine's ``np.linalg.eig`` calls so tests
+can assert the one-decomposition-per-programming-event contract, and
+:meth:`LinearFeedbackSystem.with_rhs` rebinds a cached decomposition to a
+new right-hand side without re-factorising.
+
 The EGV topology is nonlinear (saturation fixes the amplitude), so a
 Runge-Kutta path (:func:`integrate_nonlinear`) is provided as well.
 """
@@ -24,6 +38,20 @@ from typing import Callable
 
 import numpy as np
 from scipy.integrate import solve_ivp
+from scipy.linalg import lu_factor, lu_solve
+
+_EIG_CALLS = 0
+"""Engine-wide ``np.linalg.eig`` call counter (diagnostics / perf tests)."""
+
+
+def eig_call_count() -> int:
+    """How many eigendecompositions the engine has computed so far.
+
+    The batched-execution contract is *one* decomposition per programmed
+    circuit (per tile, per programming event); benchmarks snapshot this
+    counter around a solve burst to assert it.
+    """
+    return _EIG_CALLS
 
 
 @dataclass
@@ -32,7 +60,8 @@ class TransientResult:
 
     times: np.ndarray
     trajectory: np.ndarray
-    """Shape ``(len(times), n)``."""
+    """Shape ``(len(times), n)`` — or ``(len(times), n, k)`` for a
+    matrix-valued solve with ``k`` right-hand-side columns."""
 
     final: np.ndarray
     stable: bool
@@ -42,33 +71,109 @@ class TransientResult:
 
 
 class LinearFeedbackSystem:
-    """``ẋ = M·x + b`` solved exactly via eigendecomposition."""
+    """``ẋ = M·x + b`` solved exactly via one cached eigendecomposition.
 
-    def __init__(self, m_matrix: np.ndarray, b: np.ndarray):
+    ``b`` may be omitted at construction and supplied per solve instead
+    (vector ``(n,)`` or matrix ``(n, k)``); the decomposition and LU
+    factors of ``M`` are computed lazily, exactly once, and shared by
+    every equilibrium/trajectory query and every :meth:`with_rhs` view.
+    """
+
+    def __init__(self, m_matrix: np.ndarray, b: np.ndarray | None = None):
         self.m = np.asarray(m_matrix, dtype=float)
-        self.b = np.asarray(b, dtype=float)
         if self.m.ndim != 2 or self.m.shape[0] != self.m.shape[1]:
             raise ValueError("M must be square")
-        if self.b.shape != (self.m.shape[0],):
+        n = self.m.shape[0]
+        self.b = np.zeros(n) if b is None else np.asarray(b, dtype=float)
+        if self.b.shape[0] != n or self.b.ndim > 2:
             raise ValueError("b must match M")
-        self._eigvals, self._eigvecs = np.linalg.eig(self.m)
+        self._eigvals: np.ndarray | None = None
+        self._eigvecs: np.ndarray | None = None
+        self._modal_lu = None
+        self._m_lu = None
+        self._base: "LinearFeedbackSystem" = self
+        """The cache owner.  ``with_rhs`` views point at their parent so a
+        factorization computed through *any* view lands in (and is served
+        from) one shared place."""
+
+    # ------------------------------------------------------- cached factorizations
+
+    def _decompose(self) -> tuple[np.ndarray, np.ndarray]:
+        """The (lazily computed, cached) eigendecomposition of ``M``."""
+        base = self._base
+        if base is not self:
+            return base._decompose()
+        if self._eigvals is None:
+            global _EIG_CALLS
+            _EIG_CALLS += 1
+            self._eigvals, self._eigvecs = np.linalg.eig(self.m)
+        assert self._eigvecs is not None
+        return self._eigvals, self._eigvecs
+
+    def _solve_modal(self, rhs: np.ndarray) -> np.ndarray:
+        """``V⁻¹·rhs`` through the cached LU of the eigenvector matrix."""
+        base = self._base
+        if base is not self:
+            return base._solve_modal(rhs)
+        _, eigvecs = self._decompose()
+        if self._modal_lu is None:
+            self._modal_lu = lu_factor(eigvecs)
+        return lu_solve(self._modal_lu, rhs)
+
+    def _solve_m(self, rhs: np.ndarray) -> np.ndarray:
+        """``M⁻¹·rhs`` through the cached LU of ``M`` (vector or matrix)."""
+        base = self._base
+        if base is not self:
+            return base._solve_m(rhs)
+        if self._m_lu is None:
+            self._m_lu = lu_factor(self.m)
+        return lu_solve(self._m_lu, rhs)
+
+    def with_rhs(self, b: np.ndarray) -> "LinearFeedbackSystem":
+        """A view of the same circuit driven by a different ``b``.
+
+        The view delegates every factorization to this system's cache (in
+        both directions: a decomposition triggered *through* a view is
+        stored on the parent) — rebinding the right-hand side is free,
+        which is what lets a persistent circuit stream solve after solve
+        without ever re-factorising its (programming-frozen) ``M``.
+        """
+        view = LinearFeedbackSystem.__new__(LinearFeedbackSystem)
+        view.m = self.m
+        view.b = np.asarray(b, dtype=float)
+        if view.b.shape[0] != self.m.shape[0] or view.b.ndim > 2:
+            raise ValueError("b must match M")
+        view._eigvals = None
+        view._eigvecs = None
+        view._modal_lu = None
+        view._m_lu = None
+        view._base = self._base
+        return view
+
+    # ---------------------------------------------------------------- introspection
 
     @property
     def eigenvalues(self) -> np.ndarray:
-        return self._eigvals
+        eigvals, _ = self._decompose()
+        return eigvals
 
     @property
     def is_stable(self) -> bool:
         """Strict Hurwitz stability of the feedback network."""
-        return bool(np.all(self._eigvals.real < 0.0))
+        return bool(np.all(self.eigenvalues.real < 0.0))
 
-    def equilibrium(self) -> np.ndarray:
-        """The fixed point ``−M⁻¹·b`` (the circuit's computed answer)."""
-        return np.linalg.solve(self.m, -self.b)
+    def equilibrium(self, b: np.ndarray | None = None) -> np.ndarray:
+        """The fixed point ``−M⁻¹·b`` (the circuit's computed answer).
+
+        ``b`` overrides the constructed right-hand side and may be matrix
+        valued ``(n, k)`` — all columns share the one cached factorization.
+        """
+        rhs = self.b if b is None else np.asarray(b, dtype=float)
+        return self._solve_m(-rhs)
 
     def time_constant(self) -> float:
         """Slowest decaying mode ``1/|Re λ|_min`` — the settling bottleneck."""
-        slowest = np.min(np.abs(self._eigvals.real))
+        slowest = np.min(np.abs(self.eigenvalues.real))
         if slowest == 0.0:
             return float("inf")
         return float(1.0 / slowest)
@@ -79,23 +184,46 @@ class LinearFeedbackSystem:
         t_end: float,
         num_points: int = 200,
         settle_rtol: float = 1e-3,
+        b: np.ndarray | None = None,
     ) -> TransientResult:
-        """Exact trajectory on a uniform grid with settling detection."""
+        """Exact trajectory on a uniform grid with settling detection.
+
+        ``x0`` and ``b`` may be matrix valued ``(n, k)`` — the closed-form
+        modal solution applies to every column at once and the settling
+        time reported is the *batch* settling time (last column to enter
+        the tolerance band), matching the hardware where all columns share
+        the amplifier settling transient.
+        """
+        system = self if b is None else self.with_rhs(b)
         x0 = np.asarray(x0, dtype=float)
+        batched = x0.ndim == 2
+        if system.b.ndim != x0.ndim:
+            raise ValueError("x0 and b must both be vectors or both matrices")
         times = np.linspace(0.0, t_end, num_points)
-        if self.is_stable:
-            x_inf = self.equilibrium()
+        eigvals, eigvecs = system._decompose()
+        if system.is_stable:
+            x_inf = system.equilibrium()
         else:
             x_inf = np.zeros_like(x0)
-        # x(t) = x∞ + V·diag(e^{λt})·V⁻¹·(x0 − x∞)
-        coeffs = np.linalg.solve(self._eigvecs, x0 - x_inf)
-        modes = np.exp(np.outer(times, self._eigvals)) * coeffs[None, :]
-        trajectory = np.real(modes @ self._eigvecs.T) + x_inf[None, :]
+        # x(t) = x∞ + V·diag(e^{λt})·V⁻¹·(x0 − x∞), column-wise for a batch
+        coeffs = system._solve_modal(x0 - x_inf)
+        modes = np.exp(np.outer(times, eigvals))  # (T, n)
+        if batched:
+            # (T, n, k): modal amplitudes evolve per time point, per column.
+            trajectory = np.real(
+                np.einsum("in,tn,nk->tik", eigvecs, modes, coeffs, optimize=True)
+            )
+            trajectory = trajectory + x_inf[None, :, :]
+        else:
+            trajectory = np.real((modes * coeffs[None, :]) @ eigvecs.T) + x_inf[None, :]
 
         settled_at: float | None = None
-        if self.is_stable:
+        if system.is_stable:
             scale = max(float(np.max(np.abs(x_inf))), 1e-12)
-            deviation = np.max(np.abs(trajectory - x_inf[None, :]), axis=1) / scale
+            deviation = (
+                np.max(np.abs(trajectory - x_inf[None]), axis=tuple(range(1, trajectory.ndim)))
+                / scale
+            )
             inside = deviation <= settle_rtol
             # Last excursion outside the band determines the settling time.
             outside = np.nonzero(~inside)[0]
@@ -107,7 +235,7 @@ class LinearFeedbackSystem:
             times=times,
             trajectory=trajectory,
             final=trajectory[-1],
-            stable=self.is_stable,
+            stable=system.is_stable,
             settling_time=settled_at,
         )
 

@@ -13,11 +13,19 @@ genuine feedback loop: it is stable iff all eigenvalues of the (row-scaled)
 signed conductance matrix have positive real part — satisfied by the
 paper's Wishart test matrices, and checked explicitly here via the
 eigenvalues of the transient system matrix.
+
+An :class:`InvCircuit` is a *persistent* object: everything determined by
+the programmed conductances — the signed matrix, the LU factors of the
+finite-gain equilibrium system, and the eigendecomposition of the loop's
+transient matrix ``M`` — is computed once and reused by every solve.  Only
+the input currents change between solves, and they may be matrix valued
+``(n, k)``: the crossbar applies the loop to every column at once.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from scipy.linalg import lu_factor, lu_solve
 
 from repro.analog.blocks import InverterBank
 from repro.analog.dynamics import LinearFeedbackSystem
@@ -56,6 +64,14 @@ class InvCircuit:
             self.inverters: InverterBank | None = InverterBank(bank)
         else:
             self.inverters = None
+        # Persistent-circuit caches: everything below is a pure function of
+        # the conductance planes and amplifier bank, i.e. frozen until the
+        # macro re-programs (which builds a fresh circuit).
+        self._signed: np.ndarray | None = None
+        self._g_tot: np.ndarray | None = None
+        self._i_offset: np.ndarray | None = None
+        self._lhs_lu = None
+        self._system0: LinearFeedbackSystem | None = None
 
     @property
     def n(self) -> int:
@@ -65,69 +81,133 @@ class InvCircuit:
 
     def _signed_matrix(self) -> np.ndarray:
         """Effective feedback matrix including the inverter gain error."""
-        if self.g_neg is None:
-            return self.g_pos
-        inverter_gain = self.params.a0 / (self.params.a0 + 2.0)
-        return self.g_pos - inverter_gain * self.g_neg
+        if self._signed is None:
+            if self.g_neg is None:
+                self._signed = self.g_pos
+            else:
+                inverter_gain = self.params.a0 / (self.params.a0 + 2.0)
+                self._signed = self.g_pos - inverter_gain * self.g_neg
+        return self._signed
 
     def _node_conductance(self) -> np.ndarray:
-        total = self.g_pos.sum(axis=1)
-        if self.g_neg is not None:
-            total = total + self.g_neg.sum(axis=1)
-        return np.maximum(total, 1e-12)
+        if self._g_tot is None:
+            total = self.g_pos.sum(axis=1)
+            if self.g_neg is not None:
+                total = total + self.g_neg.sum(axis=1)
+            self._g_tot = np.maximum(total, 1e-12)
+        return self._g_tot
 
     def _offset_currents(self) -> np.ndarray:
         """Static error currents injected by the inverter offsets."""
-        if self.g_neg is None or self.inverters is None:
-            return np.zeros(self.n)
-        inverter_gain = self.params.a0 / (self.params.a0 + 2.0)
-        return self.g_neg @ (2.0 * inverter_gain * self.inverters.amps.offsets)
+        if self._i_offset is None:
+            if self.g_neg is None or self.inverters is None:
+                self._i_offset = np.zeros(self.n)
+            else:
+                inverter_gain = self.params.a0 / (self.params.a0 + 2.0)
+                self._i_offset = self.g_neg @ (
+                    2.0 * inverter_gain * self.inverters.amps.offsets
+                )
+        return self._i_offset
 
-    def system(self, i_in: np.ndarray) -> LinearFeedbackSystem:
-        """The transient model ``ẋ = M·x + b`` of the configured loop."""
-        i_in = np.asarray(i_in, dtype=float)
+    def _homogeneous_system(self) -> LinearFeedbackSystem:
+        """The input-free loop ``ẋ = M·x`` — ``M`` is programming-frozen,
+        so its (lazily computed) eigendecomposition is cached here and
+        shared by every stability check and transient of this circuit."""
+        if self._system0 is None:
+            g_tot = self._node_conductance()
+            g_signed = self._signed_matrix()
+            a0, tau = self.params.a0, self.params.tau
+            scale = a0 / (g_tot * tau)
+            m = -(np.eye(self.n) / tau) - scale[:, None] * g_signed
+            self._system0 = LinearFeedbackSystem(m)
+        return self._system0
+
+    def _rhs(self, i_in: np.ndarray) -> np.ndarray:
+        """The transient drive ``b`` for input currents (vector or matrix)."""
         g_tot = self._node_conductance()
-        g_signed = self._signed_matrix()
         a0, tau = self.params.a0, self.params.tau
         scale = a0 / (g_tot * tau)
-        m = -(np.eye(self.n) / tau) - scale[:, None] * g_signed
-        b = -scale * (i_in + self._offset_currents()) + (a0 / tau) * self.amps.offsets
-        return LinearFeedbackSystem(m, b)
+        offsets = (a0 / tau) * self.amps.offsets
+        if i_in.ndim == 2:
+            return (
+                -scale[:, None] * (i_in + self._offset_currents()[:, None])
+                + offsets[:, None]
+            )
+        return -scale * (i_in + self._offset_currents()) + offsets
+
+    def system(self, i_in: np.ndarray) -> LinearFeedbackSystem:
+        """The transient model ``ẋ = M·x + b`` of the configured loop.
+
+        The returned system shares this circuit's cached decomposition of
+        ``M``; only ``b`` is rebuilt from the input currents.
+        """
+        i_in = np.asarray(i_in, dtype=float)
+        return self._homogeneous_system().with_rhs(self._rhs(i_in))
+
+    @property
+    def is_stable(self) -> bool:
+        """Loop stability — an input-independent property of ``M``."""
+        return self._homogeneous_system().is_stable
 
     # -- solves -------------------------------------------------------------------
 
     def static_solve(self, i_in: np.ndarray, noisy: bool = True) -> CircuitSolution:
-        """Finite-gain equilibrium ``(G + diag(g_tot)/a0)·x = −i + offsets``."""
+        """Finite-gain equilibrium ``(G + diag(g_tot)/a0)·x = −i + offsets``.
+
+        ``i_in`` may be a vector ``(n,)`` or a matrix ``(n, k)`` of input
+        currents — all columns share the circuit's one LU factorization
+        and one stability eigendecomposition.
+        """
         i_in = np.asarray(i_in, dtype=float)
-        if i_in.shape != (self.n,):
-            raise ValueError(f"expected {self.n} input currents")
+        if i_in.shape[0] != self.n or i_in.ndim > 2:
+            raise ValueError(f"expected {self.n} input currents (optionally batched)")
         g_tot = self._node_conductance()
-        lhs = self._signed_matrix() + np.diag(g_tot) / self.params.a0
-        rhs = -(i_in + self._offset_currents()) + self.amps.offsets * g_tot
-        x = np.linalg.solve(lhs, rhs)
-        if noisy:
-            x = x + self.amps.output_noise(self.rng)
+        if self._lhs_lu is None:
+            lhs = self._signed_matrix() + np.diag(g_tot) / self.params.a0
+            self._lhs_lu = lu_factor(lhs)
+        offset_rhs = -self._offset_currents() + self.amps.offsets * g_tot
+        rhs = -i_in + (offset_rhs[:, None] if i_in.ndim == 2 else offset_rhs)
+        x = lu_solve(self._lhs_lu, rhs)
+        if noisy and self.params.noise_sigma > 0.0:
+            x = x + self.rng.normal(0.0, self.params.noise_sigma, size=x.shape)
         clipped = self.params.saturate(x)
-        saturated = bool(np.any(np.abs(x) > self.params.v_sat))
-        stable = self.system(i_in).is_stable
-        return CircuitSolution(outputs=clipped, saturated=saturated, stable=stable)
+        railed = np.abs(x) > self.params.v_sat
+        column_saturated = np.any(railed, axis=0) if i_in.ndim == 2 else None
+        return CircuitSolution(
+            outputs=clipped,
+            saturated=bool(np.any(railed)),
+            stable=self.is_stable,
+            column_saturated=column_saturated,
+        )
 
     def transient_solve(
         self, i_in: np.ndarray, t_end: float | None = None, num_points: int = 300
     ) -> CircuitSolution:
-        """Full transient from power-on (x = 0), exact linear trajectory."""
-        system = self.system(np.asarray(i_in, dtype=float))
+        """Full transient from power-on (x = 0), exact linear trajectory.
+
+        Batched for matrix-valued ``i_in``: every column starts from zero
+        state and shares the cached modal decomposition.
+        """
+        i_in = np.asarray(i_in, dtype=float)
+        base = self._homogeneous_system()
+        x0 = np.zeros(self.n if i_in.ndim == 1 else (self.n, i_in.shape[1]))
         if t_end is None:
-            t_end = 10.0 * system.time_constant() if system.is_stable else 50.0 * self.params.tau / self.params.a0
-        result = system.trajectory(np.zeros(self.n), t_end, num_points=num_points)
-        outputs = self.params.saturate(result.final + self.amps.output_noise(self.rng))
-        saturated = bool(np.any(np.abs(result.final) > self.params.v_sat))
+            t_end = 10.0 * base.time_constant() if base.is_stable else 50.0 * self.params.tau / self.params.a0
+        result = base.trajectory(x0, t_end, num_points=num_points, b=self._rhs(i_in))
+        noise = (
+            self.rng.normal(0.0, self.params.noise_sigma, size=result.final.shape)
+            if self.params.noise_sigma > 0.0
+            else 0.0
+        )
+        outputs = self.params.saturate(result.final + noise)
+        railed = np.abs(result.final) > self.params.v_sat
         return CircuitSolution(
             outputs=outputs,
-            saturated=saturated,
+            saturated=bool(np.any(railed)),
             stable=result.stable,
             settling_time=result.settling_time,
             transient=result,
+            column_saturated=np.any(railed, axis=0) if i_in.ndim == 2 else None,
         )
 
     def ideal_solution(self, i_in: np.ndarray) -> np.ndarray:

@@ -9,6 +9,13 @@ Connection plan (what the register array configures):
 
 This is the only *feed-forward* topology — no loop, unconditionally stable,
 and the settling time is simply the closed-loop TIA bandwidth.
+
+An :class:`MVMCircuit` is persistent: the conductance planes and their row
+sums are fixed at construction (one read per programming event) and
+``solve`` accepts matrix-valued inputs, so a whole right-hand-side block
+streams through one configured circuit.  The feedback ladder is the one
+run-time knob — :meth:`set_g_f` retunes the TIA bank in place so the
+auto-ranging loop never rebuilds the circuit.
 """
 
 from __future__ import annotations
@@ -59,23 +66,35 @@ class MVMCircuit:
             self.inverters: InverterBank | None = InverterBank(col_amps)
         else:
             self.inverters = None
+        self._effective: np.ndarray | None = None
+        self._g_node: np.ndarray | None = None
 
     @property
     def shape(self) -> tuple[int, int]:
         return self.g_pos.shape
 
+    def set_g_f(self, g_f: float) -> None:
+        """Retune the feedback ladder in place (auto-ranging's cheap knob)."""
+        self.g_f = g_f
+        self.tias.g_f = g_f
+
     def effective_matrix(self) -> np.ndarray:
         """The signed conductance matrix the circuit multiplies by."""
-        if self.g_neg is None:
-            return self.g_pos
-        return self.g_pos - self.g_neg
+        if self._effective is None:
+            if self.g_neg is None:
+                self._effective = self.g_pos
+            else:
+                self._effective = self.g_pos - self.g_neg
+        return self._effective
 
     def _node_conductance(self) -> np.ndarray:
         """Per-row conductance loading each TIA virtual ground."""
-        total = self.g_pos.sum(axis=1)
-        if self.g_neg is not None:
-            total = total + self.g_neg.sum(axis=1)
-        return total
+        if self._g_node is None:
+            total = self.g_pos.sum(axis=1)
+            if self.g_neg is not None:
+                total = total + self.g_neg.sum(axis=1)
+            self._g_node = total
+        return self._g_node
 
     def solve(self, v_in: np.ndarray, noisy: bool = True) -> CircuitSolution:
         """One analog multiply: column voltages in, TIA row voltages out.
@@ -98,13 +117,17 @@ class MVMCircuit:
             outputs = self.tias.output(currents, g_node, self.rng)
         else:
             outputs = self.params.saturate(self.tias.transfer(currents, g_node))
-        saturated = bool(np.any(np.abs(outputs) >= self.params.v_sat * (1.0 - 1e-9)))
+        railed = np.abs(outputs) >= self.params.v_sat * (1.0 - 1e-9)
         # Feed-forward topology: settling is one closed-loop TIA time constant,
         # τ_cl ≈ (1 + g_node/g_f) / (2π·gbw).
         noise_gain = 1.0 + float(np.max(g_node)) / self.g_f
         settling = noise_gain / (2.0 * np.pi * self.params.gbw)
         return CircuitSolution(
-            outputs=outputs, saturated=saturated, stable=True, settling_time=settling
+            outputs=outputs,
+            saturated=bool(np.any(railed)),
+            stable=True,
+            settling_time=settling,
+            column_saturated=np.any(railed, axis=0) if outputs.ndim == 2 else None,
         )
 
     def ideal_output(self, v_in: np.ndarray) -> np.ndarray:

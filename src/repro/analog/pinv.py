@@ -14,11 +14,20 @@ Equilibrium forces ``Gᵀ·w = 0``, i.e. the normal equations
 ``Gᵀ(G·x + i) = 0`` — the least-squares solution ``x = −G⁺·i``.  Finite
 stage-2 gain turns this into a ridge-regularised solve with
 ``λ = g_f·g_tot2/a0``, a faithful model of the real circuit's gain error.
+
+Like :class:`~repro.analog.inv.InvCircuit`, a :class:`PinvCircuit` is
+persistent: the block LHS is LU-factorised once, the coupled transient
+matrix is eigendecomposed once, and ``i_in`` may be matrix valued
+``(m, k)`` — every right-hand-side column rides the same factorizations.
+Note that here the feedback ladder ``g_f`` *does* enter the loop matrix,
+so re-ranging ``g_f`` legitimately requires a fresh circuit (the macro
+layer rebuilds it); between ``g_f`` moves everything is cached.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from scipy.linalg import lu_factor, lu_solve
 
 from repro.analog.dynamics import LinearFeedbackSystem
 from repro.analog.opamp import OpAmpBank, OpAmpParams
@@ -56,6 +65,9 @@ class PinvCircuit:
         self.stage2 = stage2_amps if stage2_amps is not None else OpAmpBank.sample(n, self.params, self.rng)
         if len(self.stage1) != m or len(self.stage2) != n:
             raise ValueError("amplifier bank sizes must match the array shape")
+        # Persistent-circuit caches (frozen with the planes and g_f).
+        self._lhs_lu = None
+        self._system0: LinearFeedbackSystem | None = None
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -90,83 +102,129 @@ class PinvCircuit:
     # -- solves ---------------------------------------------------------------------
 
     def static_solve(self, i_in: np.ndarray, noisy: bool = True) -> CircuitSolution:
-        """Block-linear equilibrium of the two coupled amplifier banks."""
+        """Block-linear equilibrium of the two coupled amplifier banks.
+
+        ``i_in``: vector ``(m,)`` or matrix ``(m, k)`` — all columns share
+        the one cached LU of the block system and one stability check.
+        """
         m, n = self.shape
         i_in = np.asarray(i_in, dtype=float)
-        if i_in.shape != (m,):
-            raise ValueError(f"expected {m} input currents")
+        if i_in.shape[0] != m or i_in.ndim > 2:
+            raise ValueError(f"expected {m} input currents (optionally batched)")
         a0 = self.params.a0
-        a1, a2 = self._a1(), self._a2()
         g_node1, g_node2 = self._g_node1(), self._g_node2()
 
         # Unknowns z = [w (m), x (n)]:
         #   stage 1:  (g_f + (g_node1+g_f)/a0)·w + A1·x = −i + v_os1·(g_node1+g_f)
         #   stage 2:  −A2·w + diag(g_node2)/a0·x = −g_node2·v_os2
-        lhs = np.zeros((m + n, m + n))
-        lhs[:m, :m] = np.diag(self.g_f + (g_node1 + self.g_f) / a0)
-        lhs[:m, m:] = a1
-        lhs[m:, :m] = -a2
-        lhs[m:, m:] = np.diag(g_node2 / a0)
-        rhs = np.concatenate(
+        if self._lhs_lu is None:
+            a1, a2 = self._a1(), self._a2()
+            lhs = np.zeros((m + n, m + n))
+            lhs[:m, :m] = np.diag(self.g_f + (g_node1 + self.g_f) / a0)
+            lhs[:m, m:] = a1
+            lhs[m:, :m] = -a2
+            lhs[m:, m:] = np.diag(g_node2 / a0)
+            self._lhs_lu = lu_factor(lhs)
+        offset_rhs = np.concatenate(
             [
-                -i_in + self.stage1.offsets * (g_node1 + self.g_f),
+                self.stage1.offsets * (g_node1 + self.g_f),
                 -g_node2 * self.stage2.offsets,
             ]
         )
-        solution = np.linalg.solve(lhs, rhs)
+        if i_in.ndim == 2:
+            rhs = offset_rhs[:, None] - np.concatenate(
+                [i_in, np.zeros((n, i_in.shape[1]))], axis=0
+            )
+        else:
+            rhs = offset_rhs - np.concatenate([i_in, np.zeros(n)])
+        solution = lu_solve(self._lhs_lu, rhs)
         w, x = solution[:m], solution[m:]
-        if noisy:
-            x = x + self.stage2.output_noise(self.rng)
-        raw_peak = max(float(np.max(np.abs(w))), float(np.max(np.abs(x))))
-        saturated = raw_peak > self.params.v_sat
-        stable = self.system(i_in).is_stable
+        if noisy and self.params.noise_sigma > 0.0:
+            x = x + self.rng.normal(0.0, self.params.noise_sigma, size=x.shape)
+        railed = np.abs(solution) > self.params.v_sat
+        column_saturated = np.any(railed, axis=0) if i_in.ndim == 2 else None
         return CircuitSolution(
-            outputs=self.params.saturate(x), saturated=saturated, stable=stable
+            outputs=self.params.saturate(x),
+            saturated=bool(np.any(railed)),
+            stable=self.is_stable,
+            column_saturated=column_saturated,
         )
+
+    def _homogeneous_system(self) -> LinearFeedbackSystem:
+        """Input-free coupled loop over ``[w, x]`` — eigendecomposed once."""
+        if self._system0 is None:
+            m, n = self.shape
+            a0, tau = self.params.a0, self.params.tau
+            a1, a2 = self._a1(), self._a2()
+            g_node1 = self._g_node1() + self.g_f
+            g_node2 = self._g_node2()
+
+            m_mat = np.zeros((m + n, m + n))
+            # τ·ẇ = −w − a0·(A1·x + i + g_f·w)/g_node1 + a0·v_os1
+            m_mat[:m, :m] = -(np.eye(m) + (a0 * self.g_f / g_node1)[:, None] * np.eye(m)) / tau
+            m_mat[:m, m:] = -(a0 / g_node1)[:, None] * a1 / tau
+            # τ·ẋ = −x + a0·(A2·w)/g_node2 − a0·v_os2
+            m_mat[m:, :m] = (a0 / g_node2)[:, None] * a2 / tau
+            m_mat[m:, m:] = -np.eye(n) / tau
+            self._system0 = LinearFeedbackSystem(m_mat)
+        return self._system0
+
+    def _rhs(self, i_in: np.ndarray) -> np.ndarray:
+        """Transient drive for input currents (vector or matrix)."""
+        m, n = self.shape
+        a0, tau = self.params.a0, self.params.tau
+        g_node1 = self._g_node1() + self.g_f
+        offsets = np.concatenate(
+            [a0 * self.stage1.offsets / tau, -a0 * self.stage2.offsets / tau]
+        )
+        if i_in.ndim == 2:
+            k = i_in.shape[1]
+            drive = np.zeros((m + n, k))
+            drive[:m] = -(a0 / g_node1)[:, None] * i_in / tau
+            return drive + offsets[:, None]
+        drive = np.zeros(m + n)
+        drive[:m] = -(a0 / g_node1) * i_in / tau
+        return drive + offsets
+
+    @property
+    def is_stable(self) -> bool:
+        """Loop stability — input-independent, cached with the circuit."""
+        return self._homogeneous_system().is_stable
 
     def system(self, i_in: np.ndarray) -> LinearFeedbackSystem:
-        """Coupled transient model over the stacked state ``[w, x]``."""
-        m, n = self.shape
+        """Coupled transient model over the stacked state ``[w, x]``.
+
+        Shares this circuit's cached decomposition; only ``b`` is rebuilt.
+        """
         i_in = np.asarray(i_in, dtype=float)
-        a0, tau = self.params.a0, self.params.tau
-        a1, a2 = self._a1(), self._a2()
-        g_node1 = self._g_node1() + self.g_f
-        g_node2 = self._g_node2()
-
-        m_mat = np.zeros((m + n, m + n))
-        # τ·ẇ = −w − a0·(A1·x + i + g_f·w)/g_node1 + a0·v_os1
-        m_mat[:m, :m] = -(np.eye(m) + (a0 * self.g_f / g_node1)[:, None] * np.eye(m)) / tau
-        m_mat[:m, m:] = -(a0 / g_node1)[:, None] * a1 / tau
-        # τ·ẋ = −x + a0·(A2·w)/g_node2 − a0·v_os2
-        m_mat[m:, :m] = (a0 / g_node2)[:, None] * a2 / tau
-        m_mat[m:, m:] = -np.eye(n) / tau
-
-        b = np.concatenate(
-            [
-                (-(a0 / g_node1) * i_in + a0 * self.stage1.offsets) / tau,
-                (-a0 * self.stage2.offsets) / tau,
-            ]
-        )
-        return LinearFeedbackSystem(m_mat, b)
+        return self._homogeneous_system().with_rhs(self._rhs(i_in))
 
     def transient_solve(
         self, i_in: np.ndarray, t_end: float | None = None, num_points: int = 300
     ) -> CircuitSolution:
-        """Power-on transient of the coupled two-bank loop."""
+        """Power-on transient of the coupled two-bank loop (batched for 2-D)."""
         m, n = self.shape
-        system = self.system(np.asarray(i_in, dtype=float))
+        i_in = np.asarray(i_in, dtype=float)
+        base = self._homogeneous_system()
         if t_end is None:
-            t_end = 10.0 * system.time_constant() if system.is_stable else 1e-3
-        result = system.trajectory(np.zeros(m + n), t_end, num_points=num_points)
+            t_end = 10.0 * base.time_constant() if base.is_stable else 1e-3
+        x0 = np.zeros(m + n if i_in.ndim == 1 else (m + n, i_in.shape[1]))
+        result = base.trajectory(x0, t_end, num_points=num_points, b=self._rhs(i_in))
         x = result.final[m:]
-        outputs = self.params.saturate(x + self.stage2.output_noise(self.rng))
-        saturated = bool(np.max(np.abs(result.final)) > self.params.v_sat)
+        noise = (
+            self.rng.normal(0.0, self.params.noise_sigma, size=x.shape)
+            if self.params.noise_sigma > 0.0
+            else 0.0
+        )
+        outputs = self.params.saturate(x + noise)
+        railed = np.abs(result.final) > self.params.v_sat
         return CircuitSolution(
             outputs=outputs,
-            saturated=saturated,
+            saturated=bool(np.any(railed)),
             stable=result.stable,
             settling_time=result.settling_time,
             transient=result,
+            column_saturated=np.any(railed, axis=0) if i_in.ndim == 2 else None,
         )
 
     def ideal_solution(self, i_in: np.ndarray) -> np.ndarray:

@@ -23,6 +23,10 @@ class CircuitSolution:
     stable: bool = True
     settling_time: float | None = None
     transient: TransientResult | None = field(default=None, repr=False)
+    column_saturated: np.ndarray | None = None
+    """For matrix-valued solves: boolean per right-hand-side column.  The
+    batch auto-ranging loop uses this to shrink only the columns that
+    actually railed.  ``None`` for vector solves."""
 
     @property
     def ok(self) -> bool:

@@ -67,6 +67,10 @@ class CrossbarArray:
         self._conductances = np.full((rows, cols), self.level_map.g_min)
         self._conductances = VariabilityModel.apply_faults(self._conductances, self._faults)
         self.cells_programmed = 0
+        self.version = 0
+        """Monotone counter bumped whenever the stored conductances or the
+        active region change — the invalidation signal for any circuit
+        model built from a conductance snapshot (see ``AMCMacro``)."""
 
     # -- geometry -----------------------------------------------------------------
 
@@ -77,6 +81,7 @@ class CrossbarArray:
     def select_region(self, rows: int, cols: int, row_offset: int = 0, col_offset: int = 0) -> None:
         """Set the active region used by subsequent program/read operations."""
         self.drivers.select_region(rows, cols, row_offset, col_offset)
+        self.version += 1
 
     def _active_view(self) -> tuple[np.ndarray, np.ndarray]:
         return self.drivers.active_rows, self.drivers.active_cols
@@ -112,6 +117,7 @@ class CrossbarArray:
         else:
             self.cells_programmed += targets.size
         self._conductances[region] = achieved
+        self.version += 1
 
     def program_levels(self, levels: np.ndarray) -> None:
         """Program integer 4-bit levels (behavioural path)."""
@@ -156,6 +162,7 @@ class CrossbarArray:
                 self._conductances[row, col] = result.achieved
                 results.append(result)
         self.cells_programmed += targets.size
+        self.version += 1
         return results
 
     # -- reads ------------------------------------------------------------------------

@@ -60,3 +60,10 @@ class ADC:
         """Whether any input exceeds the converter range (info for auto-ranging)."""
         v = np.asarray(voltages, dtype=float) + self.params.offset
         return bool(np.any(np.abs(v) > self.params.v_ref))
+
+    def clips_columns(self, voltages: np.ndarray) -> np.ndarray:
+        """Per-column clip state of a batched conversion ``(rows, k)`` —
+        the same predicate as :meth:`clips`, resolved per right-hand side
+        for the batch auto-ranging loop."""
+        v = np.asarray(voltages, dtype=float) + self.params.offset
+        return np.any(np.abs(v) > self.params.v_ref, axis=0)

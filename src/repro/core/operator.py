@@ -38,7 +38,7 @@ import numpy as np
 from repro.analog.topologies import AMCMode
 from repro.arrays.mapping import DifferentialMapping
 from repro.core.errors import CapacityError, GramcError, ShapeError
-from repro.core.ranging import autorange_gain, autorange_mvm
+from repro.core.ranging import autorange_gain, autorange_gain_batch, autorange_mvm
 from repro.core.results import SolveResult
 from repro.macro.amc_macro import AMCMacro
 from repro.macro.registers import PlaneLayout
@@ -349,8 +349,30 @@ class AnalogOperator:
                 f"this handle is configured for {self.mode.value}"
             )
 
+    def _empty_batch_result(self, reference: np.ndarray) -> SolveResult:
+        """The zero-column solve: nothing runs, metadata arrays are empty."""
+        return SolveResult(
+            mode=self.mode,
+            value=np.zeros_like(reference),
+            reference=reference,
+            attempts=0,
+            input_scale=1.0,
+            stable=True,
+            saturated=False,
+            macro_ids=self.macro_ids,
+            input_scales=np.zeros(0),
+            per_column_attempts=np.zeros(0, dtype=int),
+            column_saturated=np.zeros(0, dtype=bool),
+        )
+
     def mvm(self, x: np.ndarray) -> SolveResult:
-        """Analog product ``A·x`` with full diagnostics (``x``: vector or batch)."""
+        """Analog product ``A·x`` with full diagnostics (``x``: vector or batch).
+
+        A batch ``(n, k)`` is dispatched as **one engine call per tile**:
+        the resident circuit applies the programmed matrix to every column
+        at once (the crossbar's defining property), with per-column input
+        scales and one shared ``g_f`` ranged by the worst column.
+        """
         self._require_mode(AMCMode.MVM, "mvm")
         x = np.asarray(x, dtype=float)
         if x.ndim == 0 or x.ndim > 2 or x.shape[0] != self.shape[1]:
@@ -360,10 +382,18 @@ class AnalogOperator:
         self._ensure_programmed()
         solver = self._solver
         reference = self.matrix @ x
+        batched = x.ndim == 2
+        if batched and x.shape[1] == 0:
+            return self._empty_batch_result(reference)
 
-        scale = max(solver._input_scale(x, solver.pool.config.dac.v_ref), 1e-30)
+        v_ref = solver.pool.config.dac.v_ref
+        if batched:
+            scale = np.maximum(solver._input_scales(x, v_ref), 1e-30)
+        else:
+            scale = max(solver._input_scale(x, v_ref), 1e-30)
         accumulator = np.zeros((self.shape[0],) + x.shape[1:])
         any_saturated = False
+        column_saturated = np.zeros(x.shape[1], dtype=bool) if batched else None
         total_attempts = 0
         tiles = self._tiles
         assert tiles is not None
@@ -379,6 +409,14 @@ class AnalogOperator:
             )
             total_attempts += attempts
             any_saturated |= saturated
+            if column_saturated is not None:
+                tile_columns = (
+                    result.solution.column_saturated
+                    if result.solution.column_saturated is not None
+                    else np.full(x.shape[1], bool(result.solution.saturated))
+                )
+                column_saturated |= np.asarray(tile_columns, dtype=bool)
+                column_saturated |= tile.primary.adc.clips_columns(result.raw)
             g_f = tile.primary.config.g_f
             accumulator[tile.row_slice] += -result.values * g_f * tile.mapping.value_scale * scale
             if tile.fault_correction is not None:
@@ -395,10 +433,15 @@ class AnalogOperator:
             value=accumulator,
             reference=reference,
             attempts=total_attempts,
-            input_scale=scale,
+            input_scale=float(np.max(scale)) if batched else scale,
             stable=True,
             saturated=any_saturated,
             macro_ids=self._resident_macro_ids(),
+            input_scales=np.asarray(scale) if batched else None,
+            per_column_attempts=(
+                np.full(x.shape[1], total_attempts) if batched else None
+            ),
+            column_saturated=column_saturated,
         )
 
     def solve(self, b: np.ndarray, _reference: np.ndarray | None = None) -> SolveResult:
@@ -413,7 +456,7 @@ class AnalogOperator:
         if b.ndim == 2:
             if b.shape[0] != n:
                 raise ShapeError(f"b must have leading dimension {n}")
-            return self._batched(b, self.solve, self._ref_inverse @ b)
+            return self._solve_batch(b)
         if b.shape != (n,):
             raise ShapeError(f"b must have length {n}")
         self._ensure_programmed()
@@ -465,7 +508,7 @@ class AnalogOperator:
         if b.ndim == 2:
             if b.shape[0] != m:
                 raise ShapeError(f"b must have leading dimension {m}")
-            return self._batched(b, self.lstsq, self._ref_pinv @ b)
+            return self._lstsq_batch(b)
         if b.shape != (m,):
             raise ShapeError(f"b must have length {m}")
         self._ensure_programmed()
@@ -549,21 +592,105 @@ class AnalogOperator:
             macro_ids=self._resident_macro_ids(),
         )
 
+    def _batch_solve_result(self, outcome, reference: np.ndarray) -> SolveResult:
+        """Assemble a :class:`SolveResult` from a batched ranging outcome."""
+        columns = reference.shape[1]
+        return SolveResult(
+            mode=self.mode,
+            value=outcome.value,
+            reference=reference,
+            attempts=outcome.attempts,
+            input_scale=float(np.max(outcome.input_scales)),
+            stable=outcome.stable,
+            saturated=outcome.saturated,
+            macro_ids=self._resident_macro_ids(),
+            input_scales=outcome.input_scales,
+            per_column_attempts=np.full(columns, outcome.attempts),
+            column_saturated=outcome.column_saturated,
+        )
+
+    def _solve_batch(self, b: np.ndarray) -> SolveResult:
+        """Matrix right-hand side through the INV loop in one engine call.
+
+        The resident circuit's ``M`` is programming-frozen, so all ``k``
+        columns share one eigendecomposition and one LU factorization —
+        the simulated analogue of "the feedback loop settles once for the
+        whole block".
+        """
+        assert self._ref_inverse is not None
+        reference = self._ref_inverse @ b
+        if b.shape[1] == 0:
+            return self._empty_batch_result(reference)
+        self._ensure_programmed()
+        solver = self._solver
+        assert self._tiles is not None
+        tile = self._tiles[0]
+        scales = np.maximum(
+            solver._input_scales(b, solver.pool.config.dac.v_ref), 1e-30
+        )
+        outcome = autorange_gain_batch(
+            lambda s: tile.primary.compute_inv(b / s, partner=tile.partner),
+            tile.primary,
+            lambda result, s, g_f: -result.values * s / (tile.mapping.value_scale * g_f),
+            scales=scales,
+            target=solver._output_target,
+            max_attempts=solver.max_attempts,
+        )
+        solver.solve_counts[AMCMode.INV.value] += b.shape[1]
+        solver._record_solve(
+            AMCMode.INV,
+            self._tile_amplifiers(tile),
+            outcome.result.solution.settling_time,
+        )
+        return self._batch_solve_result(outcome, reference)
+
+    def _lstsq_batch(self, b: np.ndarray) -> SolveResult:
+        """Matrix right-hand side through the PINV loop in one engine call."""
+        assert self._ref_pinv is not None and self._transpose is not None
+        reference = self._ref_pinv @ b
+        if b.shape[1] == 0:
+            return self._empty_batch_result(reference)
+        self._ensure_programmed()
+        solver = self._solver
+        assert self._tiles is not None and self._transpose._tiles is not None
+        tile_a = self._tiles[0]
+        tile_at = self._transpose._tiles[0]
+        scales = np.maximum(
+            solver._input_scales(b, solver.pool.config.dac.v_ref), 1e-30
+        )
+        outcome = autorange_gain_batch(
+            lambda s: tile_a.primary.compute_pinv(
+                b / s,
+                partner_t=tile_at.primary,
+                partner_neg=tile_a.partner,
+                partner_t_neg=tile_at.partner,
+            ),
+            tile_a.primary,
+            lambda result, s, g_f: -result.values * s / (tile_a.mapping.value_scale * g_f),
+            scales=scales,
+            target=solver._output_target,
+            max_attempts=solver.max_attempts,
+        )
+        solver.solve_counts[AMCMode.PINV.value] += b.shape[1]
+        solver._record_solve(
+            AMCMode.PINV,
+            self._tile_amplifiers(tile_a) + self._tile_amplifiers(tile_at),
+            outcome.result.solution.settling_time,
+        )
+        return self._batch_solve_result(outcome, reference)
+
     def _batched(
         self, b: np.ndarray, single, reference: np.ndarray
     ) -> SolveResult:
-        """Column-streamed feedback solves sharing this programmed operator."""
+        """Seed-style column loop: one feedback solve per column.
+
+        Kept as the batched engine's *reference implementation* — the
+        equivalence tests and the throughput benchmark compare against it.
+        Unlike the engine path it genuinely ranges every column on its
+        own, so its per-column metadata can differ column to column.
+        """
         if b.shape[1] == 0:
-            return SolveResult(
-                mode=self.mode,
-                value=np.zeros_like(reference),
-                reference=reference,
-                attempts=0,
-                input_scale=1.0,
-                stable=True,
-                saturated=False,
-                macro_ids=self.macro_ids,
-            )
+            return self._empty_batch_result(reference)
         results = [
             single(b[:, j], _reference=reference[:, j]) for j in range(b.shape[1])
         ]
@@ -576,6 +703,9 @@ class AnalogOperator:
             stable=all(r.stable for r in results),
             saturated=any(r.saturated for r in results),
             macro_ids=self.macro_ids,
+            input_scales=np.array([r.input_scale for r in results]),
+            per_column_attempts=np.array([r.attempts for r in results]),
+            column_saturated=np.array([r.saturated for r in results]),
         )
 
     # -------------------------------------------------------------- numpy sugar

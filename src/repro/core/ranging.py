@@ -14,7 +14,14 @@ Two gain senses exist:
 * **INV / PINV** — the output amplitude is proportional to ``g_f``
   directly, and when the ladder floor is reached while still railed the
   controller falls back to shrinking the inputs, trading DAC resolution
-  for range (:func:`autorange_gain`).
+  for range (:func:`autorange_gain`, and its matrix-right-hand-side
+  sibling :func:`autorange_gain_batch`).
+
+Batch semantics: the ladder is one register per tile, so a batched solve
+shares a single ``g_f`` chosen by the *worst* column (any railed column
+shrinks it; the largest column peak drives re-gaining), while the
+input-shrink fallback is applied per column — only the columns that
+actually railed lose DAC resolution.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.macro.amc_macro import AMCMacro, MacroResult
+from repro.macro.registers import g_f_code_for
 
 
 def autorange_mvm(
@@ -39,6 +47,8 @@ def autorange_mvm(
 
     Returns ``(result, attempts, saturated)`` where ``result`` is the last
     conversion and ``saturated`` reflects its post-ranging clip state.
+    ``compute`` may return batched conversions ``(rows, k)``; the shared
+    ladder then follows the worst column.
     """
     result = compute()
     attempts = 1
@@ -52,11 +62,11 @@ def autorange_mvm(
             desired = g_f * peak / target
         else:
             break
-        actual = primary.set_g_f(desired)
+        if g_f_code_for(desired) == primary.config.g_f_code:
+            break  # ladder already at its limit — skip the no-op rewrite + re-run
+        primary.set_g_f(desired)
         for partner in partners:
             partner.set_g_f(desired)
-        if abs(actual - g_f) < 1e-15:
-            break  # ladder limit reached
         result = compute()
         attempts += 1
     final_saturated = result.solution.saturated or primary.adc.clips(result.raw)
@@ -98,8 +108,10 @@ def autorange_gain(
     stable, saturated = True, False
     result: MacroResult | None = None
     attempts = 0
+    applied_scale = scale
     for attempts in range(1, max_attempts + 1):
         result = compute(scale)
+        applied_scale = scale
         g_f = primary.config.g_f
         value = to_value(result, scale, g_f)
         stable = result.solution.stable
@@ -124,7 +136,103 @@ def autorange_gain(
         result=result,
         value=value,
         attempts=attempts,
-        input_scale=scale,
+        # The scale the returned solve actually ran with: when the attempt
+        # budget runs out right after an input-shrink, the doubled scale
+        # was never applied and must not be reported.
+        input_scale=applied_scale,
         stable=stable,
         saturated=saturated,
+    )
+
+
+@dataclass
+class BatchGainRangingOutcome:
+    """Final state of a batched INV/PINV ranging loop."""
+
+    result: MacroResult
+    value: np.ndarray
+    """Problem-unit solution block ``(n, k)``."""
+    attempts: int
+    """Engine evaluations of the whole batch (not per column — every
+    re-range re-runs all columns through the shared circuit at once)."""
+    input_scales: np.ndarray
+    """Per-column input divisors ``(k,)`` — the input-shrink fallback only
+    touches the columns that railed."""
+    stable: bool
+    saturated: bool
+    column_saturated: np.ndarray
+    """Per-column post-ranging clip state ``(k,)``."""
+
+
+def _column_saturation(result: MacroResult, columns: int) -> np.ndarray:
+    """Per-column clip state of one batched conversion."""
+    per_column = result.solution.column_saturated
+    if per_column is not None:
+        return np.asarray(per_column, dtype=bool)
+    return np.full(columns, bool(result.solution.saturated))
+
+
+def autorange_gain_batch(
+    compute: Callable[[np.ndarray], MacroResult],
+    primary: AMCMacro,
+    to_value: Callable[[MacroResult, np.ndarray, float], np.ndarray],
+    *,
+    scales: np.ndarray,
+    target: float,
+    max_attempts: int,
+) -> BatchGainRangingOutcome:
+    """Range a matrix-right-hand-side feedback solve through one circuit.
+
+    ``compute(scales)`` runs the whole block with column ``j`` divided by
+    ``scales[j]``; ``to_value(result, scales, g_f)`` converts the raw
+    block back to problem units.  The feedback ladder is a single shared
+    register, so the *worst* column picks ``g_f``: any railed column
+    shrinks it, and only when every column is under-ranged does the gain
+    grow (sized by the largest peak).  At the ladder floor the input-shrink
+    fallback halves the range of exactly the railed columns.
+    """
+    if max_attempts < 1:
+        raise ValueError("auto-ranging needs at least one attempt")
+    scales = np.array(scales, dtype=float)
+    columns = scales.size
+    value = np.zeros(0)
+    stable = True
+    column_saturated = np.zeros(columns, dtype=bool)
+    result: MacroResult | None = None
+    attempts = 0
+    applied_scales = scales
+    for attempts in range(1, max_attempts + 1):
+        result = compute(scales)
+        applied_scales = scales
+        g_f = primary.config.g_f
+        value = to_value(result, scales, g_f)
+        stable = result.solution.stable
+        column_saturated = _column_saturation(result, columns)
+        peak = float(np.max(np.abs(result.raw))) if result.raw.size else 0.0
+        if np.any(column_saturated):
+            desired = g_f / 4.0
+        elif 0.0 < peak < 0.25 * target:
+            desired = g_f * target / peak
+        else:
+            break
+        actual = primary.set_g_f(desired)
+        if abs(actual - g_f) < 1e-15:
+            if np.any(column_saturated):
+                # Ladder floor reached and columns still railed: shrink the
+                # inputs of exactly those columns (the others keep their
+                # full DAC resolution).
+                scales = np.where(column_saturated, scales * 2.0, scales)
+                continue
+            break  # ladder limit reached
+    assert result is not None
+    return BatchGainRangingOutcome(
+        result=result,
+        value=value,
+        attempts=attempts,
+        # As in autorange_gain: report the scales the final solve actually
+        # ran with, not a shrink that never got its re-run.
+        input_scales=applied_scales,
+        stable=stable,
+        saturated=bool(np.any(column_saturated)),
+        column_saturated=column_saturated,
     )

@@ -29,10 +29,28 @@ class SolveResult:
     saturated: bool = False
     settling_time: float | None = None
     macro_ids: tuple[int, ...] = field(default_factory=tuple)
+    input_scales: np.ndarray | None = None
+    """Batched solves: the per-column input divisors actually applied
+    (shape ``(k,)``).  The scalar ``input_scale`` keeps its historical
+    meaning as the worst (largest) of these.  ``None`` for vector solves."""
+    per_column_attempts: np.ndarray | None = None
+    """Batched solves: engine evaluations each column took part in (shape
+    ``(k,)``).  With the batched engine all columns ride every re-ranging
+    pass together, so the entries are equal; the column-loop fallback
+    records genuinely per-column counts.  ``None`` for vector solves."""
+    column_saturated: np.ndarray | None = None
+    """Batched solves: per-column post-ranging clip state ``(k,)``."""
 
     @property
     def ok(self) -> bool:
         return self.stable and not self.saturated
+
+    @property
+    def columns(self) -> int | None:
+        """Number of right-hand-side columns, or ``None`` for a vector solve."""
+        if self.value.ndim == 2:
+            return int(self.value.shape[1])
+        return None
 
     @property
     def relative_error(self) -> float:

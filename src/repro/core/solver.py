@@ -117,6 +117,18 @@ class GramcSolver:
             return 1.0
         return peak / (self.headroom * v_ref)
 
+    def _input_scales(self, values: np.ndarray, v_ref: float) -> np.ndarray:
+        """Per-column DAC scaling for a matrix right-hand side ``(n, k)``.
+
+        Each column gets its own divisor (a small column must not inherit a
+        huge sibling's scale and lose its DAC resolution); all-zero columns
+        scale by 1.
+        """
+        if values.shape[0] == 0:
+            return np.ones(values.shape[1])
+        peaks = np.max(np.abs(values), axis=0)
+        return np.where(peaks == 0.0, 1.0, peaks / (self.headroom * v_ref))
+
     @property
     def _output_target(self) -> float:
         """Desired output peak: most of the ADC range without clipping."""

@@ -8,6 +8,20 @@ mirroring the paper's macro *group* where two arrays share the OPA column.
 
 Unit convention at this layer: **volts in, volts out** — digital scaling
 to/from problem units lives in :mod:`repro.core.solver`.
+
+**Persistent circuits.** The conductances are frozen between programming
+events, so each macro keeps the circuit model of its current configuration
+alive across solves: one conductance-plane read and (for the feedback
+topologies) one eigendecomposition/LU per programming event, shared by
+every subsequent ``compute_*`` call — including matrix-valued right-hand
+sides, which stream through the resident circuit in a single engine call.
+The cache invalidates itself whenever the circuit could have changed:
+programming (:meth:`program_targets` bumps the array's ``version``),
+reconfiguration (register word changes), or a partner macro doing either.
+:meth:`set_g_f` is the deliberate exception — the ladder is auto-ranging's
+per-solve knob, so MVM retunes the resident circuit in place and INV reads
+the ladder at solve time; only PINV (where ``g_f`` sits inside the loop
+matrix) pays a rebuild on a ladder move.
 """
 
 from __future__ import annotations
@@ -88,6 +102,10 @@ class AMCMacro:
         self.output_buffer = np.zeros(rows)
         self.layout = PlaneLayout.SINGLE
         self.solve_count = 0
+        self._circuits: dict[str, tuple[tuple, object]] = {}
+        """Resident circuit per topology, stored as ``(key, circuit)``;
+        the key encodes everything the circuit was built from (register
+        word, array versions, noise mode) so any change rebuilds."""
 
     # -- configuration -------------------------------------------------------------
 
@@ -222,26 +240,78 @@ class AMCMacro:
             )
         return config
 
+    _G_F_BITS = 0xFF << 34
+    """The register word's ``g_f_code`` field (see ``registers`` layout)."""
+
+    def _word_key(self, include_g_f: bool) -> int:
+        """The register word as a cache-key component.
+
+        ``g_f`` is masked out for topologies where the ladder does not
+        enter the circuit matrices (MVM retunes in place, INV applies the
+        ladder digitally to the input currents, EGV ignores it) so that
+        auto-ranging never invalidates a resident decomposition.
+        """
+        word = self.registers.word or 0
+        return word if include_g_f else word & ~self._G_F_BITS
+
+    @staticmethod
+    def _partner_fingerprint(partner: "AMCMacro | None") -> tuple:
+        if partner is None:
+            return ()
+        return (partner.macro_id, partner.array.version)
+
+    def _resident_circuit(self, kind: str, key: tuple, build):
+        """The cached circuit for ``key``, rebuilding on any mismatch.
+
+        One slot per topology: a macro is only ever configured for one
+        mode at a time, so stale entries are simply overwritten.
+        """
+        cached = self._circuits.get(kind)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        circuit = build()
+        self._circuits[kind] = (key, circuit)
+        return circuit
+
+    def _inverter_source(self, partner: "AMCMacro | None") -> "AMCMacro":
+        return partner if self.layout is PlaneLayout.PAIRED_ARRAYS and partner else self
+
     def compute_mvm(
         self, x_values: np.ndarray, partner: "AMCMacro | None" = None, noisy: bool = True
     ) -> MacroResult:
-        """One analog multiply: input voltages → ADC'd TIA outputs."""
+        """One analog multiply: input voltages → ADC'd TIA outputs.
+
+        ``x_values`` may be 1-D ``(cols,)`` or 2-D ``(cols, batch)``; the
+        batch streams through the resident circuit in one engine call.
+        """
         config = self._check_mode(AMCMode.MVM)
-        g_pos, g_neg = self.planes(partner, noisy=noisy)
-        v_in = self.dac.convert(x_values, noisy=noisy)
-        inverter_bank = None
-        if g_neg is not None:
-            source = partner if self.layout is PlaneLayout.PAIRED_ARRAYS and partner else self
-            inverter_bank = source._active_col_amps(g_pos.shape[1])
-        circuit = MVMCircuit(
-            g_pos,
-            g_neg,
-            params=self.opamp_params,
-            g_f=config.g_f,
-            rng=self.rng,
-            row_amps=self._active_row_amps(g_pos.shape[0]),
-            col_amps=inverter_bank,
+        key = (
+            self._word_key(include_g_f=False),
+            self.array.version,
+            self._partner_fingerprint(partner),
+            noisy,
         )
+
+        def build() -> MVMCircuit:
+            g_pos, g_neg = self.planes(partner, noisy=noisy)
+            inverter_bank = None
+            if g_neg is not None:
+                inverter_bank = self._inverter_source(partner)._active_col_amps(
+                    g_pos.shape[1]
+                )
+            return MVMCircuit(
+                g_pos,
+                g_neg,
+                params=self.opamp_params,
+                g_f=config.g_f,
+                rng=self.rng,
+                row_amps=self._active_row_amps(g_pos.shape[0]),
+                col_amps=inverter_bank,
+            )
+
+        circuit: MVMCircuit = self._resident_circuit("mvm", key, build)
+        circuit.set_g_f(config.g_f)  # ladder moves never rebuild the planes
+        v_in = self.dac.convert(x_values, noisy=noisy)
         solution = circuit.solve(v_in, noisy=noisy)
         values = self.adc.sample(solution.outputs, noisy=noisy)
         self._finish(values)
@@ -250,23 +320,40 @@ class AMCMacro:
     def compute_inv(
         self, b_values: np.ndarray, partner: "AMCMacro | None" = None, noisy: bool = True
     ) -> MacroResult:
-        """One-step inversion: input voltages become currents via ``g_f``."""
+        """One-step inversion: input voltages become currents via ``g_f``.
+
+        ``b_values`` may be 1-D ``(n,)`` or 2-D ``(n, batch)`` — every
+        column shares the resident circuit's one LU factorization and one
+        stability eigendecomposition (``g_f`` scales only the inputs here,
+        so auto-ranging keeps the decomposition too).
+        """
         config = self._check_mode(AMCMode.INV)
-        g_pos, g_neg = self.planes(partner, noisy=noisy)
+        key = (
+            self._word_key(include_g_f=False),
+            self.array.version,
+            self._partner_fingerprint(partner),
+            noisy,
+        )
+
+        def build() -> InvCircuit:
+            g_pos, g_neg = self.planes(partner, noisy=noisy)
+            inverter_bank = None
+            if g_neg is not None:
+                inverter_bank = self._inverter_source(partner)._active_col_amps(
+                    g_pos.shape[0]
+                )
+            return InvCircuit(
+                g_pos,
+                g_neg,
+                params=self.opamp_params,
+                rng=self.rng,
+                row_amps=self._active_row_amps(g_pos.shape[0]),
+                inverter_amps=inverter_bank,
+            )
+
+        circuit: InvCircuit = self._resident_circuit("inv", key, build)
         v_in = self.dac.convert(b_values, noisy=noisy)
         i_in = config.g_f * v_in  # input conductances from the g_f ladder
-        inverter_bank = None
-        if g_neg is not None:
-            source = partner if self.layout is PlaneLayout.PAIRED_ARRAYS and partner else self
-            inverter_bank = source._active_col_amps(g_pos.shape[0])
-        circuit = InvCircuit(
-            g_pos,
-            g_neg,
-            params=self.opamp_params,
-            rng=self.rng,
-            row_amps=self._active_row_amps(g_pos.shape[0]),
-            inverter_amps=inverter_bank,
-        )
         solution = circuit.static_solve(i_in, noisy=noisy)
         values = self.adc.sample(solution.outputs, noisy=noisy)
         self._finish(values)
@@ -284,25 +371,40 @@ class AMCMacro:
 
         With paired-array layouts the negative planes come from
         ``partner_neg`` / ``partner_t_neg``; with paired columns each macro
-        de-interleaves its own planes.
+        de-interleaves its own planes.  ``b_values`` may be batched
+        ``(m, k)``.  ``g_f`` sits inside this loop's matrices, so the
+        cache key keeps it: a ladder move rebuilds the circuit (and its
+        decomposition), as the physics demands.
         """
         config = self._check_mode(AMCMode.PINV)
-        g1_pos, g1_neg = self.planes(partner_neg, noisy=noisy)
-        g2_pos, g2_neg = partner_t.planes(partner_t_neg, noisy=noisy)
+        key = (
+            self._word_key(include_g_f=True),
+            self.array.version,
+            self._partner_fingerprint(partner_t),
+            self._partner_fingerprint(partner_neg),
+            self._partner_fingerprint(partner_t_neg),
+            noisy,
+        )
+
+        def build() -> PinvCircuit:
+            g1_pos, g1_neg = self.planes(partner_neg, noisy=noisy)
+            g2_pos, g2_neg = partner_t.planes(partner_t_neg, noisy=noisy)
+            m, n = g1_pos.shape
+            return PinvCircuit(
+                g1_pos,
+                g1_neg,
+                g2_pos,
+                g2_neg,
+                params=self.opamp_params,
+                g_f=config.g_f,
+                rng=self.rng,
+                stage1_amps=self._active_row_amps(m),
+                stage2_amps=self._active_col_amps(n),
+            )
+
+        circuit: PinvCircuit = self._resident_circuit("pinv", key, build)
         v_in = self.dac.convert(b_values, noisy=noisy)
         i_in = config.g_f * v_in
-        m, n = g1_pos.shape
-        circuit = PinvCircuit(
-            g1_pos,
-            g1_neg,
-            g2_pos,
-            g2_neg,
-            params=self.opamp_params,
-            g_f=config.g_f,
-            rng=self.rng,
-            stage1_amps=self._active_row_amps(m),
-            stage2_amps=self._active_col_amps(n),
-        )
         solution = circuit.static_solve(i_in, noisy=noisy)
         values = self.adc.sample(solution.outputs, noisy=noisy)
         self._finish(values)
@@ -313,17 +415,27 @@ class AMCMacro:
     ) -> MacroResult:
         """Dominant eigenvector; λ comes from the register ladder."""
         config = self._check_mode(AMCMode.EGV)
-        g_pos, g_neg = self.planes(partner, noisy=noisy)
         if config.g_lambda <= 0.0:
             raise RuntimeError("EGV mode requires a positive g_lambda in the registers")
-        circuit = EgvCircuit(
-            g_pos,
-            g_neg,
-            g_lambda=config.g_lambda,
-            params=self.opamp_params,
-            rng=self.rng,
-            amps=self._active_row_amps(g_pos.shape[0]),
+        key = (
+            self._word_key(include_g_f=False),
+            self.array.version,
+            self._partner_fingerprint(partner),
+            noisy,
         )
+
+        def build() -> EgvCircuit:
+            g_pos, g_neg = self.planes(partner, noisy=noisy)
+            return EgvCircuit(
+                g_pos,
+                g_neg,
+                g_lambda=config.g_lambda,
+                params=self.opamp_params,
+                rng=self.rng,
+                amps=self._active_row_amps(g_pos.shape[0]),
+            )
+
+        circuit: EgvCircuit = self._resident_circuit("egv", key, build)
         solution = circuit.transient_solve() if transient else circuit.static_solve(noisy=noisy)
         eigvec = circuit.eigenvector(solution)
         # The ADC sees the railed amplifier outputs; normalisation happens

@@ -172,6 +172,16 @@ class RegisterArray:
     def configured(self) -> bool:
         return self._word is not None
 
+    @property
+    def word(self) -> int | None:
+        """The raw stored configuration word (``None`` before first write).
+
+        Circuit caches key on this: any register rewrite — a mode change, a
+        region move, a ``g_f``/``g_λ`` ladder step — changes the word and
+        therefore invalidates models built against the old configuration.
+        """
+        return self._word
+
     def read(self) -> MacroConfig:
         if self._word is None:
             raise RuntimeError("register array has not been configured")

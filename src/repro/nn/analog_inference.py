@@ -8,10 +8,15 @@ digital functional module to execute the pooling and activation").
 
 Deployment **compiles each weight layer once** into an
 :class:`~repro.core.operator.AnalogOperator` handle; inference then
-streams im2col patch batches through the resident conductances
-(``op @ batch``) with zero re-programming per batch.  When the network's
-working set exceeds the macro pool, the LRU evicts cold layers and the
-handles transparently re-program on their next use.
+streams the **full im2col patch block of each layer as one batched engine
+call** (``op @ batch``) — the persistent circuit applies the programmed
+weights to every patch column simultaneously, with zero re-programming
+and zero circuit rebuilds between batches.  When the network's working
+set exceeds the macro pool, the LRU evicts cold layers and the handles
+transparently re-program (and rebuild their circuits) on next use.
+``predict(chunk=None)`` streams an entire evaluation set through each
+layer in a single pass; the default chunking only bounds host memory for
+the im2col expansion, not analog throughput.
 
 Two precision modes:
 
@@ -144,15 +149,24 @@ class AnalogLeNet5:
         x = functional.relu(self._dense("fc2", x))
         return self._dense("fc3", x)
 
-    def predict(self, images: np.ndarray, chunk: int = 100) -> np.ndarray:
-        """Class predictions, streamed through the macros in chunks."""
+    def predict(self, images: np.ndarray, chunk: int | None = 100) -> np.ndarray:
+        """Class predictions, streamed through the macros.
+
+        ``chunk`` bounds the *host-side* im2col expansion only; every chunk
+        still reaches the analog engine as one batched call per layer.
+        ``chunk=None`` streams the entire set in a single pass.
+        """
         images = np.asarray(images, dtype=float)
+        if chunk is None:
+            chunk = max(images.shape[0], 1)
         outputs = []
         for start in range(0, images.shape[0], chunk):
             logits = self.forward(images[start : start + chunk])
             outputs.append(np.argmax(logits, axis=1))
         return np.concatenate(outputs)
 
-    def accuracy(self, images: np.ndarray, labels: np.ndarray, chunk: int = 100) -> float:
+    def accuracy(
+        self, images: np.ndarray, labels: np.ndarray, chunk: int | None = 100
+    ) -> float:
         """Top-1 accuracy — the Fig. 5 metric."""
         return float(np.mean(self.predict(images, chunk=chunk) == np.asarray(labels)))
