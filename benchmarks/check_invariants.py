@@ -1,0 +1,85 @@
+"""Validate benchmark JSON artifacts against their embedded invariants.
+
+Each ``BENCH_*.json`` written by the perf smoke benchmarks carries an
+``invariants`` block next to its ``results`` — the acceptance bars the
+numbers were measured against.  CI re-checks the artifact itself (not
+just the pytest exit code) so a stale or hand-edited JSON can never
+sneak a regression past the step that uploads it.
+
+Usage::
+
+    python benchmarks/check_invariants.py BENCH_batch.json BENCH_blocked.json
+
+Exit status is non-zero if any recorded result violates its file's
+invariants.  Recognized invariant keys:
+
+* ``min_speedup`` — every result's ``speedup`` must be ≥ this;
+* ``relative_error_max`` / ``<name>_relative_error_max`` — per-result
+  override wins over the file-wide bound;
+* ``eigs_per_programming_event`` — exact match where recorded;
+* ``reprogramming_events_per_solve`` — exact match where recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def check_file(path: Path) -> list[str]:
+    payload = json.loads(path.read_text())
+    invariants = payload.get("invariants", {})
+    results = payload.get("results", {})
+    failures: list[str] = []
+    if not invariants:
+        failures.append(f"{path.name}: no invariants block")
+    if not results:
+        failures.append(f"{path.name}: no results recorded")
+    for name, result in results.items():
+        where = f"{path.name}:{name}"
+        min_speedup = invariants.get("min_speedup")
+        if min_speedup is not None and "speedup" in result:
+            if result["speedup"] < min_speedup:
+                failures.append(
+                    f"{where}: speedup {result['speedup']:.2f} < {min_speedup}"
+                )
+        error_max = invariants.get(
+            f"{name}_relative_error_max", invariants.get("relative_error_max")
+        )
+        if error_max is not None and "relative_error" in result:
+            if result["relative_error"] > error_max:
+                failures.append(
+                    f"{where}: relative_error {result['relative_error']:.4f} "
+                    f"> {error_max}"
+                )
+        for exact_key in ("eigs_per_programming_event", "reprogramming_events_per_solve"):
+            expected = invariants.get(exact_key)
+            if expected is not None and exact_key in result:
+                if result[exact_key] != expected:
+                    failures.append(
+                        f"{where}: {exact_key} {result[exact_key]} != {expected}"
+                    )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_invariants.py BENCH_a.json [BENCH_b.json ...]")
+        return 2
+    failures: list[str] = []
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            failures.append(f"{name}: artifact missing")
+            continue
+        failures.extend(check_file(path))
+        if not any(f.startswith(path.name) for f in failures):
+            print(f"{path.name}: all invariants hold")
+    for failure in failures:
+        print(f"INVARIANT VIOLATION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

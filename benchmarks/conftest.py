@@ -34,3 +34,23 @@ def chip_solver() -> GramcSolver:
 @pytest.fixture(scope="session")
 def estimator() -> VgEstimator:
     return VgEstimator(DEFAULT_STACK)
+
+
+@pytest.fixture(scope="session")
+def best_of():
+    """Best-of-N wall-clock timer — robust against scheduler noise in CI.
+
+    Shared by the perf smoke benches so the timing discipline (and any
+    future warm-up handling) stays in one place.
+    """
+    import time
+
+    def _best_of(repeats: int, run) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    return _best_of

@@ -16,7 +16,6 @@ doubles as the CI smoke step.
 from __future__ import annotations
 
 import json
-import time
 from pathlib import Path
 
 import numpy as np
@@ -47,14 +46,10 @@ def _solver() -> GramcSolver:
     )
 
 
-def _best_of(repeats: int, run) -> float:
-    """Best-of-N wall time — robust against scheduler noise in CI."""
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        run()
-        best = min(best, time.perf_counter() - start)
-    return best
+_MIN_SPEEDUP = 10.0
+_MVM_RELATIVE_ERROR_MAX = 0.35
+_INV_RELATIVE_ERROR_MAX = 0.6
+_EIGS_PER_PROGRAMMING_EVENT = 1
 
 
 @pytest.fixture(scope="module")
@@ -65,14 +60,21 @@ def bench_payload():
             "columns": _COLUMNS,
             "loop_repeats": _LOOP_REPEATS,
             "batch_repeats": _BATCH_REPEATS,
-        }
+        },
+        "invariants": {
+            "min_speedup": _MIN_SPEEDUP,
+            "mvm_relative_error_max": _MVM_RELATIVE_ERROR_MAX,
+            "inv_relative_error_max": _INV_RELATIVE_ERROR_MAX,
+            "eigs_per_programming_event": _EIGS_PER_PROGRAMMING_EVENT,
+        },
+        "results": {},
     }
     yield payload
     _BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {_BENCH_JSON}")
 
 
-def test_perf_batch_mvm(bench_payload):
+def test_perf_batch_mvm(bench_payload, best_of):
     """64-RHS MVM: one engine call vs the seed's 64 column calls."""
     rng = np.random.default_rng(1)
     matrix = rng.uniform(-1, 1, size=(_SIZE, _SIZE))
@@ -82,18 +84,18 @@ def test_perf_batch_mvm(bench_payload):
     op = solver.compile(matrix)
     op.mvm(batch)  # warm the resident circuit + ranging
 
-    t_batch = _best_of(_BATCH_REPEATS, lambda: op.mvm(batch))
+    t_batch = best_of(_BATCH_REPEATS, lambda: op.mvm(batch))
 
     def column_loop():
         for j in range(_COLUMNS):
             op.mvm(batch[:, j])
 
     column_loop()  # warm the vector-path ranging state
-    t_loop = _best_of(_LOOP_REPEATS, column_loop)
+    t_loop = best_of(_LOOP_REPEATS, column_loop)
 
     result = op.mvm(batch)
     speedup = t_loop / t_batch
-    bench_payload["mvm"] = {
+    bench_payload["results"]["mvm"] = {
         "batch_seconds": t_batch,
         "column_loop_seconds": t_loop,
         "speedup": speedup,
@@ -104,11 +106,11 @@ def test_perf_batch_mvm(bench_payload):
         f"\nMVM {_SIZE}x{_SIZE}, {_COLUMNS} RHS: batch {t_batch * 1e3:.2f} ms, "
         f"column loop {t_loop * 1e3:.2f} ms -> {speedup:.1f}x"
     )
-    assert result.relative_error < 0.35
-    assert speedup >= 10.0
+    assert result.relative_error < _MVM_RELATIVE_ERROR_MAX
+    assert speedup >= _MIN_SPEEDUP
 
 
-def test_perf_batch_inv(bench_payload):
+def test_perf_batch_inv(bench_payload, best_of):
     """64-RHS INV solve: one settling event, one eig per programming event."""
     rng = np.random.default_rng(2)
     matrix = wishart(_SIZE, rng=rng) + 0.6 * np.eye(_SIZE)
@@ -124,16 +126,16 @@ def test_perf_batch_inv(bench_payload):
     # all 64 columns and every ranging attempt.
     assert eigs_first == 1
 
-    t_batch = _best_of(_BATCH_REPEATS, lambda: op.solve(batch))
+    t_batch = best_of(_BATCH_REPEATS, lambda: op.solve(batch))
     assert dynamics.eig_call_count() - eig_before == 1  # still the same one
 
     reference = np.linalg.inv(matrix) @ batch
-    t_loop = _best_of(
+    t_loop = best_of(
         _LOOP_REPEATS, lambda: op._batched(batch, op.solve, reference)
     )
 
     speedup = t_loop / t_batch
-    bench_payload["inv"] = {
+    bench_payload["results"]["inv"] = {
         "batch_seconds": t_batch,
         "column_loop_seconds": t_loop,
         "speedup": speedup,
@@ -146,5 +148,5 @@ def test_perf_batch_inv(bench_payload):
         f"column loop {t_loop * 1e3:.2f} ms -> {speedup:.1f}x "
         f"({eigs_first} eig per programming event)"
     )
-    assert first.relative_error < 0.6
-    assert speedup >= 10.0
+    assert first.relative_error < _INV_RELATIVE_ERROR_MAX
+    assert speedup >= _MIN_SPEEDUP

@@ -2,10 +2,16 @@
 
 The paper (§III) notes that AMC results "may be used as seed solutions to
 speed up the convergence towards precise final solutions."  This example
-makes that workflow concrete: a 128-unknown SPD system is solved in one
-analog step (~10–30 % error), then polished to machine precision with two
-digital iterative-refinement sweeps — versus the cold-start iteration count
-a purely digital conjugate-gradient solver needs.
+makes that workflow concrete in two parts:
+
+1. a 128-unknown SPD system is solved in one analog step (~10–30 %
+   error), then polished to machine precision with two digital
+   iterative-refinement sweeps — versus the cold-start iteration count a
+   purely digital conjugate-gradient solver needs;
+2. a **256-unknown** system — twice the array size — is solved through
+   the blocked tile-grid engine: ``solver.compile`` returns a
+   ``TiledOperator`` whose diagonal blocks invert in-array and whose
+   couplings sweep as analog MVMs, with a reported residual floor.
 
 Run:  python examples/linear_system_solver.py
 """
@@ -15,7 +21,7 @@ import numpy as np
 from repro import AMCMode, GramcSolver
 from repro.analysis.reporting import banner, format_table
 from repro.system.functional import iterative_refinement
-from repro.workloads.matrices import wishart
+from repro.workloads.matrices import block_dominant, wishart
 
 
 def conjugate_gradient_iterations(matrix, b, x0, tolerance=1e-8, max_iterations=500):
@@ -72,6 +78,46 @@ def main() -> None:
     print(
         f"\nThe analog seed removes {saved} of {cg_cold} conjugate-gradient "
         f"iterations ({100.0 * saved / cg_cold:.0f}% of the digital work)."
+    )
+
+    blocked_demo(rng, solver)
+
+
+def blocked_demo(rng: np.random.Generator, solver: GramcSolver) -> None:
+    """Part 2: a system twice the array size on a 2×2 tile grid."""
+    n = 256
+    matrix = block_dominant(n, solver.pool.config.rows, rng=rng)
+    b = rng.uniform(-1.0, 1.0, n)
+    exact = np.linalg.solve(matrix, b)
+
+    # compile() sees a square SOLVE operand larger than one array and
+    # returns a TiledOperator: INV diagonal tiles + MVM coupling tiles,
+    # programmed once and pinned for the handle's lifetime.
+    with solver.compile(matrix, mode=AMCMode.INV) as operator:
+        result = operator.solve(b)
+        grid = operator.grid
+        macros = operator.macros
+    blocked_error = np.linalg.norm(result.value - exact) / np.linalg.norm(exact)
+    refined = iterative_refinement(matrix, b, result.value, iterations=2)
+    refined_error = np.linalg.norm(refined - exact) / np.linalg.norm(exact)
+
+    print(banner("Beyond one array: blocked solve on a tile grid"))
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["unknowns / tile grid", f"{n} on {grid[0]}x{grid[1]} ({macros} macros)"],
+                ["block sweeps run", result.sweeps],
+                ["analog residual floor (O(eta*kappa))", result.residual_floor],
+                ["blocked solve relative error", blocked_error],
+                ["after 2 digital refinement sweeps", refined_error],
+            ],
+        )
+    )
+    print(
+        "\nThe grid is programmed once: repeated solves perform zero "
+        "reprogramming events, and every per-tile step streams all "
+        "right-hand-side columns through one batched engine call."
     )
 
 

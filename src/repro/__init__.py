@@ -38,6 +38,7 @@ from repro.core.operator import AnalogOperator
 from repro.core.pool import MacroPool, PoolConfig
 from repro.core.results import SolveResult
 from repro.core.solver import GramcSolver
+from repro.core.tiled import TiledOperator
 from repro.system.gramc import GramcChip
 
 __version__ = "2.0.0"
@@ -54,5 +55,6 @@ __all__ = [
     "PoolConfig",
     "ShapeError",
     "SolveResult",
+    "TiledOperator",
     "__version__",
 ]

@@ -6,6 +6,7 @@ from repro.core.operator import AnalogOperator, TileBinding
 from repro.core.pool import MacroPool, PoolConfig
 from repro.core.results import SolveResult
 from repro.core.solver import GramcSolver, ProgrammedOperator
+from repro.core.tiled import TiledOperator
 
 __all__ = [
     "AnalogIterativeSolver",
@@ -21,4 +22,5 @@ __all__ = [
     "ShapeError",
     "SolveResult",
     "TileBinding",
+    "TiledOperator",
 ]

@@ -4,9 +4,12 @@ The paper's conclusion: "By combining these matrix primitives … this system
 is applicable to more matrix problems."  This module realises that claim
 for problems the direct topologies cannot touch:
 
-* systems **larger than one array** (INV caps at 128 unknowns) — solved by
-  Richardson/Jacobi/conjugate-gradient iterations whose only expensive step
-  is an analog ``A·x`` (which *does* tile across macros);
+* systems **larger than one array** (the direct INV loop caps at 128
+  unknowns) — solved by Richardson/Jacobi/conjugate-gradient iterations
+  whose only expensive step is an analog ``A·x`` (which *does* tile
+  across macros); for square systems the blocked
+  :class:`~repro.core.tiled.TiledOperator` engine is usually the better
+  tool — these iterations remain for non-block-dominant operands;
 * systems needing **more accuracy than one analog step** delivers — the
   analog-seeded hybrid iteration refines an AMC seed with analog matvecs
   and digital scalar work.
@@ -19,11 +22,15 @@ iterations stall at a residual floor O(η·κ) instead of converging to zero.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.solver import GramcError, GramcSolver
+from repro.analog.topologies import AMCMode
+from repro.core.errors import CapacityError, GramcError
+from repro.core.operator import AnalogOperator
+from repro.core.solver import GramcSolver
 
 
 @dataclass
@@ -54,10 +61,31 @@ class AnalogIterativeSolver:
         self.use_analog = use_analog
         self._matvec_count = 0
 
-    def _matvec(self, matrix: np.ndarray, x: np.ndarray) -> np.ndarray:
+    @contextmanager
+    def _compiled(self, matrix: np.ndarray):
+        """The iteration's MVM operator: compiled once, closed at the end.
+
+        The sweep loop then runs entirely on the resident handle — zero
+        operand re-hashing and zero reprogramming per iteration (the seed
+        went through the one-shot facade, which SHA1-hashed the full
+        O(n²) operand on *every* matvec).  Digital mode yields ``None``
+        and :meth:`_matvec` falls back to ``matrix @ x``.
+        """
+        if not self.use_analog:
+            yield None
+            return
+        operator = self.solver.compile(matrix, AMCMode.MVM)
+        try:
+            yield operator
+        finally:
+            operator.close()
+
+    def _matvec(
+        self, operator: AnalogOperator | None, matrix: np.ndarray, x: np.ndarray
+    ) -> np.ndarray:
         self._matvec_count += 1
-        if self.use_analog:
-            return self.solver.mvm(matrix, x).value
+        if operator is not None:
+            return operator.mvm(x).value
         return matrix @ x
 
     # -- stationary methods -------------------------------------------------------
@@ -93,16 +121,17 @@ class AnalogIterativeSolver:
         self._matvec_count = 0
         result = IterativeResult(solution=x)
         b_norm = max(float(np.linalg.norm(b)), 1e-300)
-        for iteration in range(1, max_iterations + 1):
-            residual = b - self._matvec(matrix, x)
-            norm = float(np.linalg.norm(residual)) / b_norm
-            result.residual_norms.append(norm)
-            if norm < tolerance:
-                result.converged = True
+        with self._compiled(matrix) as operator:
+            for iteration in range(1, max_iterations + 1):
+                residual = b - self._matvec(operator, matrix, x)
+                norm = float(np.linalg.norm(residual)) / b_norm
+                result.residual_norms.append(norm)
+                if norm < tolerance:
+                    result.converged = True
+                    result.iterations = iteration
+                    break
+                x = x + omega * residual
                 result.iterations = iteration
-                break
-            x = x + omega * residual
-            result.iterations = iteration
         result.solution = x
         result.analog_matvecs = self._matvec_count if self.use_analog else 0
         return result
@@ -129,18 +158,19 @@ class AnalogIterativeSolver:
         self._matvec_count = 0
         result = IterativeResult(solution=x)
         b_norm = max(float(np.linalg.norm(b)), 1e-300)
-        for iteration in range(1, max_iterations + 1):
-            product = self._matvec(matrix, x)
-            residual = b - product
-            norm = float(np.linalg.norm(residual)) / b_norm
-            result.residual_norms.append(norm)
-            if norm < tolerance:
-                result.converged = True
+        with self._compiled(matrix) as operator:
+            for iteration in range(1, max_iterations + 1):
+                product = self._matvec(operator, matrix, x)
+                residual = b - product
+                norm = float(np.linalg.norm(residual)) / b_norm
+                result.residual_norms.append(norm)
+                if norm < tolerance:
+                    result.converged = True
+                    result.iterations = iteration
+                    break
+                # x ← D⁻¹(b − (A − D)x) = x + D⁻¹(b − A·x)
+                x = x + residual / diagonal
                 result.iterations = iteration
-                break
-            # x ← D⁻¹(b − (A − D)x) = x + D⁻¹(b − A·x)
-            x = x + residual / diagonal
-            result.iterations = iteration
         result.solution = x
         result.analog_matvecs = self._matvec_count if self.use_analog else 0
         return result
@@ -170,32 +200,33 @@ class AnalogIterativeSolver:
         self._matvec_count = 0
         result = IterativeResult(solution=x)
         b_norm = max(float(np.linalg.norm(b)), 1e-300)
-        r = b - self._matvec(matrix, x)
-        p = r.copy()
-        rs_old = float(r @ r)
-        for iteration in range(1, max_iterations + 1):
-            norm = float(np.sqrt(rs_old)) / b_norm
-            result.residual_norms.append(norm)
-            if norm < tolerance:
-                result.converged = True
+        with self._compiled(matrix) as operator:
+            r = b - self._matvec(operator, matrix, x)
+            p = r.copy()
+            rs_old = float(r @ r)
+            for iteration in range(1, max_iterations + 1):
+                norm = float(np.sqrt(rs_old)) / b_norm
+                result.residual_norms.append(norm)
+                if norm < tolerance:
+                    result.converged = True
+                    result.iterations = iteration
+                    break
+                ap = self._matvec(operator, matrix, p)
+                curvature = float(p @ ap)
+                if curvature <= 0.0:
+                    # Analog noise broke positive-definiteness along p: restart.
+                    r = b - self._matvec(operator, matrix, x)
+                    p = r.copy()
+                    rs_old = float(r @ r)
+                    result.iterations = iteration
+                    continue
+                alpha = rs_old / curvature
+                x = x + alpha * p
+                r = r - alpha * ap
+                rs_new = float(r @ r)
+                p = r + (rs_new / rs_old) * p
+                rs_old = rs_new
                 result.iterations = iteration
-                break
-            ap = self._matvec(matrix, p)
-            curvature = float(p @ ap)
-            if curvature <= 0.0:
-                # Analog noise broke positive-definiteness along p: restart.
-                r = b - self._matvec(matrix, x)
-                p = r.copy()
-                rs_old = float(r @ r)
-                result.iterations = iteration
-                continue
-            alpha = rs_old / curvature
-            x = x + alpha * p
-            r = r - alpha * ap
-            rs_new = float(r @ r)
-            p = r + (rs_new / rs_old) * p
-            rs_old = rs_new
-            result.iterations = iteration
         result.solution = x
         result.analog_matvecs = self._matvec_count if self.use_analog else 0
         return result
@@ -209,18 +240,31 @@ class AnalogIterativeSolver:
         tolerance: float = 1e-3,
         max_iterations: int = 100,
     ) -> IterativeResult:
-        """The paper's full hybrid loop for systems that fit the INV topology.
+        """The paper's full hybrid loop: analog seed, analog-matvec polish.
 
-        One-step analog INV produces the seed; CG (with analog matvecs)
-        polishes it.  For systems wider than one array, fall back to
-        :meth:`conjugate_gradient` from zero.
+        One-step analog INV produces the seed for systems that fit one
+        array; larger systems seed from a **blocked** solve on the tile
+        grid (:class:`~repro.core.tiled.TiledOperator`).  CG with analog
+        matvecs polishes either seed.  If the grid does not fit the
+        macro pool, CG starts cold from zero instead.
         """
-        n = matrix.shape[0]
-        if n <= self.solver.pool.config.rows:
-            seed_result = self.solver.solve(matrix, b)
-            x0 = seed_result.value if seed_result.ok else None
-        else:
-            x0 = None
+        matrix = np.asarray(matrix, dtype=float)
+        x0 = None
+        try:
+            operator = self.solver.compile(matrix, AMCMode.INV)
+        except CapacityError:
+            operator = None
+        if operator is not None:
+            try:
+                seed_result = operator.solve(b)
+                if seed_result.ok:
+                    x0 = seed_result.value
+            except GramcError:
+                # A diverging blocked sweep (operand not block-dominant)
+                # leaves CG to start cold — same contract as a bad seed.
+                pass
+            finally:
+                operator.close()
         return self.conjugate_gradient(
             matrix, b, tolerance=tolerance, max_iterations=max_iterations, x0=x0
         )

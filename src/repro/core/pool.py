@@ -150,6 +150,57 @@ class MacroPool:
         self.acquisitions += 1
         return [self.macros[i] for i in taken]
 
+    def acquire_many(
+        self,
+        requests: "list[tuple[str, int]]",
+        on_evict: Callable[[str], None] | None = None,
+    ) -> list[list[AMCMacro]]:
+        """Atomically claim macros for several owners — all or nothing.
+
+        A multi-tile operand (a wide MVM, or a blocked solve grid) must
+        either get *every* tile resident or none of them: the seed's
+        tile-by-tile acquisition could evict the operand's own earlier
+        tiles while programming the later ones, or leak a partially built
+        grid when a later tile ran out of capacity.  ``acquire_many``
+        prevents both:
+
+        * batch members are shielded from eviction while their siblings
+          are being acquired (a temporary pin, dropped on return);
+        * if any acquisition raises :class:`CapacityError`, everything the
+          batch already grabbed is released before the error propagates,
+          and the message carries :meth:`owner_stats` so the caller can
+          see who holds the pool.
+
+        Owners outside the batch may still be evicted (their ``on_evict``
+        callbacks fire as usual) even when the batch ultimately fails —
+        eviction is not transactional, only the batch's own claims are.
+        Returns one macro list per request, in request order.
+        """
+        acquired: list[str] = []
+        temp_pins: list[str] = []
+        grants: list[list[AMCMacro]] = []
+        try:
+            for owner, count in requests:
+                grants.append(self.acquire(owner, count, on_evict=on_evict))
+                acquired.append(owner)
+                if owner not in self._pinned:
+                    self._pinned.add(owner)
+                    temp_pins.append(owner)
+        except CapacityError as error:
+            for owner in temp_pins:
+                self._pinned.discard(owner)
+            for owner in acquired:
+                self.release(owner)
+            total = sum(count for _, count in requests)
+            raise CapacityError(
+                f"atomic acquisition of {total} macros across "
+                f"{len(requests)} tiles failed ({error}); current pool "
+                f"owners: {self.owner_stats()}"
+            ) from error
+        for owner in temp_pins:
+            self._pinned.discard(owner)
+        return grants
+
     def _evict(self, owner: str) -> None:
         indices = self._owners.pop(owner)
         self._free.extend(indices)

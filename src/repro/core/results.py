@@ -40,6 +40,17 @@ class SolveResult:
     records genuinely per-column counts.  ``None`` for vector solves."""
     column_saturated: np.ndarray | None = None
     """Batched solves: per-column post-ranging clip state ``(k,)``."""
+    sweeps: int | None = None
+    """Blocked solves: block-Jacobi / block-Gauss-Seidel sweeps actually
+    run over the tile grid.  ``None`` for direct single-array solves."""
+    residual_floor: float | None = None
+    """Blocked solves: digitally evaluated relative residual
+    ``‖b − A·y‖/‖b‖`` of the returned solution — the O(η·κ) floor the
+    inexact-matvec model predicts for stationary sweeps with analog
+    (η-relative-error) products.  ``None`` for direct solves."""
+    converged: bool | None = None
+    """Blocked solves: whether the sweep update fell below tolerance
+    before the sweep budget ran out.  ``None`` for direct solves."""
 
     @property
     def ok(self) -> bool:

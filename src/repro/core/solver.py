@@ -39,6 +39,7 @@ for its matrix, so repeated calls also avoid re-programming.
 from __future__ import annotations
 
 import hashlib
+import weakref
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -50,6 +51,7 @@ from repro.core.errors import CapacityError, ConvergenceError, GramcError, Shape
 from repro.core.operator import AnalogOperator, TileBinding
 from repro.core.pool import MacroPool, PoolConfig
 from repro.core.results import SolveResult
+from repro.core.tiled import TiledOperator
 from repro.macro.amc_macro import AMCMacro
 from repro.macro.registers import MacroRole, PlaneLayout
 
@@ -62,10 +64,66 @@ __all__ = [
     "GramcSolver",
     "ProgrammedOperator",
     "TileBinding",
+    "TiledOperator",
 ]
 
 #: Deprecated alias — the seed called the handle ``ProgrammedOperator``.
 ProgrammedOperator = AnalogOperator
+
+
+def _bytes_digest(matrix: np.ndarray) -> str:
+    """The O(n²) content digest: every byte of the operand is hashed."""
+    return hashlib.sha1(
+        np.ascontiguousarray(matrix, dtype=float).tobytes()
+    ).hexdigest()
+
+
+_digest_cache: dict[int, tuple["weakref.ref[np.ndarray]", str]] = {}
+"""Digest memo for *read-only, data-owning* ndarrays, keyed on identity.
+
+Eligibility is deliberately narrow: the array must have
+``writeable=False`` **and** own its buffer (``base is None``).  A
+read-only view of a writeable base can still change under us through the
+base, so views never memoize.  A weak reference guards against id reuse
+after garbage collection (the entry dies with its array).  Writeable
+arrays always take the byte-hash path — an in-place mutation must yield
+a new key, or the compile cache would hand back the stale operator.
+
+Known caveat (inherent to id-keyed memoization): re-enabling the
+``writeable`` flag on a memoized array, mutating it, and flipping the
+flag back defeats the memo — NumPy records no mutation counter we could
+check.  Don't do that; treat ``setflags(write=False)`` as a promise."""
+
+
+def _memoizable(matrix: np.ndarray) -> bool:
+    return not matrix.flags.writeable and matrix.base is None
+
+
+def _matrix_digest(matrix: np.ndarray) -> str:
+    """Content digest with a fast path for repeated read-only operands.
+
+    Mark an operand read-only (``matrix.setflags(write=False)``) to let
+    repeated facade calls on the same ndarray skip the O(n²) byte hash.
+    """
+    memoizable = _memoizable(matrix)
+    if memoizable:
+        entry = _digest_cache.get(id(matrix))
+        if entry is not None and entry[0]() is matrix:
+            return entry[1]
+    digest = _bytes_digest(matrix)
+    if memoizable:
+        key = id(matrix)
+
+        def _drop(ref: "weakref.ref[np.ndarray]", key: int = key) -> None:
+            entry = _digest_cache.get(key)
+            if entry is not None and entry[0] is ref:
+                del _digest_cache[key]
+
+        try:
+            _digest_cache[key] = (weakref.ref(matrix, _drop), digest)
+        except TypeError:  # pragma: no cover - non-weakref-able subclass
+            pass
+    return digest
 
 
 def _operand_key(matrix: np.ndarray, mode: AMCMode, tag: str = "") -> str:
@@ -73,7 +131,7 @@ def _operand_key(matrix: np.ndarray, mode: AMCMode, tag: str = "") -> str:
     digest.update(mode.value.encode())
     digest.update(tag.encode())
     digest.update(str(matrix.shape).encode())
-    digest.update(np.ascontiguousarray(matrix, dtype=float).tobytes())
+    digest.update(_matrix_digest(matrix).encode())
     return digest.hexdigest()
 
 
@@ -154,15 +212,25 @@ class GramcSolver:
         tag: str = "",
         quant_peak: float | None = None,
         pin: bool = False,
+        tile: int | None = None,
         _transpose_plane: bool = False,
         _egv_auto: bool = False,
-    ) -> AnalogOperator:
+    ) -> AnalogOperator | TiledOperator:
         """Program ``matrix`` for ``mode`` and return its operator handle.
 
         Handles are cached per (matrix, mode, tag): compiling the same
         operand twice returns the same (re-used, already programmed)
         handle, with one holder reference added per call.  ``pin=True``
         additionally exempts it from LRU eviction.
+
+        A **square INV operand larger than one array** (or any square INV
+        operand when ``tile`` is given explicitly) compiles to a
+        :class:`~repro.core.tiled.TiledOperator`: the matrix is split
+        into a grid of array-sized blocks — diagonal blocks programmed
+        for INV, off-diagonals for MVM — and ``solve`` runs batched
+        block-Jacobi / block-Gauss-Seidel sweeps over the resident grid.
+        Tiled grids are pinned for their whole lifetime (a blocked sweep
+        needs every block resident simultaneously).
 
         For :attr:`AMCMode.EGV` without an explicit ``g_lambda``, the
         digital functional module first estimates the dominant eigenvalue
@@ -172,16 +240,19 @@ class GramcSolver:
         call (or use the ``with`` form): handles are shared objects and
         each close releases one holder reference.
         """
-        # Copy the operand: a persistent handle must not see the caller's
-        # later in-place mutations, or the programmed conductances would
-        # silently desynchronize from the digital reference and cache key.
-        matrix = np.array(matrix, dtype=float)
-        if matrix.ndim != 2:
+        original = np.asarray(matrix, dtype=float)
+        if original.ndim != 2:
             raise ShapeError("operands must be 2-D matrices")
-        self._validate_mode_shape(matrix, mode, _transpose_plane)
+        if mode is AMCMode.INV and (
+            tile is not None or original.shape[0] > self._rows_max
+        ):
+            return self._compile_tiled(
+                original, tile=tile, tag=tag, quant_peak=quant_peak, pin=pin
+            )
+        self._validate_mode_shape(original, mode, _transpose_plane)
         if mode is AMCMode.EGV and g_lambda is None:
             operator = self._compile_egv(
-                matrix, lambda_hat, tag=tag, quant_peak=quant_peak
+                original, lambda_hat, tag=tag, quant_peak=quant_peak
             )
             if pin:
                 operator.pin()
@@ -192,7 +263,7 @@ class GramcSolver:
             tag = f"{tag}/gl={g_lambda!r}"
         if quant_peak is not None:
             tag = f"{tag}/qp={quant_peak!r}"
-        key = _operand_key(matrix, mode, tag)
+        key = _operand_key(original, mode, tag)
         cached = self._operators.get(key)
         if cached is not None and not cached.closed:
             cached._ensure_programmed()
@@ -203,7 +274,7 @@ class GramcSolver:
             self,
             key,
             mode,
-            matrix,
+            self._private_copy(original),
             g_lambda=0.0 if g_lambda is None else g_lambda,
             quant_peak=quant_peak,
         )
@@ -212,12 +283,72 @@ class GramcSolver:
             base = tag.split("/qp=")[0]
             transpose_tag = "transpose" if base == "" else f"{base}/transpose"
             operator._transpose = self.compile(
-                matrix.T,
+                operator.matrix.T,
                 AMCMode.PINV,
                 tag=transpose_tag,
                 quant_peak=quant_peak,
                 _transpose_plane=True,
             )
+        if pin:
+            operator.pin()
+        return operator
+
+    @staticmethod
+    def _private_copy(original: np.ndarray) -> np.ndarray:
+        """A handle's frozen copy of the operand.
+
+        Copying detaches the handle from the caller's later in-place
+        mutations (the programmed conductances must not silently
+        desynchronize from the digital reference and cache key); marking
+        it read-only makes internal re-compiles of ``operator.matrix``
+        eligible for the digest fast path and guards the invariant.
+        """
+        private = np.array(original, dtype=float)
+        private.setflags(write=False)
+        return private
+
+    def _compile_tiled(
+        self,
+        original: np.ndarray,
+        *,
+        tile: int | None,
+        tag: str,
+        quant_peak: float | None = None,
+        pin: bool = False,
+    ) -> TiledOperator:
+        """Blocked-engine compilation for square SOLVE operands.
+
+        Every compile hands out a *pinned* holder reference (the grid
+        must stay resident between a holder's solves); ``pin=True`` adds
+        one more explicit pin on top, symmetric with the direct path.
+        """
+        rows, cols = original.shape
+        if rows != cols:
+            raise ShapeError("solve needs a square matrix")
+        tile_size = self._rows_max if tile is None else int(tile)
+        if tile_size < 1:
+            raise ShapeError("tile size must be a positive block edge")
+        tile_size = min(tile_size, self._rows_max)
+        grid_tag = f"{tag}/tiled:{tile_size}"
+        if quant_peak is not None:
+            grid_tag = f"{grid_tag}/qp={quant_peak!r}"
+        key = _operand_key(original, AMCMode.INV, grid_tag)
+        cached = self._operators.get(key)
+        if cached is not None and not cached.closed:
+            cached._ensure_programmed()
+            cached.pin()  # this holder's pin (dropped by its close/unpin)
+            if pin:
+                cached.pin()
+            return cached._retain()
+        operator = TiledOperator(
+            self,
+            key,
+            self._private_copy(original),
+            tile_size,
+            tag=tag,
+            quant_peak=quant_peak,
+        )
+        self._operators[key] = operator
         if pin:
             operator.pin()
         return operator
@@ -339,22 +470,31 @@ class GramcSolver:
         quant_peak: float | None = None,
         on_evict=None,
     ) -> list[TileBinding]:
-        """Split ``matrix`` into array-sized tiles, program each on macros."""
+        """Split ``matrix`` into array-sized tiles, program each on macros.
+
+        Allocation is two-phase: the tile geometry is planned first
+        (without touching the pool), then every tile's macros are claimed
+        in **one atomic multi-acquire** — an operand either gets its whole
+        grid resident or nothing (the seed's tile-by-tile acquisition
+        could evict the operand's own earlier tiles while programming the
+        later ones, silently computing garbage).
+        """
         rows, cols = matrix.shape
         if rows > self._rows_max:
             if mode is not AMCMode.MVM:
                 raise ShapeError(
-                    f"{mode.value} supports up to {self._rows_max} rows; "
-                    f"block algorithms are out of the paper's scope"
+                    f"{mode.value} supports up to {self._rows_max} rows per "
+                    f"tile; compile square SOLVE operands through the blocked "
+                    f"TiledOperator path instead"
                 )
         # Shared quantization scale across tiles keeps digital accumulation
         # exact; ``quant_peak`` lets callers align the grid (integer weights).
         shared_scale = quant_peak if quant_peak is not None else float(np.max(np.abs(matrix)))
         level_map = self.pool.config.level_map
 
+        # Phase 1: plan the tile grid (pure geometry, no pool mutation).
         row_step = self._rows_max
-        tiles: list[TileBinding] = []
-        tile_index = 0
+        plan: list[tuple[slice, slice, PlaneLayout]] = []
         for row_start in range(0, rows, row_step):
             row_slice = slice(row_start, min(row_start + row_step, rows))
             col_cursor = 0
@@ -369,14 +509,44 @@ class GramcSolver:
                 else:
                     layout = PlaneLayout.PAIRED_ARRAYS
                     width = self._cols_max
-                col_slice = slice(col_cursor, col_cursor + width)
+                plan.append(
+                    (row_slice, slice(col_cursor, col_cursor + width), layout)
+                )
+                col_cursor += width
+        macros_needed = sum(self._macros_for(layout) for _, _, layout in plan)
+        if macros_needed > len(self.pool.macros):
+            raise CapacityError(
+                f"operand needs {macros_needed} macros, more than the "
+                f"chip's complement of {len(self.pool.macros)} can hold at once"
+            )
+
+        # Phase 2: claim every tile's macros atomically (all-or-nothing).
+        owners = [f"{key}/tile{i}" for i in range(len(plan))]
+        try:
+            grants = self.pool.acquire_many(
+                [
+                    (owner, self._macros_for(layout))
+                    for owner, (_, _, layout) in zip(owners, plan)
+                ],
+                on_evict=on_evict,
+            )
+        except CapacityError as error:
+            raise CapacityError(
+                f"operand needs {macros_needed} macros but pinned operators "
+                f"squeeze the evictable capacity below that; close or unpin "
+                f"other operators first [{error}]"
+            ) from error
+
+        # Phase 3: configure and program each granted tile.
+        tiles: list[TileBinding] = []
+        try:
+            for (row_slice, col_slice, layout), macros in zip(plan, grants):
                 sub = matrix[row_slice, col_slice]
                 mapping = self._fit_mapping(sub, shared_scale, level_map)
-                owner = f"{key}/tile{tile_index}"
-                macros = self.pool.acquire(owner, self._macros_for(layout), on_evict=on_evict)
                 primary = macros[0]
                 partner = macros[1] if len(macros) > 1 else None
                 n_rows = row_slice.stop - row_slice.start
+                width = col_slice.stop - col_slice.start
                 primary.configure(
                     mode,
                     n_rows,
@@ -412,26 +582,11 @@ class GramcSolver:
                         ),
                     )
                 )
-                tile_index += 1
-                col_cursor += width
-        # An operand whose own tiles cannot co-reside evicts its *own* earlier
-        # tiles while programming the later ones — the seed silently computed
-        # garbage in that regime.  Detect and refuse, naming the real cause.
-        owners = [f"{key}/tile{i}" for i in range(tile_index)]
-        if not all(self.pool.holds(owner) for owner in owners):
+        except Exception:
+            # A failure mid-programming must not leak a half-built grid.
             for owner in owners:
                 self.pool.release(owner)
-            macros_needed = sum(self._macros_for(tile.layout) for tile in tiles)
-            if macros_needed > len(self.pool.macros):
-                raise CapacityError(
-                    f"operand needs {macros_needed} macros, more than the "
-                    f"chip's complement of {len(self.pool.macros)} can hold at once"
-                )
-            raise CapacityError(
-                f"operand needs {macros_needed} macros but pinned operators "
-                f"squeeze the evictable capacity below that; close or unpin "
-                f"other operators first"
-            )
+            raise
         return tiles
 
     @staticmethod
@@ -486,9 +641,10 @@ class GramcSolver:
         from repro.programming.levels import MatrixQuantizer
 
         peak = shared_scale if shared_scale > 0.0 else 1.0
-        quantizer = MatrixQuantizer(
-            level_map=level_map, scale=peak / (level_map.num_levels - 1)
-        )
+        scale = peak / (level_map.num_levels - 1)
+        if scale == 0.0:  # subnormal peak underflowing the division
+            scale = 1.0 / (level_map.num_levels - 1)
+        quantizer = MatrixQuantizer(level_map=level_map, scale=scale)
         g_pos = quantizer.to_conductances(np.maximum(sub, 0.0))
         g_neg = quantizer.to_conductances(np.maximum(-sub, 0.0))
         return DifferentialMapping(
@@ -529,7 +685,14 @@ class GramcSolver:
             operator._refs -= 1  # a facade call is not a holder
 
     def solve(self, matrix: np.ndarray, b: np.ndarray) -> SolveResult:
-        """Analog one-step linear solve ``A·y = b`` via the INV topology."""
+        """Analog linear solve ``A·y = b``: one INV step, or blocked sweeps.
+
+        Systems that fit one array run the direct INV topology; larger
+        square systems go through the blocked
+        :class:`~repro.core.tiled.TiledOperator` grid (whose macros stay
+        resident and pinned between facade calls — repeated solves on
+        the same operand re-use the programmed grid).
+        """
         matrix = np.asarray(matrix, dtype=float)
         if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
             raise ShapeError("solve needs a square matrix")
@@ -540,6 +703,11 @@ class GramcSolver:
         try:
             return operator.solve(b)
         finally:
+            if isinstance(operator, TiledOperator):
+                # The facade has no close() discipline: leave the grid
+                # cached for repeated calls, but evictable — a one-shot
+                # caller must not pin the whole pool behind their back.
+                operator.unpin()
             operator._refs -= 1
 
     def lstsq(self, matrix: np.ndarray, b: np.ndarray) -> SolveResult:

@@ -1,0 +1,596 @@
+"""TiledOperator: matrices larger than one crossbar as a blocked grid.
+
+The direct INV topology caps at one array (128 unknowns): the feedback
+loop physically spans a single crossbar.  The AMC tutorial's answer (Sun &
+Ielmini, arXiv:2205.05853) is to *block* the problem — partition ``A``
+into a grid of array-sized tiles, invert the diagonal blocks in-array and
+sweep the off-diagonal couplings with analog MVMs:
+
+.. code-block:: text
+
+        ┌─────────┬─────────┐      x₁ ← A₁₁⁻¹ (b₁ − A₁₂·x₂)   INV ↘  MVM →
+        │ A₁₁ INV │ A₁₂ MVM │
+        ├─────────┼─────────┤
+        │ A₂₁ MVM │ A₂₂ INV │      x₂ ← A₂₂⁻¹ (b₂ − A₂₁·x₁)   MVM →  INV ↘
+        └─────────┴─────────┘
+
+Every per-tile step is **one batched engine call over all right-hand-side
+columns** (the multi-RHS path of the batched execution engine), digital
+work is only the O(n·k) block accumulation, and the grid is programmed
+once — zero reprogramming events per solve.
+
+The iteration is block-Jacobi or block-Gauss-Seidel; with inexact analog
+products (relative error η per solve/multiply) it stalls at a residual
+floor O(η·κ) instead of converging to zero.  :meth:`TiledOperator.solve`
+reports that floor honestly in ``SolveResult.residual_floor``.
+
+Grid lifetime is **atomic and pinned**: either every block compiles (the
+whole grid resident simultaneously, exempt from LRU eviction) or the
+constructor rolls back everything it grabbed and raises
+:class:`~repro.core.errors.CapacityError` naming the pool's current
+owners.  Instances come from :meth:`GramcSolver.compile` /
+:meth:`GramcChip.compile` on a square SOLVE operand larger than one
+array (or any square operand with an explicit ``tile=``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.analog.topologies import AMCMode
+from repro.core.errors import CapacityError, ConvergenceError, GramcError, ShapeError
+from repro.core.results import SolveResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.operator import AnalogOperator
+    from repro.core.solver import GramcSolver
+
+_METHODS = ("gauss-seidel", "jacobi")
+
+
+class TiledOperator:
+    """A square matrix blocked across a grid of programmed array tiles.
+
+    Diagonal blocks are compiled as INV handles, nonzero off-diagonal
+    blocks as MVM handles; all-zero off-diagonal blocks are skipped
+    entirely (block-sparse operands pay only for their couplings).
+    Instances come from :meth:`GramcSolver.compile` — never construct
+    one directly.
+    """
+
+    __array_ufunc__ = None
+    """As for :class:`AnalogOperator`: keep NumPy from coercing matmul
+    through ``__array__`` into an exact digital product."""
+
+    def __init__(
+        self,
+        solver: "GramcSolver",
+        key: str,
+        matrix: np.ndarray,
+        tile: int,
+        tag: str = "",
+        quant_peak: float | None = None,
+    ):
+        self._solver = solver
+        self.key = key
+        self.mode = AMCMode.INV
+        self.matrix = matrix
+        self.tile = int(tile)
+        self._tag = tag
+        self.quant_peak = quant_peak
+        """Per-block quantization-scale override, forwarded to every
+        block compile (``None``: each block auto-ranges to its own peak —
+        the default, and usually the right call: a faint coupling block
+        would lose all its resolution on a grid-wide scale)."""
+        self._refs = 1
+        self._pin_count = 1
+        """Counted per holder, like ``_refs``: construction pins the grid
+        for the first holder; every cache-hit compile adds another pin and
+        every ``close`` (or explicit ``unpin``) drops one.  The blocks
+        stay pool-pinned while any holder's pin is outstanding."""
+        self._closed = False
+        self._ref_inverse: np.ndarray | None = None
+
+        n = matrix.shape[0]
+        edges: list[slice] = []
+        start = 0
+        while start < n:
+            stop = min(start + self.tile, n)
+            edges.append(slice(start, stop))
+            start = stop
+        self._edges = edges
+
+        self._diag: list["AnalogOperator"] = []
+        self._off: dict[tuple[int, int], "AnalogOperator"] = {}
+        self._diag_mvm: list["AnalogOperator | None"] = [None] * len(edges)
+        """Lazily compiled MVM views of the diagonal blocks — only built
+        when the operator is *applied* (``op @ x``); a pure solve workload
+        never pays their macros."""
+        self._compile_grid()
+
+    # ------------------------------------------------------------- compilation
+
+    def _compile_grid(self) -> None:
+        """Compile every block handle, atomically: all resident or none.
+
+        Each block is pinned as soon as it is programmed, so compiling a
+        later block can never evict an earlier sibling; on capacity
+        exhaustion everything already built is unpinned, closed and
+        released before the error propagates.
+        """
+        compiled: list["AnalogOperator"] = []
+        solver = self._solver
+        try:
+            for i, rows in enumerate(self._edges):
+                for j, cols in enumerate(self._edges):
+                    block = self.matrix[rows, cols]
+                    if i == j:
+                        handle = solver.compile(
+                            block, AMCMode.INV, pin=True,
+                            tag=self._tag, quant_peak=self.quant_peak,
+                        )
+                        self._diag.append(handle)
+                        compiled.append(handle)
+                    elif np.any(block):
+                        handle = solver.compile(
+                            block, AMCMode.MVM, pin=True,
+                            tag=self._tag, quant_peak=self.quant_peak,
+                        )
+                        self._off[(i, j)] = handle
+                        compiled.append(handle)
+        except Exception as error:
+            # *Any* failure mid-grid (capacity, a bad operand raising in
+            # quantization, ...) must not leak earlier blocks pinned in
+            # the pool with no handle to release them.
+            for handle in compiled:
+                handle.unpin()
+                handle.close()
+            self._diag.clear()
+            self._off.clear()
+            if not isinstance(error, CapacityError):
+                raise
+            # ``error`` already carries owner_stats from the failed
+            # multi-acquire — captured *before* this rollback ran.
+            raise CapacityError(
+                f"blocked operand ({self.shape[0]} unknowns on a "
+                f"{self.grid[0]}x{self.grid[1]} tile grid) does not fit the "
+                f"pool: {error}"
+            ) from error
+
+    # ----------------------------------------------------------- introspection
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.matrix.shape  # type: ignore[return-value]
+
+    @property
+    def ndim(self) -> int:
+        return 2
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.matrix.dtype
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        """The digital copy of the blocked matrix (NumPy protocol)."""
+        return np.array(self.matrix, dtype=dtype)
+
+    @property
+    def grid(self) -> tuple[int, int]:
+        """Tile-grid dimensions ``(block_rows, block_cols)``."""
+        return len(self._edges), len(self._edges)
+
+    @property
+    def block_count(self) -> int:
+        """Compiled block handles (diagonal + nonzero off-diagonal)."""
+        return len(self._diag) + len(self._off)
+
+    @property
+    def block_slices(self) -> list[slice]:
+        """The row/column ranges of the (possibly ragged) tile edges."""
+        return list(self._edges)
+
+    def _solve_handles(self) -> list["AnalogOperator"]:
+        return [*self._diag, *self._off.values()]
+
+    def _all_handles(self) -> list["AnalogOperator"]:
+        extra = [h for h in self._diag_mvm if h is not None]
+        return [*self._solve_handles(), *extra]
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def resident(self) -> bool:
+        """Whether every block's conductances are on the macros right now."""
+        if self._closed:
+            return False
+        return all(handle.resident for handle in self._solve_handles())
+
+    @property
+    def program_events(self) -> int:
+        """Total hardware writes across the solve-path blocks.
+
+        Constant across solves on a healthy grid — the benchmark's
+        "zero reprogramming events per solve" is this number's delta.
+        """
+        return sum(handle.program_count for handle in self._solve_handles())
+
+    @property
+    def macro_ids(self) -> tuple[int, ...]:
+        ids: list[int] = []
+        for handle in self._solve_handles():
+            ids.extend(handle.macro_ids)
+        return tuple(ids)
+
+    @property
+    def macros(self) -> int:
+        """Distinct macros backing the resident grid."""
+        return len(set(self.macro_ids))
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else ("resident" if self.resident else "evicted")
+        rows, cols = self.grid
+        return (
+            f"<TiledOperator solve {self.shape[0]}×{self.shape[1]} "
+            f"as {rows}×{cols} blocks of ≤{self.tile}, {state}, "
+            f"{self.macros if not self._closed else 0} macros>"
+        )
+
+    # ---------------------------------------------------------------- lifetime
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise GramcError(
+                "operator handle is closed; compile the matrix again for a new one"
+            )
+
+    def _ensure_programmed(self) -> None:
+        """Re-ensure every block (transparently reprogramming evicted ones)."""
+        self._require_open()
+        for handle in self._solve_handles():
+            handle._ensure_programmed()
+
+    def _retain(self) -> "TiledOperator":
+        self._refs += 1
+        return self
+
+    def refresh(self) -> "TiledOperator":
+        """Force a re-program of **every** tile (drift recovery).
+
+        One drifted or externally rewritten crossbar invalidates the whole
+        grid's accuracy budget, so refresh is grid-wide by design.
+        """
+        self._require_open()
+        for handle in self._all_handles():
+            handle.refresh()
+        return self
+
+    @property
+    def is_pinned(self) -> bool:
+        return self._pin_count > 0
+
+    def pin(self) -> "TiledOperator":
+        """Add one holder's pin to every solve-path block."""
+        self._require_open()
+        for handle in self._solve_handles():
+            handle.pin()
+        self._pin_count += 1
+        return self
+
+    def unpin(self) -> "TiledOperator":
+        """Drop one holder's pin; the grid becomes LRU-evictable when no
+        pins remain (an evicted block transparently re-programs on the
+        next solve, at the cost of reprogramming events).  One holder's
+        unpin never strips a co-holder's pin — but since ``close`` also
+        drops the closing holder's pin, call either ``unpin()`` or rely
+        on ``close()``, not both, per ``compile``."""
+        if self._pin_count > 0:
+            self._pin_count -= 1
+            for handle in self._solve_handles():
+                handle.unpin()
+        return self
+
+    def close(self) -> None:
+        """Release every block back to the pool; the handle becomes unusable.
+
+        Like :class:`AnalogOperator`, tiled handles are cached per
+        (operand, tile) and refcounted: the grid is only torn down when
+        the last holder closes.  Each close also drops the closing
+        holder's pin (every ``compile`` hands out a pinned reference).
+        """
+        if self._closed:
+            return
+        self.unpin()  # this holder's pin dies with its reference
+        self._refs -= 1
+        if self._refs > 0:
+            return
+        while self._pin_count > 0:  # clear pins leaked by a missing unpin
+            self.unpin()
+        for handle in self._solve_handles():
+            handle.close()
+        for handle in self._diag_mvm:
+            if handle is not None:
+                handle.close()
+        self._solver._forget(self)
+        self._pin_count = 0
+        self._diag = []
+        self._off = {}
+        self._diag_mvm = []
+        self._closed = True
+
+    def __enter__(self) -> "TiledOperator":
+        self._ensure_programmed()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # --------------------------------------------------------------- execution
+
+    def solve(
+        self,
+        b: np.ndarray,
+        *,
+        tolerance: float = 1e-3,
+        max_sweeps: int = 40,
+        method: str = "gauss-seidel",
+    ) -> SolveResult:
+        """Blocked analog solve ``A·y = b`` (``b``: vector or ``(n, k)`` batch).
+
+        Sweeps block-Jacobi or block-Gauss-Seidel updates
+
+        ``x_i ← A_ii⁻¹ (b_i − Σ_{j≠i} A_ij · x_j)``
+
+        where each ``A_ij · x_j`` is one batched analog MVM over all
+        columns and each ``A_ii⁻¹(…)`` is one batched analog INV solve —
+        no per-column Python loop anywhere in the pipeline.  Iteration
+        stops when the relative update falls below ``tolerance`` or after
+        ``max_sweeps``; with η-inexact analog steps the attainable
+        residual floor is O(η·κ) and is reported (digitally evaluated) in
+        ``SolveResult.residual_floor``.
+        """
+        self._require_open()
+        if method not in _METHODS:
+            raise GramcError(f"method must be one of {_METHODS}, not {method!r}")
+        b = np.asarray(b, dtype=float)
+        n = self.shape[0]
+        if b.ndim not in (1, 2) or b.shape[0] != n:
+            raise ShapeError(f"b must have leading dimension {n} (vector or batch)")
+        if self._ref_inverse is None:
+            # One factorization of the immutable matrix serves every solve.
+            self._ref_inverse = np.linalg.inv(self.matrix)
+        reference = self._ref_inverse @ b
+        batched = b.ndim == 2
+        if batched and b.shape[1] == 0:
+            return self._empty_result(AMCMode.INV, reference)
+        self._ensure_programmed()
+
+        if len(self._edges) == 1:
+            # Degenerate 1×1 grid: exactly the direct single-array path
+            # (bit-for-bit — no extra engine calls, no extra noise draws).
+            inner = self._diag[0].solve(b, _reference=reference)
+            floor = self._residual_floor(b, inner.value)
+            return replace(
+                inner, sweeps=1, residual_floor=floor, converged=True,
+                macro_ids=self.macro_ids,
+            )
+
+        big_b = b if batched else b[:, None]
+        columns = big_b.shape[1]
+        x = np.zeros_like(big_b)
+        gauss_seidel = method == "gauss-seidel"
+
+        total_attempts = 0
+        stable = True
+        saturated = False
+        worst_scale = 0.0
+        col_scales = np.zeros(columns)
+        col_attempts = np.zeros(columns, dtype=int)
+        col_saturated = np.zeros(columns, dtype=bool)
+
+        def accumulate(inner: SolveResult) -> None:
+            nonlocal total_attempts, stable, saturated, worst_scale
+            nonlocal col_attempts, col_saturated
+            total_attempts += inner.attempts
+            stable &= inner.stable
+            saturated |= inner.saturated
+            worst_scale = max(worst_scale, inner.input_scale)
+            if inner.input_scales is not None:
+                np.maximum(col_scales, inner.input_scales, out=col_scales)
+            if inner.per_column_attempts is not None:
+                col_attempts += inner.per_column_attempts
+            if inner.column_saturated is not None:
+                col_saturated |= inner.column_saturated
+
+        # Blocks with no incoming couplings solve exactly once: their
+        # ``x_i = A_ii⁻¹·b_i`` is independent of every other block, so
+        # sweeping them again would only re-spend settling events on a
+        # fresh noise draw of the same answer.
+        coupled = [
+            i
+            for i in range(len(self._edges))
+            if any((i, j) in self._off for j in range(len(self._edges)))
+        ]
+        for i, rows in enumerate(self._edges):
+            if i not in coupled:
+                inner = self._diag[i].solve(np.array(big_b[rows]))
+                x[rows] = inner.value
+                accumulate(inner)
+
+        sweeps = 0
+        converged = False
+        previous_delta = float("inf")
+        stalled = 0
+        if not coupled:
+            sweeps = 1
+            converged = True
+        for sweep in range(1, max_sweeps + 1):
+            if not coupled:
+                break
+            previous = x.copy()
+            # Gauss-Seidel reads the in-place updated iterate; Jacobi the
+            # frozen previous sweep.  Same loop, different source view.
+            source = x if gauss_seidel else previous
+            for i in coupled:
+                rows = self._edges[i]
+                residual = np.array(big_b[rows])
+                for j, cols in enumerate(self._edges):
+                    coupling = self._off.get((i, j))
+                    if coupling is None:
+                        continue  # diagonal, or an all-zero (skipped) block
+                    product = coupling.mvm(source[cols])
+                    residual -= product.value
+                    accumulate(product)
+                inner = self._diag[i].solve(residual)
+                x[rows] = inner.value
+                accumulate(inner)
+            sweeps = sweep
+            delta = float(np.linalg.norm(x - previous))
+            scale = max(float(np.linalg.norm(x)), 1e-30)
+            if not np.isfinite(delta) or delta > 1e9 * scale:
+                raise ConvergenceError(
+                    "block sweep diverged — the operand is not block-"
+                    "diagonally dominant enough for a stationary blocked solve"
+                )
+            relative_delta = delta / scale
+            if relative_delta < tolerance:
+                converged = True
+                break
+            # Inexact analog steps bound the attainable accuracy at the
+            # O(η·κ) floor: once the update stops contracting, further
+            # sweeps only burn settling events.  "Stopped contracting"
+            # must be judged near-flat (≥ 0.9× the previous update, three
+            # sweeps running) — a slowly convergent splitting with
+            # contraction rate 0.5–0.9 is still making real progress and
+            # deserves its full sweep budget.
+            if relative_delta > 0.9 * previous_delta:
+                stalled += 1
+                if stalled >= 3:
+                    break
+            else:
+                stalled = 0
+            previous_delta = relative_delta
+
+        value = x if batched else x[:, 0]
+        floor = self._residual_floor(b, value)
+        return SolveResult(
+            mode=AMCMode.INV,
+            value=value,
+            reference=reference,
+            attempts=total_attempts,
+            input_scale=worst_scale if worst_scale > 0.0 else 1.0,
+            stable=stable,
+            saturated=saturated,
+            macro_ids=self.macro_ids,
+            input_scales=col_scales if batched else None,
+            per_column_attempts=col_attempts if batched else None,
+            column_saturated=col_saturated if batched else None,
+            sweeps=sweeps,
+            residual_floor=floor,
+            converged=converged,
+        )
+
+    def _residual_floor(self, b: np.ndarray, value: np.ndarray) -> float:
+        """Digitally evaluated relative residual of the analog solution.
+
+        A diagnostic, not part of the solve pipeline: one O(n²·k) digital
+        product per solve, reported so users see the O(η·κ) floor the
+        inexact-matvec model predicts.
+        """
+        b_norm = float(np.linalg.norm(b))
+        if b_norm == 0.0:
+            return float(np.linalg.norm(value))
+        return float(np.linalg.norm(b - self.matrix @ value) / b_norm)
+
+    def _empty_result(self, mode: AMCMode, reference: np.ndarray) -> SolveResult:
+        solve_mode = mode is AMCMode.INV
+        return SolveResult(
+            mode=mode,
+            value=np.zeros_like(reference),
+            reference=reference,
+            attempts=0,
+            input_scale=1.0,
+            stable=True,
+            saturated=False,
+            macro_ids=self.macro_ids,
+            input_scales=np.zeros(0),
+            per_column_attempts=np.zeros(0, dtype=int),
+            column_saturated=np.zeros(0, dtype=bool),
+            # Sweep metadata belongs to solves only — an MVM product has
+            # no sweeps, so its empty result must not claim any.
+            sweeps=0 if solve_mode else None,
+            residual_floor=0.0 if solve_mode else None,
+            converged=True if solve_mode else None,
+        )
+
+    # ------------------------------------------------------------ application
+
+    def _diag_mvm_handle(self, i: int) -> "AnalogOperator":
+        handle = self._diag_mvm[i]
+        if handle is None or handle.closed:
+            rows = self._edges[i]
+            handle = self._solver.compile(
+                self.matrix[rows, rows], AMCMode.MVM,
+                tag=self._tag, quant_peak=self.quant_peak,
+            )
+            self._diag_mvm[i] = handle
+        return handle
+
+    def mvm(self, x: np.ndarray) -> SolveResult:
+        """Blocked analog product ``A·x`` through the compiled handles.
+
+        Off-diagonal couplings reuse the solve grid's MVM handles; MVM
+        views of the diagonal blocks are compiled lazily on first use
+        (the INV-configured diagonal tiles cannot multiply).  ``x`` may
+        be a vector or an ``(n, k)`` batch — every per-tile product is
+        one batched engine call.
+        """
+        self._require_open()
+        x = np.asarray(x, dtype=float)
+        n = self.shape[0]
+        if x.ndim not in (1, 2) or x.shape[0] != n:
+            raise ShapeError(f"x must have leading dimension {n} (vector or batch)")
+        reference = self.matrix @ x
+        batched = x.ndim == 2
+        if batched and x.shape[1] == 0:
+            return self._empty_result(AMCMode.MVM, reference)
+        self._ensure_programmed()
+        big_x = x if batched else x[:, None]
+        out = np.zeros_like(big_x)
+        attempts = 0
+        stable = True
+        saturated = False
+        worst_scale = 0.0
+        for i, rows in enumerate(self._edges):
+            for j, cols in enumerate(self._edges):
+                if i == j:
+                    op = self._diag_mvm_handle(i)
+                elif (i, j) in self._off:
+                    op = self._off[(i, j)]
+                else:
+                    continue  # all-zero coupling block
+                product = op.mvm(big_x[cols])
+                out[rows] += product.value
+                attempts += product.attempts
+                stable &= product.stable
+                saturated |= product.saturated
+                worst_scale = max(worst_scale, product.input_scale)
+        return SolveResult(
+            mode=AMCMode.MVM,
+            value=out if batched else out[:, 0],
+            reference=reference,
+            attempts=attempts,
+            input_scale=worst_scale if worst_scale > 0.0 else 1.0,
+            stable=stable,
+            saturated=saturated,
+            macro_ids=self.macro_ids,
+        )
+
+    def __matmul__(self, other) -> np.ndarray:
+        """``op @ x`` — the blocked analog product as a plain array."""
+        return self.mvm(other).value

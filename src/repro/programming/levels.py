@@ -84,9 +84,14 @@ class MatrixQuantizer:
         """Build a quantizer whose top level equals ``max(|matrix|)``."""
         level_map = level_map or LevelMap()
         peak = float(np.max(np.abs(matrix)))
-        if peak == 0.0:
-            peak = 1.0
-        return cls(level_map=level_map, scale=peak / (level_map.num_levels - 1))
+        scale = peak / (level_map.num_levels - 1)
+        if scale == 0.0:
+            # An all-zero matrix — or one whose subnormal peak underflows
+            # the division — has no dynamic range to spread; fall back to
+            # a unit peak so every entry lands on level 0 instead of
+            # dividing by zero downstream.
+            scale = 1.0 / (level_map.num_levels - 1)
+        return cls(level_map=level_map, scale=scale)
 
     def to_levels(self, matrix: np.ndarray) -> np.ndarray:
         """Integer levels for a non-negative matrix (values are clipped)."""

@@ -25,6 +25,7 @@ from repro.analog.topologies import AMCMode
 from repro.core.operator import AnalogOperator
 from repro.core.pool import MacroPool, PoolConfig
 from repro.core.solver import GramcSolver
+from repro.core.tiled import TiledOperator
 from repro.system.assembler import assemble
 from repro.system.buffers import GlobalBuffer
 from repro.system.controller import Controller, ExecutionTrace
@@ -61,11 +62,17 @@ class GramcChip:
 
     def compile(
         self, matrix: np.ndarray, mode: AMCMode = AMCMode.MVM, **kwargs
-    ) -> AnalogOperator:
+    ) -> AnalogOperator | TiledOperator:
         """Program ``matrix`` on this chip and return its operator handle.
 
         Accepts the same keyword options as :meth:`GramcSolver.compile`
-        (``pin=True``, ``quant_peak=...``, ``lambda_hat=...``, ...).
+        (``pin=True``, ``quant_peak=...``, ``lambda_hat=...``,
+        ``tile=...``, ...).  A square SOLVE operand larger than one array
+        compiles to a :class:`~repro.core.tiled.TiledOperator`: a pinned
+        grid of INV diagonal tiles and MVM coupling tiles whose
+        ``solve(B)`` runs batched block-Jacobi / block-Gauss-Seidel
+        sweeps across this chip's macros — programming and solve
+        activity lands in :attr:`GramcChip.stats` either way.
         """
         return self.solver.compile(matrix, mode, **kwargs)
 

@@ -66,3 +66,39 @@ def symmetric_with_spectrum(
     n = eigenvalues.size
     q, _ = np.linalg.qr(rng.standard_normal((n, n)))
     return (q * eigenvalues) @ q.T
+
+
+def block_dominant(
+    n: int,
+    block: int,
+    coupling: float = 0.04,
+    ridge: float = 0.8,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Symmetric block-diagonally dominant matrix for blocked solves.
+
+    Diagonal ``block × block`` tiles are well-conditioned Wishart + ridge
+    (SPD, so each is unconditionally INV-stable in-array); off-diagonal
+    couplings are uniform ``±coupling``.  At the defaults the block-Jacobi
+    iteration matrix has spectral radius ≈ 0.45 for ``n = 4·block`` — the
+    blocked sweep contracts in a handful of passes, which is exactly the
+    regime the tile-grid engine targets.  The trailing tile may be ragged
+    (``n`` need not divide by ``block``).
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    if not 0 < block:
+        raise ValueError("block must be positive")
+    a = np.zeros((n, n))
+    edges = list(range(0, n, block)) + [n]
+    slices = [slice(lo, hi) for lo, hi in zip(edges[:-1], edges[1:])]
+    for s in slices:
+        width = s.stop - s.start
+        a[s, s] = wishart(width, rng=rng) + ridge * np.eye(width)
+    for i, si in enumerate(slices):
+        for sj in slices[i + 1 :]:
+            off = coupling * rng.uniform(
+                -1.0, 1.0, size=(si.stop - si.start, sj.stop - sj.start)
+            )
+            a[si, sj] = off
+            a[sj, si] = off.T
+    return a

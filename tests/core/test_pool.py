@@ -180,3 +180,60 @@ class TestCallbacksAndStats:
             pool.acquire("huge", 3)
         with pytest.raises(ValueError):  # backward-compatible type
             pool.acquire("huge", 3)
+
+
+class TestAcquireMany:
+    def test_success_returns_grants_in_order(self):
+        pool = _pool(4)
+        grants = pool.acquire_many([("grid/tile0", 1), ("grid/tile1", 2)])
+        assert [len(g) for g in grants] == [1, 2]
+        assert pool.holds("grid/tile0") and pool.holds("grid/tile1")
+        assert pool.free_count == 1
+
+    def test_all_or_nothing_rollback(self):
+        pool = _pool(4)
+        pool.acquire("resident", 3)
+        pool.pin("resident")
+        with pytest.raises(CapacityError) as excinfo:
+            pool.acquire_many([("grid/tile0", 1), ("grid/tile1", 2)])
+        # The first tile succeeded before the second ran out of capacity —
+        # it must have been released again, not leaked.
+        assert not pool.holds("grid/tile0")
+        assert not pool.holds("grid/tile1")
+        assert pool.free_count == 1
+        # The error names the current pool owners (owner_stats).
+        assert "resident" in str(excinfo.value)
+        assert "pinned" in str(excinfo.value)
+
+    def test_batch_members_shielded_from_each_other(self):
+        """Acquiring a later tile must never evict an earlier sibling,
+        even though nothing is pinned from the caller's point of view."""
+        pool = _pool(2)
+        with pytest.raises(CapacityError):
+            pool.acquire_many([("grid/tile0", 1), ("grid/tile1", 2)])
+        assert pool.free_count == 2  # rollback released tile0 too
+
+    def test_temporary_pins_are_dropped_on_success(self):
+        pool = _pool(2)
+        pool.acquire_many([("grid/tile0", 1), ("grid/tile1", 1)])
+        assert not pool.pinned("grid/tile0")
+        assert not pool.pinned("grid/tile1")
+        # A later allocation may evict them normally (LRU order).
+        pool.acquire("newcomer", 2)
+        assert not pool.holds("grid/tile0")
+        assert pool.holds("newcomer")
+
+    def test_preexisting_pins_survive(self):
+        pool = _pool(3)
+        pool.acquire("grid/tile0", 1)
+        pool.pin("grid/tile0")
+        pool.acquire_many([("grid/tile0", 1), ("grid/tile1", 2)])
+        assert pool.pinned("grid/tile0")
+        assert not pool.pinned("grid/tile1")
+
+    def test_evicted_outsider_gets_callback(self):
+        pool = _pool(2)
+        evicted = []
+        pool.acquire("outsider", 2, on_evict=evicted.append)
+        pool.acquire_many([("grid/tile0", 1), ("grid/tile1", 1)])
+        assert evicted == ["outsider"]
