@@ -17,7 +17,11 @@ invariants.  Recognized invariant keys:
 * ``relative_error_max`` / ``<name>_relative_error_max`` — per-result
   override wins over the file-wide bound;
 * ``eigs_per_programming_event`` — exact match where recorded;
-* ``reprogramming_events_per_solve`` — exact match where recorded.
+* ``reprogramming_events_per_solve`` — exact match where recorded;
+* ``reprogramming_events_steady_state`` / ``pool_evictions_steady_state``
+  / ``structured_rejections_fraction`` — exact match where recorded
+  (the serve-layer bars: coalescing must not churn residency, and every
+  shed request must carry the structured backpressure error).
 """
 
 from __future__ import annotations
@@ -53,7 +57,13 @@ def check_file(path: Path) -> list[str]:
                     f"{where}: relative_error {result['relative_error']:.4f} "
                     f"> {error_max}"
                 )
-        for exact_key in ("eigs_per_programming_event", "reprogramming_events_per_solve"):
+        for exact_key in (
+            "eigs_per_programming_event",
+            "reprogramming_events_per_solve",
+            "reprogramming_events_steady_state",
+            "pool_evictions_steady_state",
+            "structured_rejections_fraction",
+        ):
             expected = invariants.get(exact_key)
             if expected is not None and exact_key in result:
                 if result[exact_key] != expected:

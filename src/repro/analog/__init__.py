@@ -1,6 +1,12 @@
 """Analog layer: op-amps, blocks, dynamics, and the four AMC topologies."""
 
 from repro.analog.blocks import InverterBank, TIABank
+from repro.analog.determinism import (
+    apply_matrix,
+    column_independent,
+    column_independent_apply,
+    set_column_independent,
+)
 from repro.analog.dynamics import (
     LinearFeedbackSystem,
     TransientResult,
@@ -30,7 +36,11 @@ __all__ = [
     "TOPOLOGIES",
     "TopologyDescriptor",
     "TransientResult",
+    "apply_matrix",
+    "column_independent",
+    "column_independent_apply",
     "descriptor",
     "estimate_dominant_eigenvalue",
     "integrate_nonlinear",
+    "set_column_independent",
 ]

@@ -1,0 +1,75 @@
+"""Column-independent matrix application for multi-tenant serving.
+
+BLAS matrix products are *not* bitwise column-decomposable: the kernel a
+``gemm``/``trsm`` call picks depends on the right-hand-side width, so the
+floating-point reduction order for column ``j`` changes with how many
+siblings ride in the same call.  For a single caller that is irrelevant —
+the differences sit at the 1e-16 level, far under the analog noise floor.
+For the serve layer it is not: cross-request coalescing merges RHS
+columns from *different* clients into one engine call, and a client's
+answer must not depend on which strangers happened to share its dispatch
+window (or on a sibling's mid-window cancellation changing the batch
+width).
+
+``apply_matrix`` provides the guarantee: with the mode enabled, every
+dense apply in the circuit hot paths goes through ``np.einsum`` on
+C-contiguous operands, whose per-output-element reduction order is fixed
+regardless of batch width — column ``j`` of a ``(n, k)`` apply is bitwise
+identical to the same column applied alone, as a vector, or inside any
+other batch.  The cost is the loss of the BLAS gemm kernel (~4× on the
+raw product), which is noise next to the per-engine-call overhead the
+coalescer amortizes.
+
+The switch is process-global (module state), mirroring the engine's other
+global instrumentation (``dynamics.eig_call_count``).  The serve layer
+enables it for the lifetime of a :class:`~repro.serve.SolveService`;
+direct library users keep full-speed BLAS by default.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+_column_independent = False
+
+
+def column_independent() -> bool:
+    """Whether column-independent (bitwise coalescing-safe) applies are on."""
+    return _column_independent
+
+
+def set_column_independent(enabled: bool) -> bool:
+    """Toggle the mode; returns the previous setting (for restore)."""
+    global _column_independent
+    previous = _column_independent
+    _column_independent = bool(enabled)
+    return previous
+
+
+@contextmanager
+def column_independent_apply(enabled: bool = True) -> Iterator[None]:
+    """Scoped toggle — the test suites' spelling."""
+    previous = set_column_independent(enabled)
+    try:
+        yield
+    finally:
+        set_column_independent(previous)
+
+
+def apply_matrix(a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """``a @ x`` (vector or batch), column-independent when the mode is on.
+
+    ``einsum`` honours the memory layout of its operands, so both are
+    forced C-contiguous first — a Fortran-ordered batch must not change
+    the reduction order either.
+    """
+    if not _column_independent:
+        return a @ x
+    a = np.ascontiguousarray(a, dtype=float)
+    x = np.ascontiguousarray(x, dtype=float)
+    if x.ndim == 2:
+        return np.einsum("ij,jk->ik", a, x)
+    return np.einsum("ij,j->i", a, x)

@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.linalg import lu_factor, lu_solve
 
+from repro.analog import determinism
 from repro.analog.blocks import InverterBank
 from repro.analog.dynamics import LinearFeedbackSystem
 from repro.analog.opamp import OpAmpBank, OpAmpParams
@@ -71,6 +72,7 @@ class InvCircuit:
         self._g_tot: np.ndarray | None = None
         self._i_offset: np.ndarray | None = None
         self._lhs_lu = None
+        self._lhs_inv: np.ndarray | None = None
         self._system0: LinearFeedbackSystem | None = None
 
     @property
@@ -122,6 +124,10 @@ class InvCircuit:
             self._system0 = LinearFeedbackSystem(m)
         return self._system0
 
+    def _equilibrium_lhs(self) -> np.ndarray:
+        """Finite-gain equilibrium system matrix ``G + diag(g_tot)/a0``."""
+        return self._signed_matrix() + np.diag(self._node_conductance()) / self.params.a0
+
     def _rhs(self, i_in: np.ndarray) -> np.ndarray:
         """The transient drive ``b`` for input currents (vector or matrix)."""
         g_tot = self._node_conductance()
@@ -162,12 +168,19 @@ class InvCircuit:
         if i_in.shape[0] != self.n or i_in.ndim > 2:
             raise ValueError(f"expected {self.n} input currents (optionally batched)")
         g_tot = self._node_conductance()
-        if self._lhs_lu is None:
-            lhs = self._signed_matrix() + np.diag(g_tot) / self.params.a0
-            self._lhs_lu = lu_factor(lhs)
         offset_rhs = -self._offset_currents() + self.amps.offsets * g_tot
         rhs = -i_in + (offset_rhs[:, None] if i_in.ndim == 2 else offset_rhs)
-        x = lu_solve(self._lhs_lu, rhs)
+        if determinism.column_independent():
+            # Bitwise column-independent path for cross-request coalescing:
+            # an explicit inverse (one factorization per circuit) applied
+            # through the width-invariant einsum kernel.
+            if self._lhs_inv is None:
+                self._lhs_inv = np.linalg.inv(self._equilibrium_lhs())
+            x = determinism.apply_matrix(self._lhs_inv, rhs)
+        else:
+            if self._lhs_lu is None:
+                self._lhs_lu = lu_factor(self._equilibrium_lhs())
+            x = lu_solve(self._lhs_lu, rhs)
         if noisy and self.params.noise_sigma > 0.0:
             x = x + self.rng.normal(0.0, self.params.noise_sigma, size=x.shape)
         clipped = self.params.saturate(x)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analog import determinism
 from repro.analog.blocks import InverterBank, TIABank
 from repro.analog.opamp import OpAmpBank, OpAmpParams
 from repro.analog.results import CircuitSolution
@@ -108,10 +109,10 @@ class MVMCircuit:
                 f"expected {self.g_pos.shape[1]} input voltages "
                 f"(optionally batched), got shape {v_in.shape}"
             )
-        currents = self.g_pos @ v_in
+        currents = determinism.apply_matrix(self.g_pos, v_in)
         if self.g_neg is not None and self.inverters is not None:
             v_neg = self.inverters.invert(v_in, rng=self.rng if noisy else None)
-            currents = currents + self.g_neg @ v_neg
+            currents = currents + determinism.apply_matrix(self.g_neg, v_neg)
         g_node = self._node_conductance()
         if noisy:
             outputs = self.tias.output(currents, g_node, self.rng)

@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.linalg import lu_factor, lu_solve
 
+from repro.analog import determinism
 from repro.analog.dynamics import LinearFeedbackSystem
 from repro.analog.opamp import OpAmpBank, OpAmpParams
 from repro.analog.results import CircuitSolution
@@ -67,6 +68,7 @@ class PinvCircuit:
             raise ValueError("amplifier bank sizes must match the array shape")
         # Persistent-circuit caches (frozen with the planes and g_f).
         self._lhs_lu = None
+        self._lhs_inv: np.ndarray | None = None
         self._system0: LinearFeedbackSystem | None = None
 
     @property
@@ -111,20 +113,11 @@ class PinvCircuit:
         i_in = np.asarray(i_in, dtype=float)
         if i_in.shape[0] != m or i_in.ndim > 2:
             raise ValueError(f"expected {m} input currents (optionally batched)")
-        a0 = self.params.a0
         g_node1, g_node2 = self._g_node1(), self._g_node2()
 
         # Unknowns z = [w (m), x (n)]:
         #   stage 1:  (g_f + (g_node1+g_f)/a0)·w + A1·x = −i + v_os1·(g_node1+g_f)
         #   stage 2:  −A2·w + diag(g_node2)/a0·x = −g_node2·v_os2
-        if self._lhs_lu is None:
-            a1, a2 = self._a1(), self._a2()
-            lhs = np.zeros((m + n, m + n))
-            lhs[:m, :m] = np.diag(self.g_f + (g_node1 + self.g_f) / a0)
-            lhs[:m, m:] = a1
-            lhs[m:, :m] = -a2
-            lhs[m:, m:] = np.diag(g_node2 / a0)
-            self._lhs_lu = lu_factor(lhs)
         offset_rhs = np.concatenate(
             [
                 self.stage1.offsets * (g_node1 + self.g_f),
@@ -137,7 +130,16 @@ class PinvCircuit:
             )
         else:
             rhs = offset_rhs - np.concatenate([i_in, np.zeros(n)])
-        solution = lu_solve(self._lhs_lu, rhs)
+        if determinism.column_independent():
+            # Bitwise column-independent path for cross-request coalescing
+            # (see repro.analog.determinism): explicit inverse + einsum.
+            if self._lhs_inv is None:
+                self._lhs_inv = np.linalg.inv(self._equilibrium_lhs())
+            solution = determinism.apply_matrix(self._lhs_inv, rhs)
+        else:
+            if self._lhs_lu is None:
+                self._lhs_lu = lu_factor(self._equilibrium_lhs())
+            solution = lu_solve(self._lhs_lu, rhs)
         w, x = solution[:m], solution[m:]
         if noisy and self.params.noise_sigma > 0.0:
             x = x + self.rng.normal(0.0, self.params.noise_sigma, size=x.shape)
@@ -149,6 +151,18 @@ class PinvCircuit:
             stable=self.is_stable,
             column_saturated=column_saturated,
         )
+
+    def _equilibrium_lhs(self) -> np.ndarray:
+        """Block system matrix over the stacked unknowns ``[w, x]``."""
+        m, n = self.shape
+        a0 = self.params.a0
+        g_node1, g_node2 = self._g_node1(), self._g_node2()
+        lhs = np.zeros((m + n, m + n))
+        lhs[:m, :m] = np.diag(self.g_f + (g_node1 + self.g_f) / a0)
+        lhs[:m, m:] = self._a1()
+        lhs[m:, :m] = -self._a2()
+        lhs[m:, m:] = np.diag(g_node2 / a0)
+        return lhs
 
     def _homogeneous_system(self) -> LinearFeedbackSystem:
         """Input-free coupled loop over ``[w, x]`` — eigendecomposed once."""

@@ -76,8 +76,9 @@ def stationary_distribution(
     # λ = 1 for the *exact* stochastic matrix, but 4-bit quantization can
     # shrink the realised spectral radius well below that, so the feedback
     # conductance must come from the estimate on the quantized operand
-    # (solver default) — a hardcoded λ̂ near 1 would kill the loop growth.
-    result = solver.eigvec(transition)
+    # (compile default) — a hardcoded λ̂ near 1 would kill the loop growth.
+    with solver.compile(transition, AMCMode.EGV) as operator:
+        result = operator.eigvec()
     vector = result.value
     # Perron vector is non-negative up to analog noise; rectify + L1-normalise.
     vector = np.maximum(vector, 0.0)

@@ -92,10 +92,13 @@ class MacroPool:
         return 1.0 - len(self._free) / len(self.macros)
 
     def owner_stats(self) -> dict[str, dict[str, object]]:
-        """Per-owner residency snapshot for the reporting layer.
+        """Per-owner residency snapshot — a public, side-effect-free poll.
 
         Owners are listed in LRU order (the first entry is the next
-        eviction candidate, unless pinned).
+        eviction candidate, unless pinned).  This is the API the serve
+        layer and tests poll for "who holds the chip" — it never touches
+        LRU order and never raises; historically it was only reachable
+        inside :class:`CapacityError` payloads.
         """
         return {
             owner: {
@@ -105,6 +108,60 @@ class MacroPool:
             }
             for owner, indices in self._owners.items()
         }
+
+    def snapshot(self) -> dict[str, object]:
+        """One-call public snapshot of the pool's residency and counters.
+
+        Everything a scheduler, dashboard, or test needs to reason about
+        capacity without provoking an allocation::
+
+            {
+                "total_macros": 16,
+                "free_macros": 3,
+                "utilization": 0.8125,
+                "owners": {owner: {"macros", "macro_ids", "pinned"}, ...},
+                "pinned_macros": 8,
+                "acquisitions": 41,
+                "evictions": 5,
+            }
+
+        ``owners`` is :meth:`owner_stats` (LRU order).  Reading the
+        snapshot has no side effects — in particular it cannot raise
+        :class:`CapacityError`, unlike the allocation paths that used to
+        be the only way to see these numbers.
+        """
+        owners = self.owner_stats()
+        pinned_macros = sum(
+            int(stats["macros"]) for stats in owners.values() if stats["pinned"]
+        )
+        return {
+            "total_macros": len(self.macros),
+            "free_macros": len(self._free),
+            "utilization": self.utilization,
+            "owners": owners,
+            "pinned_macros": pinned_macros,
+            "acquisitions": self.acquisitions,
+            "evictions": self.evictions,
+        }
+
+    def preempt(self, owner: str) -> bool:
+        """Forcibly evict one resident, *unpinned* owner (scheduler hook).
+
+        The fair-share scheduler uses this to reclaim tiles from
+        over-quota tenants: unlike LRU eviction (which fires as a side
+        effect of someone else's :meth:`acquire`), preemption names its
+        victim.  The owner's ``on_evict`` callback fires exactly as for an
+        LRU eviction, so operator handles mark themselves stale and
+        transparently re-program on next use.
+
+        Returns ``True`` if the owner was evicted, ``False`` if it was not
+        resident or is pinned (a pinned owner is a promise the scheduler
+        must not break — callers decide whether that is an error).
+        """
+        if owner not in self._owners or owner in self._pinned:
+            return False
+        self._evict(owner)
+        return True
 
     def acquire(
         self,

@@ -39,6 +39,7 @@ for its matrix, so repeated calls also avoid re-programming.
 from __future__ import annotations
 
 import hashlib
+import warnings
 import weakref
 from typing import TYPE_CHECKING
 
@@ -433,8 +434,35 @@ class GramcSolver:
         quant_peak: float | None = None,
     ) -> AnalogOperator:
         """Deprecated seed spelling of :meth:`compile` (no λ̂ auto-estimate)."""
+        self._warn_one_shot("program", "compile")
         return self.compile(
             matrix, mode, g_lambda=g_lambda, tag=tag, quant_peak=quant_peak
+        )
+
+    def resident_operators(self) -> "dict[str, AnalogOperator]":
+        """Compile-cache snapshot: digest key → live operator handle.
+
+        The serve layer's coalescer groups requests by exactly these keys,
+        and its fair-share scheduler walks this map to pick preemption
+        victims.  The returned dict is a copy — mutating it does not
+        affect the cache — but the handles are the live shared objects.
+        """
+        return {
+            key: operator
+            for key, operator in self._operators.items()
+            if not operator.closed
+        }
+
+    @staticmethod
+    def _warn_one_shot(name: str, replacement: str) -> None:
+        """Deprecation notice for the stateless seed-era facade paths."""
+        warnings.warn(
+            f"GramcSolver.{name}(matrix, ...) is deprecated: compile the "
+            f"operand once (`op = solver.{replacement}(...)`) and call the "
+            f"handle — one-shot calls hide operator lifetime from the pool "
+            f"and cannot be admitted or coalesced by the serve layer",
+            DeprecationWarning,
+            stacklevel=3,
         )
 
     # --------------------------------------------------------------- programming
@@ -670,6 +698,7 @@ class GramcSolver:
         form runs back-to-back conversions through the same programmed
         hardware, which is how the LeNet-5 demo streams image patches.
         """
+        self._warn_one_shot("mvm", "compile")
         matrix = np.asarray(matrix, dtype=float)
         x = np.asarray(x, dtype=float)
         if matrix.ndim == 2 and (x.ndim == 0 or x.ndim > 2 or x.shape[0] != matrix.shape[1]):
@@ -693,6 +722,7 @@ class GramcSolver:
         resident and pinned between facade calls — repeated solves on
         the same operand re-use the programmed grid).
         """
+        self._warn_one_shot("solve", "compile")
         matrix = np.asarray(matrix, dtype=float)
         if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
             raise ShapeError("solve needs a square matrix")
@@ -712,6 +742,7 @@ class GramcSolver:
 
     def lstsq(self, matrix: np.ndarray, b: np.ndarray) -> SolveResult:
         """Analog least squares ``min‖A·y − b‖`` via the PINV topology."""
+        self._warn_one_shot("lstsq", "compile")
         matrix = np.asarray(matrix, dtype=float)
         b = np.asarray(b, dtype=float)
         if matrix.ndim == 2 and b.shape != (matrix.shape[0],):
@@ -726,6 +757,7 @@ class GramcSolver:
         self, matrix: np.ndarray, lambda_hat: float | None = None, transient: bool = False
     ) -> SolveResult:
         """Dominant eigenvector via the EGV topology (unit norm)."""
+        self._warn_one_shot("eigvec", "compile")
         matrix = np.asarray(matrix, dtype=float)
         if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
             raise ShapeError("eigvec needs a square matrix")

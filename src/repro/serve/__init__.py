@@ -1,0 +1,43 @@
+"""Multi-tenant async solve service over one GRAMC chip.
+
+Many concurrent clients, one chip: admission control with per-tenant
+quotas, cross-request RHS coalescing into batched engine calls,
+fair-share tile scheduling with preemption, and structured backpressure.
+Entry points: :meth:`repro.system.gramc.GramcChip.serve` or
+:class:`SolveService` directly."""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.coalescer import CoalescedBatch, coalesce
+from repro.serve.scheduler import FairShareScheduler
+from repro.serve.service import SolveService
+from repro.serve.tenancy import TenantRegistry, TenantState
+from repro.serve.types import (
+    ColumnRangingError,
+    QuotaExceeded,
+    RequestTimeout,
+    ServeConfig,
+    ServeError,
+    ServiceOverloaded,
+    SolveRequest,
+    TenantQuota,
+    UnknownTenant,
+)
+
+__all__ = [
+    "AdmissionController",
+    "CoalescedBatch",
+    "ColumnRangingError",
+    "FairShareScheduler",
+    "QuotaExceeded",
+    "RequestTimeout",
+    "ServeConfig",
+    "ServeError",
+    "ServiceOverloaded",
+    "SolveRequest",
+    "SolveService",
+    "TenantQuota",
+    "TenantRegistry",
+    "TenantState",
+    "UnknownTenant",
+    "coalesce",
+]

@@ -1,0 +1,208 @@
+"""Cross-request RHS coalescing: one engine call per (operator, kind) group.
+
+The chip's defining economics are *program once, solve many*: a resident
+operator answers a ``(n, k)`` batch in one engine call for nearly the
+price of one column.  Within a dispatch window the coalescer exploits
+that **across tenants**: every request targeting the same resident
+operator (matched by compile-cache digest ``operator.key``) and the same
+verb has its columns concatenated into one batch, executed in one engine
+call, and scattered back column-by-column to each caller's future.
+
+Bit-transparency contract
+-------------------------
+Under the engine's column-independent deterministic mode (enabled for the
+service's lifetime) and a noiseless configuration, a request's scattered
+columns are **bitwise identical** to the same solve issued alone —
+*provided the window's shared TIA feedback ladder is in range for every
+column* (auto-ranging follows the worst column; a window whose columns
+need different ladder codes settles on the worst case, which can move
+siblings' answers at ADC-LSB level).  Failure isolation is per request:
+a column that stays railed after auto-ranging rejects only its own
+future with :class:`~repro.serve.types.ColumnRangingError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import SolveResult
+from repro.serve.tenancy import TenantRegistry
+from repro.serve.types import ColumnRangingError, SolveRequest
+
+
+class CoalescedBatch:
+    """One window group: same operator (by digest), same verb.
+
+    ``execute`` runs on the chip thread (it is plain synchronous solver
+    code); ``scatter`` / ``reject_all`` run on the event loop thread (they
+    touch futures)."""
+
+    def __init__(self, operator, kind: str, requests: "list[SolveRequest]"):
+        self.operator = operator
+        self.kind = kind
+        self.requests = requests
+        self._spans: list[tuple[int, int]] = []
+        offset = 0
+        for request in requests:
+            self._spans.append((offset, offset + request.columns))
+            offset += request.columns
+        self.columns = offset
+
+    # ------------------------------------------------------------- bookkeeping
+
+    def tenant_names(self) -> list[str]:
+        """Distinct participating tenants, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for request in self.requests:
+            seen.setdefault(request.tenant, None)
+        return list(seen)
+
+    def tenant_columns(self) -> dict[str, int]:
+        columns: dict[str, int] = {}
+        for request in self.requests:
+            columns[request.tenant] = columns.get(request.tenant, 0) + request.columns
+        return columns
+
+    def priority(self, registry: TenantRegistry) -> int:
+        return max(
+            registry.get(request.tenant).quota.priority for request in self.requests
+        )
+
+    def deficit(self, registry: TenantRegistry) -> float:
+        return min(
+            registry.get(request.tenant).deficit for request in self.requests
+        )
+
+    # --------------------------------------------------------------- execution
+
+    def execute(self) -> SolveResult:
+        """One batched engine call for the whole group (chip thread)."""
+        if self.kind == "eigvec":
+            # Identical-operand EGV requests dedupe to one settling: the
+            # dominant eigenvector does not depend on any payload.
+            return self.operator.eigvec()
+        columns = []
+        for request in self.requests:
+            payload = np.asarray(request.payload, dtype=float)
+            columns.append(payload.reshape(payload.shape[0], -1))
+        batch = np.concatenate(columns, axis=1)
+        method = getattr(self.operator, self.kind)
+        return method(batch)
+
+    # ----------------------------------------------------------------- scatter
+
+    def scatter(self, result: SolveResult, registry: TenantRegistry) -> None:
+        """Slice the batched result back to each caller's future."""
+        if self.kind == "eigvec":
+            for request in self.requests:
+                self._resolve_one(request, result, registry)
+            return
+        column_saturated = result.column_saturated
+        if column_saturated is None:
+            column_saturated = np.full(self.columns, bool(result.saturated))
+        input_scales = result.input_scales
+        if input_scales is None:
+            input_scales = np.full(self.columns, float(result.input_scale))
+        per_column_attempts = result.per_column_attempts
+        if per_column_attempts is None:
+            per_column_attempts = np.full(self.columns, int(result.attempts))
+        for request, (start, stop) in zip(self.requests, self._spans):
+            sliced = self._slice(
+                result,
+                start,
+                stop,
+                request.vector,
+                column_saturated,
+                input_scales,
+                per_column_attempts,
+            )
+            self._resolve_one(request, sliced, registry)
+
+    def reject_all(self, error: BaseException, registry: TenantRegistry) -> None:
+        """Fail every still-live future in the group with ``error``."""
+        for request in self.requests:
+            if request.future.done():
+                continue
+            registry.get(request.tenant).counters.failed += 1
+            request.future.set_exception(error)
+
+    def _resolve_one(
+        self, request: SolveRequest, result: SolveResult, registry: TenantRegistry
+    ) -> None:
+        counters = registry.get(request.tenant).counters
+        if request.future.done():
+            # Cancelled (or timed out) between window close and scatter:
+            # the chip already did the work, the answer has no taker.
+            return
+        bad = not result.stable or (
+            result.saturated and request.require_in_range
+        )
+        if bad:
+            counters.failed += 1
+            request.future.set_exception(
+                ColumnRangingError(
+                    f"tenant {request.tenant!r} {self.kind} request "
+                    f"{'went unstable' if not result.stable else 'stayed railed after auto-ranging'}"
+                    f" (operator {self.operator.key[:12]}…); coalesced "
+                    f"siblings are unaffected",
+                    result=result,
+                )
+            )
+            return
+        counters.completed += 1
+        counters.columns_dispatched += request.columns
+        request.future.set_result(result)
+
+    def _slice(
+        self,
+        result: SolveResult,
+        start: int,
+        stop: int,
+        vector: bool,
+        column_saturated: np.ndarray,
+        input_scales: np.ndarray,
+        per_column_attempts: np.ndarray,
+    ) -> SolveResult:
+        value = result.value[:, start:stop]
+        reference = result.reference[:, start:stop]
+        scales = np.asarray(input_scales[start:stop], dtype=float)
+        attempts = np.asarray(per_column_attempts[start:stop], dtype=int)
+        saturated = np.asarray(column_saturated[start:stop], dtype=bool)
+        if vector:
+            return SolveResult(
+                mode=result.mode,
+                value=value[:, 0],
+                reference=reference[:, 0],
+                attempts=int(attempts[0]),
+                input_scale=float(scales[0]),
+                stable=result.stable,
+                saturated=bool(saturated[0]),
+                macro_ids=result.macro_ids,
+            )
+        return SolveResult(
+            mode=result.mode,
+            value=value,
+            reference=reference,
+            attempts=int(attempts.max(initial=0)),
+            input_scale=float(scales.max(initial=1.0)),
+            stable=result.stable,
+            saturated=bool(saturated.any()),
+            macro_ids=result.macro_ids,
+            input_scales=scales,
+            per_column_attempts=attempts,
+            column_saturated=saturated,
+        )
+
+
+def coalesce(requests: "list[SolveRequest]") -> "list[CoalescedBatch]":
+    """Group live window requests by (operator digest, verb).
+
+    Requests whose future is already done (cancelled, timed out) must be
+    filtered by the caller — grouping is pure."""
+    groups: dict[tuple[str, str], list[SolveRequest]] = {}
+    for request in requests:
+        groups.setdefault((request.operator.key, request.kind), []).append(request)
+    return [
+        CoalescedBatch(members[0].operator, kind, members)
+        for (_, kind), members in groups.items()
+    ]

@@ -1,0 +1,161 @@
+"""Fair-share dispatch ordering and tile preemption.
+
+Two fairness mechanisms, both cheap:
+
+* **Ordering** — within a window, groups dispatch by (highest priority
+  class first, then lowest weighted deficit).  Each dispatch charges the
+  participating tenants ``columns / weight`` deficit, so a tenant that
+  just got a big batch yields the next tie to its peers — classic
+  deficit/stride scheduling over RHS columns, the unit of chip work.
+
+* **Preemption** — when a dispatch cannot program its operator because
+  the pool is full of *other* tenants' residency, the scheduler evicts
+  one unpinned operator of the most over-share tenant (resident macros
+  furthest above :attr:`TenantQuota.max_macros`) via
+  :meth:`MacroPool.preempt` and lets the dispatch retry.  Eviction goes
+  through the pool's normal ``on_evict`` callback, so the victim handle
+  marks itself stale and transparently re-programs on its owner's next
+  request — preemption costs the victim a re-program, never correctness.
+"""
+
+from __future__ import annotations
+
+from repro.core.pool import MacroPool
+from repro.serve.coalescer import CoalescedBatch
+from repro.serve.tenancy import TenantRegistry, TenantState
+
+
+def _operator_owner_names(operator) -> list[str]:
+    """All pool owner entries backing a handle, including a PINV
+    transpose plane (which is its own handle with its own tile owners)."""
+    names = list(operator.owner_names())
+    transpose = getattr(operator, "_transpose", None)
+    if transpose is not None:
+        names.extend(transpose.owner_names())
+    return names
+
+
+class FairShareScheduler:
+    """Orders window groups and reclaims tiles from over-share tenants."""
+
+    def __init__(self, registry: TenantRegistry, pool: MacroPool):
+        self._registry = registry
+        self._pool = pool
+
+    # ---------------------------------------------------------------- ordering
+
+    def order(self, batches: "list[CoalescedBatch]") -> "list[CoalescedBatch]":
+        return sorted(
+            batches,
+            key=lambda batch: (
+                -batch.priority(self._registry),
+                batch.deficit(self._registry),
+            ),
+        )
+
+    def charge(self, batch: CoalescedBatch) -> None:
+        """Account a dispatched batch against its tenants' deficits."""
+        for tenant, columns in batch.tenant_columns().items():
+            state = self._registry.get(tenant)
+            state.deficit += columns / state.quota.weight
+
+    # -------------------------------------------------------------- preemption
+
+    def resident_macros(self, state: TenantState) -> int:
+        """Macros currently resident for a tenant's service-compiled set."""
+        owner_stats = self._pool.owner_stats()
+        total = 0
+        for operator in state.operators.values():
+            for owner in _operator_owner_names(operator):
+                stats = owner_stats.get(owner)
+                if stats is not None:
+                    total += int(stats["macros"])
+        return total
+
+    def reclaim_for(self, batch: CoalescedBatch) -> int:
+        """Fairness-steered eviction *before* a non-resident dispatch.
+
+        The pool's own LRU eviction picks the least-recently-used victim,
+        which under contention can be an under-quota tenant's hot
+        operator.  When the batch's operator needs programming and the
+        free list looks short, this preempts operators of *strictly
+        over-share* tenants first (never the batch's own), so quota —
+        not recency — decides who loses residency.  Returns the number
+        of operators preempted.  In steady state (everything resident)
+        this is a no-op, preserving zero reprogramming."""
+        operator = batch.operator
+        if getattr(operator, "resident", False):
+            return 0
+        needed = self._estimated_macros(operator)
+        requesting = set(batch.tenant_names())
+        reclaimed = 0
+        while self._pool.free_count < needed:
+            victims = [
+                (self.resident_macros(state) - state.quota.max_macros, state)
+                for state in self._registry
+                if state.name not in requesting and state.operators
+            ]
+            victims = [(over, state) for over, state in victims if over > 0]
+            victims.sort(key=lambda item: -item[0])
+            evicted_one = False
+            for _, state in victims:
+                for candidate in state.operators.values():
+                    if getattr(candidate, "is_pinned", False):
+                        continue
+                    evicted = sum(
+                        self._pool.preempt(owner)
+                        for owner in _operator_owner_names(candidate)
+                    )
+                    if evicted:
+                        state.counters.preemptions += 1
+                        reclaimed += 1
+                        evicted_one = True
+                        break
+                if evicted_one:
+                    break
+            if not evicted_one:
+                break
+        return reclaimed
+
+    @staticmethod
+    def _estimated_macros(operator) -> int:
+        """Macros a programming pass will want (conservative estimate)."""
+        explicit = getattr(operator, "macros", None)
+        if isinstance(explicit, int):
+            return explicit
+        mode = getattr(operator, "mode", None)
+        # A direct handle programs 1-2 macros per plane set; PINV holds
+        # the operand and its transpose plane simultaneously.
+        return 4 if getattr(mode, "value", "") == "pinv" else 2
+
+    def make_room(self, batch: CoalescedBatch) -> bool:
+        """Preempt one operator of the most over-share tenant.
+
+        Returns ``True`` if at least one macro was reclaimed (the caller
+        retries its dispatch), ``False`` if no victim exists — every
+        other resident operator is pinned or belongs to a tenant at or
+        under its share, in which case the dispatch fails with the
+        pool's own :class:`~repro.core.errors.CapacityError` semantics."""
+        requesting = set(batch.tenant_names())
+        candidates: list[tuple[int, TenantState]] = []
+        for state in self._registry:
+            if state.name in requesting or not state.operators:
+                continue
+            over = self.resident_macros(state) - state.quota.max_macros
+            candidates.append((over, state))
+        # Most over-share first (ties: registration order); tenants at or
+        # under their share are still candidates — last — so a full pool
+        # can always be reclaimed from *somebody* unpinned.
+        candidates.sort(key=lambda item: -item[0])
+        for _, state in candidates:
+            for operator in state.operators.values():
+                if getattr(operator, "is_pinned", False):
+                    continue
+                evicted = 0
+                for owner in _operator_owner_names(operator):
+                    if self._pool.preempt(owner):
+                        evicted += 1
+                if evicted:
+                    state.counters.preemptions += 1
+                    return True
+        return False

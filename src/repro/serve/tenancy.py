@@ -1,0 +1,78 @@
+"""Tenant registry: quotas, live pending counts, and fairness deficits.
+
+A *tenant* is an accounting identity, not a connection: one tenant may
+have any number of concurrent coroutines submitting against any number of
+compiled operators.  The registry is the single place the admission
+controller, the fair-share scheduler, and the stats layer meet."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serve.types import TenantQuota, UnknownTenant
+from repro.system.stats import ServiceStats, TenantCounters
+
+
+@dataclass
+class TenantState:
+    """Mutable per-tenant serving state."""
+
+    name: str
+    quota: TenantQuota
+    counters: TenantCounters
+    pending: int = 0
+    """Requests admitted but not yet resolved (queued or in-flight)."""
+    deficit: float = 0.0
+    """Weighted columns dispatched so far — the deficit-fair scheduler
+    dispatches the lowest-deficit tenant first among equal priorities."""
+    operators: dict[str, object] = field(default_factory=dict)
+    """Operator handles compiled through the service on this tenant's
+    behalf, keyed by compile-cache digest — the preemption candidate set."""
+
+
+class TenantRegistry:
+    """All registered tenants of one :class:`SolveService`."""
+
+    def __init__(self, stats: ServiceStats):
+        self._stats = stats
+        self._tenants: dict[str, TenantState] = {}
+
+    def register(self, name: str, quota: TenantQuota | None = None) -> TenantState:
+        """Create (or re-quota) a tenant and return its state."""
+        state = self._tenants.get(name)
+        if state is None:
+            state = TenantState(
+                name=name,
+                quota=quota if quota is not None else TenantQuota(),
+                counters=self._stats.tenant(name),
+            )
+            self._tenants[name] = state
+        elif quota is not None:
+            state.quota = quota
+        return state
+
+    def get(self, name: str) -> TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            raise UnknownTenant(
+                f"tenant {name!r} is not registered with this service; call "
+                f"register_tenant({name!r}) first"
+            )
+        return state
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tenants
+
+    def __iter__(self):
+        return iter(self._tenants.values())
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def queue_depths(self) -> dict[str, int]:
+        """Pending request count per tenant, plus the global total."""
+        depths: dict[str, int] = {
+            state.name: state.pending for state in self._tenants.values()
+        }
+        depths["total"] = sum(depths.values())
+        return depths

@@ -15,7 +15,7 @@ from repro.system.isa import (
     unpack_pool_meta,
     unpack_pool_shape,
 )
-from repro.system.stats import ChipStats
+from repro.system.stats import ChipStats, ServiceStats, TenantCounters
 
 __all__ = [
     "AssemblyError",
@@ -32,6 +32,8 @@ __all__ = [
     "Instruction",
     "Opcode",
     "OutputBuffer",
+    "ServiceStats",
+    "TenantCounters",
     "assemble",
     "disassemble",
     "pack_partners",

@@ -76,6 +76,27 @@ class GramcChip:
         """
         return self.solver.compile(matrix, mode, **kwargs)
 
+    def serve(self, config=None) -> "object":
+        """Multi-tenant async solve service over this chip's macro pool.
+
+        Returns a :class:`~repro.serve.service.SolveService` bound to this
+        chip's solver, pool, and stats: many concurrent clients submit
+        solve/MVM jobs against registered tenants; requests targeting the
+        same resident operator are coalesced into one batched engine call
+        per dispatch window.  Use as an async context manager::
+
+            async with chip.serve() as service:
+                service.register_tenant("alice", TenantQuota(...))
+                op = await service.compile("alice", a, AMCMode.INV)
+                x = await service.solve("alice", op, b)
+
+        Imported lazily so the core system layer has no dependency on the
+        serve package.
+        """
+        from repro.serve.service import SolveService
+
+        return SolveService(solver=self.solver, config=config)
+
     # -- compiled path -------------------------------------------------------------
 
     def load_assembly(self, source: str) -> list[Instruction]:

@@ -96,3 +96,95 @@ class ChipStats:
             "energy_J": self.estimated_energy(),
             "latency_s": self.estimated_latency(),
         }
+
+
+@dataclass
+class TenantCounters:
+    """Request-lifecycle counters for one tenant of the solve service."""
+
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    timed_out: int = 0
+    columns_submitted: int = 0
+    columns_dispatched: int = 0
+    engine_calls: int = 0
+    """Batched engine calls that carried at least one of this tenant's
+    columns (a shared coalesced call counts once per participating
+    tenant)."""
+    preemptions: int = 0
+    """Times one of this tenant's resident operators was preempted by the
+    fair-share scheduler to make room for another tenant."""
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "timed_out": self.timed_out,
+            "columns_submitted": self.columns_submitted,
+            "columns_dispatched": self.columns_dispatched,
+            "engine_calls": self.engine_calls,
+            "preemptions": self.preemptions,
+        }
+
+
+@dataclass
+class ServiceStats:
+    """Aggregated multi-tenant serving counters (updated by the serve layer).
+
+    Sits next to :class:`ChipStats` deliberately: ``ChipStats`` counts what
+    the *hardware* did (solves, conversions, write pulses), ``ServiceStats``
+    counts what the *request layer* did to keep that hardware saturated —
+    admissions, rejections, and how many caller columns each batched engine
+    call amortized.
+    """
+
+    tenants: dict[str, TenantCounters] = field(default_factory=dict)
+    engine_calls: int = 0
+    """Dispatched batched engine calls (one per coalesced window group)."""
+    coalesced_columns: int = 0
+    """RHS columns carried by those calls — ``coalesced_columns /
+    engine_calls`` is the coalescing factor, the serve layer's whole
+    reason to exist."""
+    shed_requests: int = 0
+    """Requests rejected with a structured backpressure error."""
+
+    def tenant(self, name: str) -> TenantCounters:
+        """The (auto-created) counter block for ``name``."""
+        counters = self.tenants.get(name)
+        if counters is None:
+            counters = self.tenants[name] = TenantCounters()
+        return counters
+
+    def record_dispatch(self, tenant_names: "list[str]", columns: int) -> None:
+        """Account one batched engine call carrying ``columns`` columns."""
+        self.engine_calls += 1
+        self.coalesced_columns += columns
+        for name in tenant_names:
+            self.tenant(name).engine_calls += 1
+
+    @property
+    def coalescing_factor(self) -> float:
+        """Mean caller columns per engine call (1.0 = no coalescing win)."""
+        if self.engine_calls == 0:
+            return 0.0
+        return self.coalesced_columns / self.engine_calls
+
+    def summary(self) -> dict[str, object]:
+        """Nested dictionary for report tables and service snapshots."""
+        return {
+            "engine_calls": self.engine_calls,
+            "coalesced_columns": self.coalesced_columns,
+            "coalescing_factor": self.coalescing_factor,
+            "shed_requests": self.shed_requests,
+            "tenants": {
+                name: counters.as_dict() for name, counters in self.tenants.items()
+            },
+        }

@@ -237,3 +237,62 @@ class TestAcquireMany:
         pool.acquire("outsider", 2, on_evict=evicted.append)
         pool.acquire_many([("grid/tile0", 1), ("grid/tile1", 1)])
         assert evicted == ["outsider"]
+
+
+class TestSnapshotAndPreempt:
+    """The public poll/preempt surface the serve layer is built on."""
+
+    def test_snapshot_reports_residency_and_counters(self):
+        pool = _pool(4)
+        pool.acquire("op-a", 2)
+        pool.acquire("op-b", 1)
+        pool.pin("op-a")
+        snap = pool.snapshot()
+        assert snap["total_macros"] == 4
+        assert snap["free_macros"] == 1
+        assert snap["utilization"] == pytest.approx(0.75)
+        assert snap["pinned_macros"] == 2
+        assert snap["owners"]["op-a"]["pinned"] is True
+        assert snap["owners"]["op-b"]["macros"] == 1
+        assert snap["acquisitions"] == 2
+        assert snap["evictions"] == 0
+
+    def test_snapshot_is_side_effect_free_even_when_full_and_pinned(self):
+        # Polling must never allocate, evict, or raise CapacityError —
+        # unlike the allocation paths that used to be the only window
+        # into these numbers.
+        pool = _pool(2)
+        pool.acquire("op-a", 2)
+        pool.pin("op-a")
+        before_order = list(pool.owner_stats())
+        snap = pool.snapshot()
+        assert snap["free_macros"] == 0
+        assert list(pool.owner_stats()) == before_order
+        assert pool.acquisitions == 1
+        assert pool.evictions == 0
+
+    def test_owner_stats_lists_lru_order(self):
+        pool = _pool(4)
+        pool.acquire("first", 1)
+        pool.acquire("second", 1)
+        pool.touch("first")  # now "second" is the LRU eviction candidate
+        assert list(pool.owner_stats()) == ["second", "first"]
+
+    def test_preempt_evicts_named_unpinned_owner(self):
+        pool = _pool(4)
+        evicted = []
+        pool.acquire("victim", 2, on_evict=evicted.append)
+        assert pool.preempt("victim") is True
+        assert not pool.holds("victim")
+        assert pool.free_count == 4
+        assert evicted == ["victim"]  # handle staleness fires as for LRU
+        assert pool.evictions == 1
+
+    def test_preempt_refuses_pinned_and_absent_owners(self):
+        pool = _pool(4)
+        pool.acquire("pinned-op", 1)
+        pool.pin("pinned-op")
+        assert pool.preempt("pinned-op") is False
+        assert pool.holds("pinned-op")
+        assert pool.preempt("never-existed") is False
+        assert pool.evictions == 0

@@ -1,0 +1,56 @@
+"""Fixtures for the multi-tenant serve-layer suite.
+
+The bit-transparency tests need *twin chips*: two independently
+constructed but identically seeded, fully noiseless solver stacks, so a
+coalesced answer on one can be compared bitwise against sequential
+answers on the other.  Noiseless matters: OpAmp/DAC/ADC noise is drawn
+per engine call and sized by the batch shape, so any nonzero sigma makes
+sequential and coalesced runs consume different random streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analog.opamp import OpAmpParams
+from repro.converters.adc import ADCParams
+from repro.converters.dac import DACParams
+from repro.core.pool import MacroPool, PoolConfig
+from repro.core.solver import GramcSolver
+from repro.devices.constants import DeviceStack, VariabilityParams
+
+
+def noiseless_pool_config(num_macros: int = 4, n: int = 16) -> PoolConfig:
+    """A pool whose physics draws no per-solve randomness at all."""
+    return PoolConfig(
+        num_macros=num_macros,
+        rows=n,
+        cols=n,
+        stack=DeviceStack(variability=VariabilityParams(read_noise_sigma=0.0)),
+        opamp=OpAmpParams(noise_sigma=0.0),
+        dac=DACParams(noise_sigma=0.0),
+        adc=ADCParams(noise_sigma=0.0),
+    )
+
+
+def make_noiseless_solver(
+    seed: int = 1234,
+    num_macros: int = 4,
+    n: int = 16,
+    **solver_kwargs,
+) -> GramcSolver:
+    """One deterministic solver stack; same seed ⇒ bitwise-identical twin
+    (device variability is drawn at construction/programming time from
+    the seeded generator, so twins program identical conductances)."""
+    pool = MacroPool(
+        noiseless_pool_config(num_macros, n), rng=np.random.default_rng(seed)
+    )
+    return GramcSolver(
+        pool=pool, rng=np.random.default_rng(seed + 1), **solver_kwargs
+    )
+
+
+@pytest.fixture()
+def solver_twins():
+    """(serve_solver, reference_solver): identically seeded noiseless stacks."""
+    return make_noiseless_solver(seed=7), make_noiseless_solver(seed=7)

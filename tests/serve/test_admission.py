@@ -1,0 +1,125 @@
+"""Admission control: quotas, shedding, and structured backpressure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pool import MacroPool, PoolConfig
+from repro.serve import (
+    AdmissionController,
+    QuotaExceeded,
+    ServeConfig,
+    ServiceOverloaded,
+    SolveRequest,
+    TenantQuota,
+    TenantRegistry,
+    UnknownTenant,
+)
+from repro.system.stats import ServiceStats
+
+
+def _request(tenant: str, columns: int = 1) -> SolveRequest:
+    # Admission never touches the future/operator/payload; placeholders
+    # keep these tests synchronous (no event loop needed).
+    return SolveRequest(
+        tenant=tenant,
+        operator=None,
+        kind="solve",
+        payload=None,
+        future=None,
+        columns=columns,
+    )
+
+
+@pytest.fixture()
+def pool() -> MacroPool:
+    return MacroPool(
+        PoolConfig(num_macros=4, rows=16, cols=16), rng=np.random.default_rng(3)
+    )
+
+
+def _controller(pool, *, global_bound=8, tenant_bound=4):
+    stats = ServiceStats()
+    registry = TenantRegistry(stats)
+    registry.register("alice", TenantQuota(max_pending=tenant_bound))
+    registry.register("bob", TenantQuota(max_pending=tenant_bound))
+    config = ServeConfig(max_pending=global_bound)
+    return (
+        AdmissionController(registry, config, stats, pool.owner_stats),
+        registry,
+        stats,
+    )
+
+
+def test_unknown_tenant_is_rejected(pool):
+    admission, _, _ = _controller(pool)
+    with pytest.raises(UnknownTenant):
+        admission.admit(_request("mallory"))
+
+
+def test_tenant_quota_sheds_with_structured_error(pool):
+    admission, registry, stats = _controller(pool, tenant_bound=2)
+    for _ in range(2):
+        admission.admit(_request("alice"))
+    with pytest.raises(QuotaExceeded) as excinfo:
+        admission.admit(_request("alice"))
+    error = excinfo.value
+    # Every rejection is a structured backpressure error with the pool
+    # ownership and queue depths attached.
+    assert isinstance(error, ServiceOverloaded)
+    assert error.tenant == "alice"
+    assert isinstance(error.owner_stats, dict)
+    assert error.queue_depths["alice"] == 2
+    assert error.queue_depths["total"] == 2
+    counters = stats.tenant("alice")
+    assert counters.submitted == 3
+    assert counters.admitted == 2
+    assert counters.rejected == 1
+    assert stats.shed_requests == 1
+    # Bob is unaffected by Alice's quota.
+    admission.admit(_request("bob"))
+
+
+def test_global_bound_sheds_any_tenant(pool):
+    admission, _, stats = _controller(pool, global_bound=3, tenant_bound=100)
+    admission.admit(_request("alice"))
+    admission.admit(_request("alice"))
+    admission.admit(_request("bob"))
+    with pytest.raises(ServiceOverloaded) as excinfo:
+        admission.admit(_request("bob"))
+    assert not isinstance(excinfo.value, QuotaExceeded)
+    assert excinfo.value.queue_depths["total"] == 3
+    assert stats.shed_requests == 1
+
+
+def test_release_frees_slots(pool):
+    admission, registry, _ = _controller(pool, tenant_bound=1)
+    request = _request("alice")
+    admission.admit(request)
+    with pytest.raises(QuotaExceeded):
+        admission.admit(_request("alice"))
+    admission.release(request)
+    assert registry.get("alice").pending == 0
+    admission.admit(_request("alice"))  # slot is back
+
+
+def test_owner_stats_snapshot_in_rejection_reflects_pool(pool):
+    admission, _, _ = _controller(pool, tenant_bound=1)
+    pool.acquire("resident-op", 2)
+    pool.pin("resident-op")
+    admission.admit(_request("alice"))
+    with pytest.raises(QuotaExceeded) as excinfo:
+        admission.admit(_request("alice"))
+    owner_stats = excinfo.value.owner_stats
+    assert owner_stats["resident-op"]["macros"] == 2
+    assert owner_stats["resident-op"]["pinned"] is True
+
+
+def test_queue_depths_cover_all_tenants(pool):
+    admission, registry, _ = _controller(pool)
+    admission.admit(_request("alice"))
+    admission.admit(_request("alice"))
+    admission.admit(_request("bob"))
+    depths = registry.queue_depths()
+    assert depths == {"alice": 2, "bob": 1, "total": 3}

@@ -1,0 +1,278 @@
+"""End-to-end serve-layer tests against the real analog engine.
+
+The centerpiece is the **bit-transparency contract**: N concurrent
+clients coalesced into one batched engine call receive answers bitwise
+identical to N sequential solve calls on an identically seeded twin chip.
+This holds under the service's column-independent deterministic engine
+mode, a noiseless configuration, and a warmed shared TIA ladder (both
+twins warm with the same full batch so no ladder moves occur during the
+measured solves) — exactly the conditions the serve layer documents."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.analog import column_independent_apply
+from repro.analog.topologies import AMCMode
+from repro.serve import (
+    ColumnRangingError,
+    RequestTimeout,
+    ServeConfig,
+    ServeError,
+    ServiceOverloaded,
+    SolveService,
+    TenantQuota,
+)
+from tests.serve.conftest import make_noiseless_solver
+
+pytestmark = pytest.mark.asyncio
+
+N_CLIENTS = 5
+N = 12
+
+
+def _problem(rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """A well-conditioned operand and unit-peak columns (comparable
+    magnitudes keep the shared TIA ladder still during measurement)."""
+    a = np.eye(N) * 2.0 + rng.normal(0.0, 0.05, (N, N))
+    b = rng.normal(0.0, 1.0, (N, N_CLIENTS))
+    b /= np.max(np.abs(b), axis=0)
+    return a, b
+
+
+def _sequential_columns(solver, a, b) -> list[np.ndarray]:
+    """Reference answers: warm the ladder with the full batch, then solve
+    column by column, all under the engine's deterministic mode."""
+    with column_independent_apply():
+        with solver.compile(a, AMCMode.INV) as op:
+            op.solve(b)  # ladder warm-up, identical on both twins
+            return [op.solve(b[:, j]).value.copy() for j in range(b.shape[1])]
+
+
+async def test_coalesced_answers_are_bitwise_sequential(solver_twins):
+    serve_solver, reference_solver = solver_twins
+    rng = np.random.default_rng(42)
+    a, b = _problem(rng)
+    expected = _sequential_columns(reference_solver, a, b)
+
+    service = SolveService(serve_solver, ServeConfig(window_s=0.05))
+    for j in range(N_CLIENTS):
+        service.register_tenant(f"client{j}")
+    async with service:
+        op = await service.compile("client0", a, AMCMode.INV)
+        await service.solve("client0", op, b)  # same warm-up batch
+        results = await asyncio.gather(
+            *[
+                service.solve(f"client{j}", op, b[:, j])
+                for j in range(N_CLIENTS)
+            ]
+        )
+    # One engine call for the warm-up batch + one for the window.
+    assert service.stats.engine_calls == 2
+    assert service.stats.coalesced_columns == N_CLIENTS * 2
+    for j, result in enumerate(results):
+        assert result.value.shape == (N,)
+        assert np.array_equal(result.value, expected[j]), f"column {j} differs"
+
+
+async def test_mixed_shapes_coalesce_bitwise(solver_twins):
+    serve_solver, reference_solver = solver_twins
+    rng = np.random.default_rng(43)
+    a, b = _problem(rng)
+    # client0: vector col0; client1: (n, 2) batch cols 1-2; client2: vector col3.
+    with column_independent_apply():
+        with reference_solver.compile(a, AMCMode.INV) as op:
+            op.solve(b)  # warm-up
+            want_vec0 = op.solve(b[:, 0]).value.copy()
+            want_mat = op.solve(b[:, 1:3]).value.copy()
+            want_vec3 = op.solve(b[:, 3]).value.copy()
+
+    service = SolveService(serve_solver, ServeConfig(window_s=0.05))
+    for name in ("c0", "c1", "c2"):
+        service.register_tenant(name)
+    async with service:
+        op = await service.compile("c0", a, AMCMode.INV)
+        await service.solve("c0", op, b)  # warm-up
+        r0, r1, r2 = await asyncio.gather(
+            service.solve("c0", op, b[:, 0]),
+            service.solve("c1", op, b[:, 1:3]),
+            service.solve("c2", op, b[:, 3]),
+        )
+    assert np.array_equal(r0.value, want_vec0)
+    assert r1.value.shape == (N, 2)
+    assert np.array_equal(r1.value, want_mat)
+    assert np.array_equal(r2.value, want_vec3)
+
+
+async def test_cancellation_mid_window_leaves_siblings_bitwise(solver_twins):
+    serve_solver, reference_solver = solver_twins
+    rng = np.random.default_rng(44)
+    a, b = _problem(rng)
+    expected = _sequential_columns(reference_solver, a, b)
+
+    service = SolveService(serve_solver, ServeConfig(window_s=0.25))
+    for j in range(N_CLIENTS):
+        service.register_tenant(f"client{j}")
+    async with service:
+        op = await service.compile("client0", a, AMCMode.INV)
+        await service.solve("client0", op, b)  # warm-up
+        tasks = [
+            asyncio.create_task(service.solve(f"client{j}", op, b[:, j]))
+            for j in range(N_CLIENTS)
+        ]
+        await asyncio.sleep(0.02)  # all admitted, window still open
+        tasks[2].cancel()
+        outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+    assert isinstance(outcomes[2], asyncio.CancelledError)
+    for j, outcome in enumerate(outcomes):
+        if j == 2:
+            continue
+        assert np.array_equal(outcome.value, expected[j]), f"column {j} differs"
+    assert service.stats.tenant("client2").cancelled == 1
+    assert service.stats.tenant("client2").completed == 0
+
+
+async def test_ranging_failure_is_isolated_to_its_column():
+    # max_attempts=4 exhausts the ladder + input-shrink budget for the
+    # ill-conditioned axis but leaves the well-conditioned ones in range.
+    solver = make_noiseless_solver(seed=11, max_attempts=4)
+    diag = np.full(8, 2.0)
+    diag[-1] = 2.0 / 15.0  # one quantization level: survives 4-bit mapping
+    a = np.diag(diag)
+    b_good0 = np.eye(8)[0]
+    b_good1 = np.eye(8)[1]
+    b_bad = np.eye(8)[7]  # drives the near-singular axis
+
+    service = SolveService(solver, ServeConfig(window_s=0.05))
+    for name in ("good0", "good1", "bad"):
+        service.register_tenant(name)
+    async with service:
+        op = await service.compile("good0", a, AMCMode.INV)
+        outcomes = await asyncio.gather(
+            service.solve("good0", op, b_good0),
+            service.solve("good1", op, b_good1),
+            service.solve("bad", op, b_bad),
+            return_exceptions=True,
+        )
+    ok0, ok1, failed = outcomes
+    assert not isinstance(ok0, Exception) and ok0.ok
+    assert not isinstance(ok1, Exception) and ok1.ok
+    assert isinstance(failed, ColumnRangingError)
+    assert failed.result is not None and failed.result.saturated
+    assert service.stats.tenant("bad").failed == 1
+    assert service.stats.tenant("good0").completed == 1
+    # All three still rode one coalesced engine call.
+    assert service.stats.engine_calls == 1
+
+
+async def test_timeout_raises_request_timeout():
+    solver = make_noiseless_solver(seed=12)
+    service = SolveService(solver, ServeConfig(window_s=0.2))
+    service.register_tenant("slow")
+    async with service:
+        op = await service.compile("slow", np.eye(8) * 2.0, AMCMode.INV)
+        with pytest.raises(RequestTimeout):
+            # The window is still collecting when the deadline fires.
+            await service.solve("slow", op, np.ones(8), timeout=0.01)
+    assert service.stats.tenant("slow").timed_out == 1
+    # The pending slot was returned despite the timeout.
+    assert service.snapshot()["queue_depths"]["total"] == 0
+
+
+async def test_handles_only_rejects_raw_matrices():
+    solver = make_noiseless_solver(seed=13)
+    service = SolveService(solver)
+    service.register_tenant("t")
+    async with service:
+        with pytest.raises(TypeError, match="compiled operator handles only"):
+            await service.solve("t", np.eye(8) * 2.0, np.ones(8))
+
+
+async def test_mode_and_shape_validated_at_submit():
+    solver = make_noiseless_solver(seed=14)
+    service = SolveService(solver)
+    service.register_tenant("t")
+    async with service:
+        op = await service.compile("t", np.eye(8) * 2.0, AMCMode.INV)
+        with pytest.raises(ServeError, match="compiled for mvm"):
+            await service.mvm("t", op, np.ones(8))
+        with pytest.raises(ValueError, match="leading dimension 8"):
+            await service.solve("t", op, np.ones(9))
+        await service.release("t", op)
+        with pytest.raises(ServeError, match="closed"):
+            await service.solve("t", op, np.ones(8))
+
+
+async def test_submit_requires_running_service():
+    solver = make_noiseless_solver(seed=15)
+    service = SolveService(solver)
+    service.register_tenant("t")
+    with pytest.raises(ServeError, match="not running"):
+        await service.solve("t", object(), np.ones(8))
+
+
+async def test_fair_share_preemption_reclaims_over_share_tenant():
+    # Pool of 2 macros: "fair" compiles two resident operators (2 > its
+    # share of 1); "hog"'s evicted operator must preempt fair's tiles.
+    solver = make_noiseless_solver(seed=16, num_macros=2, n=16)
+    service = SolveService(solver, ServeConfig(window_s=0.005))
+    service.register_tenant("hog", TenantQuota(max_macros=1))
+    service.register_tenant("fair", TenantQuota(max_macros=1))
+    async with service:
+        op_h = await service.compile("hog", np.eye(8) * 2.0, AMCMode.INV)
+        await service.compile("fair", np.eye(8) * 3.0, AMCMode.INV)
+        await service.compile("fair", np.eye(8) * 4.0, AMCMode.INV)
+        assert not op_h.resident  # LRU-evicted by fair's compiles
+        result = await service.solve("hog", op_h, np.ones(8))
+        assert result.ok
+    assert service.stats.tenant("fair").preemptions == 1
+
+
+async def test_overload_when_everything_is_pinned():
+    solver = make_noiseless_solver(seed=17, num_macros=1, n=16)
+    service = SolveService(solver, ServeConfig(window_s=0.005))
+    service.register_tenant("hog", TenantQuota(max_macros=0))
+    service.register_tenant("meek")
+    async with service:
+        op_hog = await service.compile("hog", np.eye(8) * 2.0, AMCMode.INV)
+        op_meek = await service.compile("meek", np.eye(8) * 3.0, AMCMode.INV)
+        await service.solve("hog", op_hog, np.ones(8))  # hog resident again
+        op_hog.pin()  # a pinned promise preemption must not break
+        with pytest.raises(ServiceOverloaded) as excinfo:
+            await service.solve("meek", op_meek, np.ones(8))
+        assert excinfo.value.owner_stats  # structured: who holds the chip
+        op_hog.unpin()
+        result = await service.solve("meek", op_meek, np.ones(8))
+        assert result.ok
+
+
+async def test_snapshot_is_side_effect_free_poll():
+    solver = make_noiseless_solver(seed=18)
+    service = SolveService(solver)
+    service.register_tenant("t")
+    async with service:
+        op = await service.compile("t", np.eye(8) * 2.0, AMCMode.INV)
+        op.pin()
+        before = solver.pool.acquisitions
+        snapshot = service.snapshot()
+        assert solver.pool.acquisitions == before  # no allocation happened
+        assert snapshot["running"] is True
+        assert snapshot["pool"]["pinned_macros"] >= 1
+        assert "total" in snapshot["queue_depths"]
+        assert snapshot["service"]["engine_calls"] == 0
+        op.unpin()
+
+
+async def test_service_restores_engine_determinism_mode():
+    from repro.analog import column_independent
+
+    solver = make_noiseless_solver(seed=19)
+    assert not column_independent()
+    service = SolveService(solver)
+    service.register_tenant("t")
+    async with service:
+        assert column_independent()
+    assert not column_independent()
