@@ -8,14 +8,22 @@ sneak a regression past the step that uploads it.
 
 Usage::
 
-    python benchmarks/check_invariants.py BENCH_batch.json BENCH_blocked.json
+    python benchmarks/check_invariants.py [BENCH_a.json ...]
 
-Exit status is non-zero if any recorded result violates its file's
-invariants.  Recognized invariant keys:
+With no arguments every canonical artifact is checked, and a missing
+artifact is a failure — a benchmark that silently stopped writing its
+JSON must not look green.  Exit status is non-zero if any recorded
+result violates its file's invariants.  Recognized invariant keys:
 
 * ``min_speedup`` — every result's ``speedup`` must be ≥ this;
+* ``min_speedup_<suffix>`` — the bound for results named ``*_<suffix>``
+  (e.g. ``min_speedup_512`` gates ``grid_512`` but not ``grid_256``);
 * ``relative_error_max`` / ``<name>_relative_error_max`` — per-result
   override wins over the file-wide bound;
+* ``max_dispatches_per_sweep`` — every recorded ``dispatches_per_sweep``
+  must be ≤ this (the O(1)-dispatch claim, checked from the artifact);
+* ``bitwise_deterministic`` — bare-boolean ``bitwise_*`` results must
+  have recorded ``true``;
 * ``eigs_per_programming_event`` — exact match where recorded;
 * ``reprogramming_events_per_solve`` — exact match where recorded;
 * ``reprogramming_events_steady_state`` / ``pool_evictions_steady_state``
@@ -30,6 +38,28 @@ import json
 import sys
 from pathlib import Path
 
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The artifacts the benchmark suite is expected to produce.  ``main``
+#: with no arguments checks all of them; each must exist and carry a
+#: non-empty invariants block.
+EXPECTED_ARTIFACTS = (
+    "BENCH_batch.json",
+    "BENCH_blocked.json",
+    "BENCH_serve.json",
+    "BENCH_grid.json",
+)
+
+_EXACT_KEYS = (
+    "eigs_per_programming_event",
+    "reprogramming_events_per_solve",
+    "reprogramming_events_steady_state",
+    "pool_evictions_steady_state",
+    "structured_rejections_fraction",
+)
+
+_MIN_SPEEDUP_PREFIX = "min_speedup_"
+
 
 def check_file(path: Path) -> list[str]:
     payload = json.loads(path.read_text())
@@ -42,12 +72,27 @@ def check_file(path: Path) -> list[str]:
         failures.append(f"{path.name}: no results recorded")
     for name, result in results.items():
         where = f"{path.name}:{name}"
-        min_speedup = invariants.get("min_speedup")
-        if min_speedup is not None and "speedup" in result:
-            if result["speedup"] < min_speedup:
+        if not isinstance(result, dict):
+            # Bare flag results, e.g. ``bitwise_deterministic_512``.
+            if (
+                name.startswith("bitwise")
+                and invariants.get("bitwise_deterministic")
+                and result is not True
+            ):
                 failures.append(
-                    f"{where}: speedup {result['speedup']:.2f} < {min_speedup}"
+                    f"{where}: expected bitwise-deterministic, recorded {result}"
                 )
+            continue
+        if "speedup" in result:
+            for key, bound in invariants.items():
+                applies = key == "min_speedup" or (
+                    key.startswith(_MIN_SPEEDUP_PREFIX)
+                    and name.endswith("_" + key[len(_MIN_SPEEDUP_PREFIX):])
+                )
+                if applies and result["speedup"] < bound:
+                    failures.append(
+                        f"{where}: speedup {result['speedup']:.2f} < {bound}"
+                    )
         error_max = invariants.get(
             f"{name}_relative_error_max", invariants.get("relative_error_max")
         )
@@ -57,13 +102,14 @@ def check_file(path: Path) -> list[str]:
                     f"{where}: relative_error {result['relative_error']:.4f} "
                     f"> {error_max}"
                 )
-        for exact_key in (
-            "eigs_per_programming_event",
-            "reprogramming_events_per_solve",
-            "reprogramming_events_steady_state",
-            "pool_evictions_steady_state",
-            "structured_rejections_fraction",
-        ):
+        max_dispatches = invariants.get("max_dispatches_per_sweep")
+        if max_dispatches is not None and "dispatches_per_sweep" in result:
+            if result["dispatches_per_sweep"] > max_dispatches:
+                failures.append(
+                    f"{where}: dispatches_per_sweep "
+                    f"{result['dispatches_per_sweep']:.2f} > {max_dispatches}"
+                )
+        for exact_key in _EXACT_KEYS:
             expected = invariants.get(exact_key)
             if expected is not None and exact_key in result:
                 if result[exact_key] != expected:
@@ -74,17 +120,19 @@ def check_file(path: Path) -> list[str]:
 
 
 def main(argv: list[str]) -> int:
-    if not argv:
-        print("usage: check_invariants.py BENCH_a.json [BENCH_b.json ...]")
-        return 2
+    paths = (
+        [Path(name) for name in argv]
+        if argv
+        else [_REPO_ROOT / name for name in EXPECTED_ARTIFACTS]
+    )
     failures: list[str] = []
-    for name in argv:
-        path = Path(name)
+    for path in paths:
         if not path.exists():
-            failures.append(f"{name}: artifact missing")
+            failures.append(f"{path.name}: artifact missing")
             continue
-        failures.extend(check_file(path))
-        if not any(f.startswith(path.name) for f in failures):
+        file_failures = check_file(path)
+        failures.extend(file_failures)
+        if not file_failures:
             print(f"{path.name}: all invariants hold")
     for failure in failures:
         print(f"INVARIANT VIOLATION: {failure}", file=sys.stderr)

@@ -128,6 +128,27 @@ class InvCircuit:
         """Finite-gain equilibrium system matrix ``G + diag(g_tot)/a0``."""
         return self._signed_matrix() + np.diag(self._node_conductance()) / self.params.a0
 
+    # -- stackable circuit state -------------------------------------------------
+    # The grid engine copies these programming-frozen quantities into its
+    # contiguous 3-D stacks, so they are exposed as cached accessors shared
+    # with static_solve (one factorization per circuit either way).
+
+    def equilibrium_inverse(self) -> np.ndarray:
+        """Cached explicit inverse of the equilibrium system (CI path)."""
+        if self._lhs_inv is None:
+            self._lhs_inv = np.linalg.inv(self._equilibrium_lhs())
+        return self._lhs_inv
+
+    def equilibrium_lu(self):
+        """Cached LU factors ``(lu, piv)`` of the equilibrium system."""
+        if self._lhs_lu is None:
+            self._lhs_lu = lu_factor(self._equilibrium_lhs())
+        return self._lhs_lu
+
+    def offset_rhs(self) -> np.ndarray:
+        """Static offset drive added to every equilibrium right-hand side."""
+        return -self._offset_currents() + self.amps.offsets * self._node_conductance()
+
     def _rhs(self, i_in: np.ndarray) -> np.ndarray:
         """The transient drive ``b`` for input currents (vector or matrix)."""
         g_tot = self._node_conductance()
@@ -167,20 +188,15 @@ class InvCircuit:
         i_in = np.asarray(i_in, dtype=float)
         if i_in.shape[0] != self.n or i_in.ndim > 2:
             raise ValueError(f"expected {self.n} input currents (optionally batched)")
-        g_tot = self._node_conductance()
-        offset_rhs = -self._offset_currents() + self.amps.offsets * g_tot
+        offset_rhs = self.offset_rhs()
         rhs = -i_in + (offset_rhs[:, None] if i_in.ndim == 2 else offset_rhs)
         if determinism.column_independent():
             # Bitwise column-independent path for cross-request coalescing:
             # an explicit inverse (one factorization per circuit) applied
             # through the width-invariant einsum kernel.
-            if self._lhs_inv is None:
-                self._lhs_inv = np.linalg.inv(self._equilibrium_lhs())
-            x = determinism.apply_matrix(self._lhs_inv, rhs)
+            x = determinism.apply_matrix(self.equilibrium_inverse(), rhs)
         else:
-            if self._lhs_lu is None:
-                self._lhs_lu = lu_factor(self._equilibrium_lhs())
-            x = lu_solve(self._lhs_lu, rhs)
+            x = lu_solve(self.equilibrium_lu(), rhs)
         if noisy and self.params.noise_sigma > 0.0:
             x = x + self.rng.normal(0.0, self.params.noise_sigma, size=x.shape)
         clipped = self.params.saturate(x)

@@ -97,6 +97,10 @@ class MVMCircuit:
             self._g_node = total
         return self._g_node
 
+    def node_conductance(self) -> np.ndarray:
+        """Programming-frozen per-row loading — stackable circuit state."""
+        return self._node_conductance()
+
     def solve(self, v_in: np.ndarray, noisy: bool = True) -> CircuitSolution:
         """One analog multiply: column voltages in, TIA row voltages out.
 

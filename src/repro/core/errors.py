@@ -17,6 +17,9 @@ failure families:
 * :class:`ConvergenceError` — the analog loop cannot produce an answer
   (no positive dominant eigenvalue, a collapsed eigenvector, a railed
   solve that auto-ranging could not rescue).
+* :class:`BackendError` — the requested compute backend does not exist
+  or cannot be constructed.  Carries the offending name and the set of
+  registered backends so tooling can render an actionable message.
 """
 
 from __future__ import annotations
@@ -36,3 +39,26 @@ class CapacityError(GramcError, ValueError):
 
 class ConvergenceError(GramcError):
     """The analog circuit cannot converge to a meaningful solution."""
+
+
+class BackendError(GramcError, ValueError):
+    """An unknown or unusable compute backend was requested.
+
+    Attributes
+    ----------
+    requested:
+        The backend name that failed to resolve.
+    available:
+        Tuple of registered backend names at the time of the failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        requested: str | None = None,
+        available: tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.requested = requested
+        self.available = tuple(available)

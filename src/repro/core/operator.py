@@ -408,6 +408,7 @@ class AnalogOperator:
                 max_attempts=solver.max_attempts,
             )
             total_attempts += attempts
+            solver._record_dispatch(attempts)
             any_saturated |= saturated
             if column_saturated is not None:
                 tile_columns = (
@@ -476,6 +477,7 @@ class AnalogOperator:
             max_attempts=solver.max_attempts,
         )
         solver.solve_counts[AMCMode.INV.value] += 1
+        solver._record_dispatch(outcome.attempts)
         solver._record_solve(
             AMCMode.INV,
             self._tile_amplifiers(tile),
@@ -532,6 +534,7 @@ class AnalogOperator:
             max_attempts=solver.max_attempts,
         )
         solver.solve_counts[AMCMode.PINV.value] += 1
+        solver._record_dispatch(outcome.attempts)
         solver._record_solve(
             AMCMode.PINV,
             self._tile_amplifiers(tile_a) + self._tile_amplifiers(tile_at),
@@ -575,6 +578,7 @@ class AnalogOperator:
             value = -value
 
         solver.solve_counts[AMCMode.EGV.value] += 1
+        solver._record_dispatch(1)
         solver._record_solve(
             AMCMode.EGV,
             self._tile_amplifiers(tile),
@@ -637,6 +641,7 @@ class AnalogOperator:
             max_attempts=solver.max_attempts,
         )
         solver.solve_counts[AMCMode.INV.value] += b.shape[1]
+        solver._record_dispatch(outcome.attempts)
         solver._record_solve(
             AMCMode.INV,
             self._tile_amplifiers(tile),
@@ -672,6 +677,7 @@ class AnalogOperator:
             max_attempts=solver.max_attempts,
         )
         solver.solve_counts[AMCMode.PINV.value] += b.shape[1]
+        solver._record_dispatch(outcome.attempts)
         solver._record_solve(
             AMCMode.PINV,
             self._tile_amplifiers(tile_a) + self._tile_amplifiers(tile_at),

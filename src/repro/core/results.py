@@ -51,6 +51,16 @@ class SolveResult:
     converged: bool | None = None
     """Blocked solves: whether the sweep update fell below tolerance
     before the sweep budget ran out.  ``None`` for direct solves."""
+    engine_dispatches: int | None = None
+    """Blocked solves: digital-engine kernel dispatches this solve issued.
+    The stacked grid engine pays a constant number per sweep (one batched
+    kernel per stage); the per-tile baseline pays one per tile per sweep.
+    ``None`` for direct solves."""
+    stack_rebuilds: int | None = None
+    """Blocked solves: stacked slices (re)built for this solve — 0 in
+    steady state, >0 exactly when a crossbar version bump (programming,
+    refresh, preemption) invalidated cached circuit state.  ``None`` for
+    direct solves and the per-tile engine."""
 
     @property
     def ok(self) -> bool:

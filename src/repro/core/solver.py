@@ -48,6 +48,7 @@ import numpy as np
 from repro.analog.egv import estimate_dominant_eigenvalue
 from repro.analog.topologies import AMCMode
 from repro.arrays.mapping import DifferentialMapping
+from repro.core.backend import Backend, resolve_backend
 from repro.core.errors import CapacityError, ConvergenceError, GramcError, ShapeError
 from repro.core.operator import AnalogOperator, TileBinding
 from repro.core.pool import MacroPool, PoolConfig
@@ -147,6 +148,7 @@ class GramcSolver:
         headroom: float = 0.80,
         max_attempts: int = 6,
         stats: "ChipStats | None" = None,
+        backend: "Backend | str | None" = None,
     ):
         self.pool = pool or MacroPool(PoolConfig())
         self.rng = rng if rng is not None else np.random.default_rng(7)
@@ -154,8 +156,11 @@ class GramcSolver:
         self.headroom = headroom
         self.max_attempts = max_attempts
         self.stats = stats
+        self.backend = resolve_backend(backend)
         self._operators: dict[str, AnalogOperator] = {}
         self.solve_counts: dict[str, int] = {m.value: 0 for m in AMCMode}
+        self.engine_dispatches = 0
+        self.stack_rebuilds = 0
 
     # ------------------------------------------------------------------ helpers
 
@@ -200,6 +205,18 @@ class GramcSolver:
         bookkeeping (amplifiers = active rows + cols of the macro config)."""
         if self.stats is not None:
             self.stats.record_solve(mode.value, amplifiers, settling_time)
+
+    def _record_dispatch(self, count: int = 1) -> None:
+        """Count digital-engine kernel dispatches (batched or per-tile)."""
+        self.engine_dispatches += count
+        if self.stats is not None:
+            self.stats.record_dispatches(count)
+
+    def _record_stack_rebuilds(self, count: int = 1) -> None:
+        """Count grid-engine stacked slices invalidated and recopied."""
+        self.stack_rebuilds += count
+        if self.stats is not None:
+            self.stats.record_stack_rebuilds(count)
 
     # --------------------------------------------------------------- compilation
 

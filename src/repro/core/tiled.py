@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.analog.topologies import AMCMode
 from repro.core.errors import CapacityError, ConvergenceError, GramcError, ShapeError
+from repro.core.grid_engine import GridEngine
 from repro.core.results import SolveResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -49,6 +50,83 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.solver import GramcSolver
 
 _METHODS = ("gauss-seidel", "jacobi")
+_ENGINES = ("stacked", "pertile")
+
+
+class _SweepStats:
+    """Per-engine-call diagnostics accumulated across a blocked solve.
+
+    One accumulator serves both sweep engines: the per-tile loop feeds it
+    whole :class:`SolveResult` objects (:meth:`add_result`), the stacked
+    grid engine feeds it the same fields per tile (:meth:`add`) — so the
+    reported totals are engine-independent by construction.
+    """
+
+    def __init__(self, columns: int):
+        self.total_attempts = 0
+        self.stable = True
+        self.saturated = False
+        self.worst_scale = 0.0
+        self.col_scales = np.zeros(columns)
+        self.col_attempts = np.zeros(columns, dtype=int)
+        self.col_saturated = np.zeros(columns, dtype=bool)
+
+    def add_result(self, inner: SolveResult) -> None:
+        self.total_attempts += inner.attempts
+        self.stable &= inner.stable
+        self.saturated |= inner.saturated
+        self.worst_scale = max(self.worst_scale, inner.input_scale)
+        if inner.input_scales is not None:
+            np.maximum(self.col_scales, inner.input_scales, out=self.col_scales)
+        if inner.per_column_attempts is not None:
+            self.col_attempts += inner.per_column_attempts
+        if inner.column_saturated is not None:
+            self.col_saturated |= inner.column_saturated
+
+    def add(
+        self,
+        *,
+        attempts: int,
+        stable: bool,
+        saturated: bool,
+        input_scale: float,
+        input_scales: np.ndarray,
+        column_saturated: np.ndarray,
+    ) -> None:
+        self.total_attempts += attempts
+        self.stable &= stable
+        self.saturated |= saturated
+        self.worst_scale = max(self.worst_scale, input_scale)
+        np.maximum(self.col_scales, input_scales, out=self.col_scales)
+        self.col_attempts += attempts
+        self.col_saturated |= np.asarray(column_saturated, dtype=bool)
+
+    def add_batch(
+        self,
+        *,
+        tiles: int,
+        attempts: int,
+        stable: bool,
+        saturated: bool,
+        input_scale: float,
+        input_scales: np.ndarray,
+        column_saturated: np.ndarray,
+    ) -> None:
+        """Fold a whole stage's single-attempt tiles at once.
+
+        Every accumulator op is associative (sum, max, or), so this is
+        bitwise the per-tile :meth:`add` fold: ``input_scale`` /
+        ``input_scales`` arrive pre-maxed over the stage, ``attempts``
+        pre-summed, and each of the ``tiles`` slots contributed one
+        attempt to every column.
+        """
+        self.total_attempts += attempts
+        self.stable &= stable
+        self.saturated |= saturated
+        self.worst_scale = max(self.worst_scale, input_scale)
+        np.maximum(self.col_scales, input_scales, out=self.col_scales)
+        self.col_attempts += tiles
+        self.col_saturated |= np.asarray(column_saturated, dtype=bool)
 
 
 class TiledOperator:
@@ -109,6 +187,10 @@ class TiledOperator:
         """Lazily compiled MVM views of the diagonal blocks — only built
         when the operator is *applied* (``op @ x``); a pure solve workload
         never pays their macros."""
+        self._engine: GridEngine | None = None
+        """Lazily constructed stacked grid engine; its slices re-sync
+        against the resident circuits at every solve."""
+        self._stackable: bool | None = None
         self._compile_grid()
 
     # ------------------------------------------------------------- compilation
@@ -321,6 +403,7 @@ class TiledOperator:
         self._diag = []
         self._off = {}
         self._diag_mvm = []
+        self._engine = None
         self._closed = True
 
     def __enter__(self) -> "TiledOperator":
@@ -332,6 +415,75 @@ class TiledOperator:
 
     # --------------------------------------------------------------- execution
 
+    def _can_stack(self) -> bool:
+        """Whether the stacked grid engine can run this grid.
+
+        Requires every solve-path block to live on exactly one macro tile
+        and every macro to share the same converter/op-amp parameters (a
+        pool always satisfies the latter — its macros are built from one
+        shared config).  Checked once; the grid's handles are immutable
+        for the operator's lifetime.
+        """
+        if self._stackable is None:
+            handles = self._solve_handles()
+            ok = all(h._tiles is not None and len(h._tiles) == 1 for h in handles)
+            if ok and handles:
+                first = handles[0]._tiles[0].primary
+                macros = [h._tiles[0].primary for h in handles]
+                ok = all(
+                    m.opamp_params == first.opamp_params
+                    and m.dac.params == first.dac.params
+                    and m.adc.params == first.adc.params
+                    for m in macros
+                )
+            self._stackable = ok
+        return self._stackable
+
+    def _grid_engine(self) -> GridEngine:
+        """The stacked engine, built lazily and re-synced for this solve."""
+        if self._engine is None:
+            self._engine = GridEngine(self, self._solver.backend)
+        self._engine.refresh()
+        return self._engine
+
+    def _swept_pertile(
+        self,
+        big_b: np.ndarray,
+        x: np.ndarray,
+        source: np.ndarray,
+        coupled: list[int],
+        stats: _SweepStats,
+    ) -> None:
+        """One grid sweep as the original per-tile Python loop.
+
+        Kept as the reference engine (``engine="pertile"``) and the
+        fallback for grids the stacked engine cannot express; the stacked
+        path is asserted bit-identical to this loop under the
+        deterministic engine mode.
+        """
+        for i in coupled:
+            rows = self._edges[i]
+            residual = np.array(big_b[rows])
+            for j, cols in enumerate(self._edges):
+                coupling = self._off.get((i, j))
+                if coupling is None:
+                    continue  # diagonal, or an all-zero (skipped) block
+                chunk = source[cols]
+                if not chunk.any():
+                    # A_ij·0 ≡ 0 exactly: running the analog MVM on an
+                    # all-zero source (the first Jacobi sweep, untouched
+                    # Gauss-Seidel blocks) would only spend settling
+                    # events digitizing noise — and that noise floor
+                    # under-ranges the shared TIA ladder, forcing a
+                    # re-range round trip once real inputs arrive.
+                    continue
+                product = coupling.mvm(chunk)
+                residual -= product.value
+                stats.add_result(product)
+            inner = self._diag[i].solve(residual)
+            x[rows] = inner.value
+            stats.add_result(inner)
+
     def solve(
         self,
         b: np.ndarray,
@@ -339,6 +491,7 @@ class TiledOperator:
         tolerance: float = 1e-3,
         max_sweeps: int = 40,
         method: str = "gauss-seidel",
+        engine: str = "stacked",
     ) -> SolveResult:
         """Blocked analog solve ``A·y = b`` (``b``: vector or ``(n, k)`` batch).
 
@@ -353,10 +506,20 @@ class TiledOperator:
         ``max_sweeps``; with η-inexact analog steps the attainable
         residual floor is O(η·κ) and is reported (digitally evaluated) in
         ``SolveResult.residual_floor``.
+
+        ``engine`` selects the sweep executor: ``"stacked"`` (default)
+        runs each sweep as a constant number of batched kernels over the
+        :class:`~repro.core.grid_engine.GridEngine`'s stacked circuit
+        state — bit-identical to the loop under the deterministic engine
+        mode — while ``"pertile"`` forces the original one-engine-call-
+        per-tile Python loop (the reference baseline the benchmarks
+        compare against).
         """
         self._require_open()
         if method not in _METHODS:
             raise GramcError(f"method must be one of {_METHODS}, not {method!r}")
+        if engine not in _ENGINES:
+            raise GramcError(f"engine must be one of {_ENGINES}, not {engine!r}")
         b = np.asarray(b, dtype=float)
         n = self.shape[0]
         if b.ndim not in (1, 2) or b.shape[0] != n:
@@ -368,6 +531,9 @@ class TiledOperator:
         batched = b.ndim == 2
         if batched and b.shape[1] == 0:
             return self._empty_result(AMCMode.INV, reference)
+        solver = self._solver
+        dispatches_before = solver.engine_dispatches
+        rebuilds_before = solver.stack_rebuilds
         self._ensure_programmed()
 
         if len(self._edges) == 1:
@@ -378,34 +544,20 @@ class TiledOperator:
             return replace(
                 inner, sweeps=1, residual_floor=floor, converged=True,
                 macro_ids=self.macro_ids,
+                engine_dispatches=solver.engine_dispatches - dispatches_before,
+                stack_rebuilds=solver.stack_rebuilds - rebuilds_before,
             )
 
         big_b = b if batched else b[:, None]
         columns = big_b.shape[1]
         x = np.zeros_like(big_b)
         gauss_seidel = method == "gauss-seidel"
-
-        total_attempts = 0
-        stable = True
-        saturated = False
-        worst_scale = 0.0
-        col_scales = np.zeros(columns)
-        col_attempts = np.zeros(columns, dtype=int)
-        col_saturated = np.zeros(columns, dtype=bool)
-
-        def accumulate(inner: SolveResult) -> None:
-            nonlocal total_attempts, stable, saturated, worst_scale
-            nonlocal col_attempts, col_saturated
-            total_attempts += inner.attempts
-            stable &= inner.stable
-            saturated |= inner.saturated
-            worst_scale = max(worst_scale, inner.input_scale)
-            if inner.input_scales is not None:
-                np.maximum(col_scales, inner.input_scales, out=col_scales)
-            if inner.per_column_attempts is not None:
-                col_attempts += inner.per_column_attempts
-            if inner.column_saturated is not None:
-                col_saturated |= inner.column_saturated
+        stats = _SweepStats(columns)
+        grid = (
+            self._grid_engine()
+            if engine == "stacked" and self._can_stack()
+            else None
+        )
 
         # Blocks with no incoming couplings solve exactly once: their
         # ``x_i = A_ii⁻¹·b_i`` is independent of every other block, so
@@ -416,11 +568,15 @@ class TiledOperator:
             for i in range(len(self._edges))
             if any((i, j) in self._off for j in range(len(self._edges)))
         ]
-        for i, rows in enumerate(self._edges):
-            if i not in coupled:
-                inner = self._diag[i].solve(np.array(big_b[rows]))
-                x[rows] = inner.value
-                accumulate(inner)
+        uncoupled = [i for i in range(len(self._edges)) if i not in coupled]
+        if uncoupled:
+            if grid is not None:
+                grid.presolve_uncoupled(big_b, x, uncoupled, stats)
+            else:
+                for i in uncoupled:
+                    inner = self._diag[i].solve(np.array(big_b[self._edges[i]]))
+                    x[self._edges[i]] = inner.value
+                    stats.add_result(inner)
 
         sweeps = 0
         converged = False
@@ -436,19 +592,10 @@ class TiledOperator:
             # Gauss-Seidel reads the in-place updated iterate; Jacobi the
             # frozen previous sweep.  Same loop, different source view.
             source = x if gauss_seidel else previous
-            for i in coupled:
-                rows = self._edges[i]
-                residual = np.array(big_b[rows])
-                for j, cols in enumerate(self._edges):
-                    coupling = self._off.get((i, j))
-                    if coupling is None:
-                        continue  # diagonal, or an all-zero (skipped) block
-                    product = coupling.mvm(source[cols])
-                    residual -= product.value
-                    accumulate(product)
-                inner = self._diag[i].solve(residual)
-                x[rows] = inner.value
-                accumulate(inner)
+            if grid is not None:
+                grid.sweep(big_b, x, source, coupled, stats, gauss_seidel)
+            else:
+                self._swept_pertile(big_b, x, source, coupled, stats)
             sweeps = sweep
             delta = float(np.linalg.norm(x - previous))
             scale = max(float(np.linalg.norm(x)), 1e-30)
@@ -482,17 +629,19 @@ class TiledOperator:
             mode=AMCMode.INV,
             value=value,
             reference=reference,
-            attempts=total_attempts,
-            input_scale=worst_scale if worst_scale > 0.0 else 1.0,
-            stable=stable,
-            saturated=saturated,
+            attempts=stats.total_attempts,
+            input_scale=stats.worst_scale if stats.worst_scale > 0.0 else 1.0,
+            stable=stats.stable,
+            saturated=stats.saturated,
             macro_ids=self.macro_ids,
-            input_scales=col_scales if batched else None,
-            per_column_attempts=col_attempts if batched else None,
-            column_saturated=col_saturated if batched else None,
+            input_scales=stats.col_scales if batched else None,
+            per_column_attempts=stats.col_attempts if batched else None,
+            column_saturated=stats.col_saturated if batched else None,
             sweeps=sweeps,
             residual_floor=floor,
             converged=converged,
+            engine_dispatches=solver.engine_dispatches - dispatches_before,
+            stack_rebuilds=solver.stack_rebuilds - rebuilds_before,
         )
 
     def _residual_floor(self, b: np.ndarray, value: np.ndarray) -> float:

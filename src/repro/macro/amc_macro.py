@@ -276,13 +276,17 @@ class AMCMacro:
     def _inverter_source(self, partner: "AMCMacro | None") -> "AMCMacro":
         return partner if self.layout is PlaneLayout.PAIRED_ARRAYS and partner else self
 
-    def compute_mvm(
-        self, x_values: np.ndarray, partner: "AMCMacro | None" = None, noisy: bool = True
-    ) -> MacroResult:
-        """One analog multiply: input voltages → ADC'd TIA outputs.
+    def resident_mvm_circuit(
+        self, partner: "AMCMacro | None" = None, noisy: bool = True
+    ) -> tuple[MVMCircuit, tuple]:
+        """The cached MVM circuit plus its residency key.
 
-        ``x_values`` may be 1-D ``(cols,)`` or 2-D ``(cols, batch)``; the
-        batch streams through the resident circuit in one engine call.
+        The key is ``(register word sans g_f, crossbar version, partner
+        fingerprint, noisy)`` — exactly what decides whether the cached
+        planes are still the programmed ones.  The grid engine stores it
+        per stacked slice so that programming, ``refresh`` or preemption
+        invalidates exactly the affected slice, while ``set_g_f`` ladder
+        moves (masked out of the word) never do.
         """
         config = self._check_mode(AMCMode.MVM)
         key = (
@@ -311,22 +315,27 @@ class AMCMacro:
 
         circuit: MVMCircuit = self._resident_circuit("mvm", key, build)
         circuit.set_g_f(config.g_f)  # ladder moves never rebuild the planes
+        return circuit, key
+
+    def compute_mvm(
+        self, x_values: np.ndarray, partner: "AMCMacro | None" = None, noisy: bool = True
+    ) -> MacroResult:
+        """One analog multiply: input voltages → ADC'd TIA outputs.
+
+        ``x_values`` may be 1-D ``(cols,)`` or 2-D ``(cols, batch)``; the
+        batch streams through the resident circuit in one engine call.
+        """
+        circuit, _ = self.resident_mvm_circuit(partner, noisy=noisy)
         v_in = self.dac.convert(x_values, noisy=noisy)
         solution = circuit.solve(v_in, noisy=noisy)
         values = self.adc.sample(solution.outputs, noisy=noisy)
         self._finish(values)
         return MacroResult(values=values, raw=solution.outputs, solution=solution, mode=AMCMode.MVM)
 
-    def compute_inv(
-        self, b_values: np.ndarray, partner: "AMCMacro | None" = None, noisy: bool = True
-    ) -> MacroResult:
-        """One-step inversion: input voltages become currents via ``g_f``.
-
-        ``b_values`` may be 1-D ``(n,)`` or 2-D ``(n, batch)`` — every
-        column shares the resident circuit's one LU factorization and one
-        stability eigendecomposition (``g_f`` scales only the inputs here,
-        so auto-ranging keeps the decomposition too).
-        """
+    def resident_inv_circuit(
+        self, partner: "AMCMacro | None" = None, noisy: bool = True
+    ) -> tuple[InvCircuit, tuple]:
+        """The cached INV circuit plus its residency key (see the MVM twin)."""
         config = self._check_mode(AMCMode.INV)
         key = (
             self._word_key(include_g_f=False),
@@ -352,8 +361,21 @@ class AMCMacro:
             )
 
         circuit: InvCircuit = self._resident_circuit("inv", key, build)
+        return circuit, key
+
+    def compute_inv(
+        self, b_values: np.ndarray, partner: "AMCMacro | None" = None, noisy: bool = True
+    ) -> MacroResult:
+        """One-step inversion: input voltages become currents via ``g_f``.
+
+        ``b_values`` may be 1-D ``(n,)`` or 2-D ``(n, batch)`` — every
+        column shares the resident circuit's one LU factorization and one
+        stability eigendecomposition (``g_f`` scales only the inputs here,
+        so auto-ranging keeps the decomposition too).
+        """
+        circuit, _ = self.resident_inv_circuit(partner, noisy=noisy)
         v_in = self.dac.convert(b_values, noisy=noisy)
-        i_in = config.g_f * v_in  # input conductances from the g_f ladder
+        i_in = self.config.g_f * v_in  # input conductances from the g_f ladder
         solution = circuit.static_solve(i_in, noisy=noisy)
         values = self.adc.sample(solution.outputs, noisy=noisy)
         self._finish(values)

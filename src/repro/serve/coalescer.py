@@ -178,6 +178,9 @@ class CoalescedBatch:
                 stable=result.stable,
                 saturated=bool(saturated[0]),
                 macro_ids=result.macro_ids,
+                sweeps=result.sweeps,
+                engine_dispatches=result.engine_dispatches,
+                stack_rebuilds=result.stack_rebuilds,
             )
         return SolveResult(
             mode=result.mode,
@@ -191,6 +194,9 @@ class CoalescedBatch:
             input_scales=scales,
             per_column_attempts=attempts,
             column_saturated=saturated,
+            sweeps=result.sweeps,
+            engine_dispatches=result.engine_dispatches,
+            stack_rebuilds=result.stack_rebuilds,
         )
 
 

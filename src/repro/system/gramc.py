@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analog.topologies import AMCMode
+from repro.core.backend import resolve_backend
 from repro.core.operator import AnalogOperator
 from repro.core.pool import MacroPool, PoolConfig
 from repro.core.solver import GramcSolver
@@ -41,12 +42,16 @@ class GramcChip:
         pool_config: PoolConfig | None = None,
         rng: np.random.Generator | None = None,
         buffer_capacity: int = 1 << 16,
+        backend: "object | str | None" = None,
     ):
         self.rng = rng if rng is not None else np.random.default_rng(2025)
         self.pool = MacroPool(pool_config or PoolConfig(), rng=self.rng)
         self.global_buffer = GlobalBuffer(buffer_capacity)
         self.stats = ChipStats()
         self.controller = Controller(self.pool.macros, self.global_buffer, stats=self.stats)
+        # Resolved eagerly so an unknown backend name (or a bad
+        # REPRO_BACKEND value) fails at chip construction, not mid-solve.
+        self.backend = resolve_backend(backend)
         self._solver: GramcSolver | None = None
 
     @property
@@ -57,7 +62,9 @@ class GramcChip:
     def solver(self) -> GramcSolver:
         """High-level solver sharing this chip's macros (lazy singleton)."""
         if self._solver is None:
-            self._solver = GramcSolver(pool=self.pool, rng=self.rng, stats=self.stats)
+            self._solver = GramcSolver(
+                pool=self.pool, rng=self.rng, stats=self.stats, backend=self.backend
+            )
         return self._solver
 
     def compile(

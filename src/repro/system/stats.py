@@ -48,9 +48,24 @@ class ChipStats:
     write_pulses: int = 0
     cells_programmed: int = 0
 
+    engine_dispatches: int = 0
+    """Digital-engine kernel dispatches (one batched array kernel or one
+    per-tile compute call each) — the vectorized grid engine's O(1)-per-
+    sweep claim is asserted against this counter."""
+    stack_rebuilds: int = 0
+    """Stacked-slice rebuilds in the grid engine: how many per-tile slices
+    were (re)copied into the contiguous stacks because a crossbar version
+    bump (programming, refresh, preemption) invalidated them."""
+
     def record_instruction(self, name: str, cycles: int = 1) -> None:
         self.instructions[name] += 1
         self.digital_cycles += cycles
+
+    def record_dispatches(self, count: int = 1) -> None:
+        self.engine_dispatches += count
+
+    def record_stack_rebuilds(self, count: int = 1) -> None:
+        self.stack_rebuilds += count
 
     def record_solve(self, mode: str, amplifiers: int, settling_time: float | None) -> None:
         self.analog_solves[mode] += 1
@@ -93,6 +108,8 @@ class ChipStats:
             "adc_conversions": float(self.adc_conversions),
             "write_pulses": float(self.write_pulses),
             "cells_programmed": float(self.cells_programmed),
+            "engine_dispatches": float(self.engine_dispatches),
+            "stack_rebuilds": float(self.stack_rebuilds),
             "energy_J": self.estimated_energy(),
             "latency_s": self.estimated_latency(),
         }

@@ -1,0 +1,153 @@
+"""Pluggable compute backend: selection, registry, and the NumPy kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.backend import (
+    REPRO_BACKEND_ENV,
+    Backend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.core.errors import BackendError, GramcError
+from repro.system.gramc import GramcChip
+
+
+class TestSelection:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(REPRO_BACKEND_ENV, raising=False)
+        backend = get_backend()
+        assert backend.name == "numpy"
+        assert isinstance(backend, Backend)
+
+    def test_env_variable_honored(self, monkeypatch):
+        monkeypatch.setenv(REPRO_BACKEND_ENV, "numpy")
+        assert get_backend().name == "numpy"
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv(REPRO_BACKEND_ENV, "no-such-backend")
+        assert get_backend("numpy").name == "numpy"
+
+    def test_names_are_normalized(self):
+        assert get_backend("  NumPy ").name == "numpy"
+
+    def test_unknown_name_raises_structured_error(self, monkeypatch):
+        monkeypatch.delenv(REPRO_BACKEND_ENV, raising=False)
+        with pytest.raises(BackendError) as excinfo:
+            get_backend("cupy")
+        assert excinfo.value.requested == "cupy"
+        assert "numpy" in excinfo.value.available
+        assert "cupy" in str(excinfo.value)
+
+    def test_unknown_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv(REPRO_BACKEND_ENV, "bogus")
+        with pytest.raises(BackendError) as excinfo:
+            get_backend()
+        assert excinfo.value.requested == "bogus"
+
+    def test_backend_error_is_a_gramc_error(self):
+        # Callers catching the library's base error must see backend
+        # misconfiguration too (it is also a ValueError for generic code).
+        assert issubclass(BackendError, GramcError)
+        assert issubclass(BackendError, ValueError)
+
+    def test_resolve_passes_instances_through(self):
+        backend = NumpyBackend()
+        assert resolve_backend(backend) is backend
+        assert resolve_backend(None).name == "numpy"
+        assert resolve_backend("numpy").name == "numpy"
+
+    def test_register_backend_roundtrip(self):
+        class Custom(NumpyBackend):
+            name = "custom-test"
+
+        register_backend("custom-test", Custom)
+        try:
+            assert "custom-test" in available_backends()
+            assert get_backend("custom-test").name == "custom-test"
+        finally:
+            from repro.core import backend as backend_module
+
+            backend_module._REGISTRY.pop("custom-test", None)
+
+
+class TestChipIntegration:
+    def test_chip_accepts_backend_name(self):
+        chip = GramcChip(backend="numpy")
+        assert chip.backend.name == "numpy"
+        assert chip.solver.backend is chip.backend
+
+    def test_chip_rejects_unknown_backend_at_construction(self):
+        with pytest.raises(BackendError):
+            GramcChip(backend="not-a-backend")
+
+    def test_chip_reads_env(self, monkeypatch):
+        monkeypatch.setenv(REPRO_BACKEND_ENV, "numpy")
+        assert GramcChip().backend.name == "numpy"
+        monkeypatch.setenv(REPRO_BACKEND_ENV, "definitely-wrong")
+        with pytest.raises(BackendError):
+            GramcChip()
+
+
+class TestNumpyKernels:
+    def test_stack_zero_pads_ragged_blocks(self):
+        backend = NumpyBackend()
+        blocks = [np.ones((2, 3)), np.full((3, 2), 2.0)]
+        stacked = backend.stack(blocks, rows=3, cols=3)
+        assert stacked.shape == (2, 3, 3)
+        assert np.array_equal(stacked[0, :2, :3], blocks[0])
+        assert np.all(stacked[0, 2:, :] == 0.0) and np.all(stacked[0, :, 3:] == 0.0)
+        assert np.array_equal(stacked[1, :3, :2], blocks[1])
+        assert np.all(stacked[1, :, 2:] == 0.0)
+
+    def test_batched_matmul_matches_per_slice(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(4, 5, 5))
+        x = rng.normal(size=(4, 5, 3))
+        backend = NumpyBackend()
+        for column_independent in (False, True):
+            out = backend.batched_matmul(a, x, column_independent=column_independent)
+            for t in range(4):
+                np.testing.assert_allclose(out[t], a[t] @ x[t], rtol=1e-12)
+
+    def test_batched_matmul_column_independent_is_bitwise_per_slice(self):
+        """The stacked einsum must reproduce the 2-D deterministic kernel
+        bit for bit — the property the grid engine's contract rests on."""
+        from repro.analog import determinism
+
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(6, 17, 17))
+        a[:, 11:, :] = 0.0  # a ragged zero-padded slice in the stack
+        a[:, :, 13:] = 0.0
+        x = rng.normal(size=(6, 17, 9))
+        out = NumpyBackend().batched_matmul(a, x, column_independent=True)
+        for t in range(6):
+            expected = np.einsum("ij,jk->ik", np.ascontiguousarray(a[t]), np.ascontiguousarray(x[t]))
+            assert np.array_equal(out[t], expected)
+            with determinism.column_independent_apply(True):
+                assert np.array_equal(out[t], determinism.apply_matrix(a[t], x[t]))
+
+    def test_batched_lu_solve_matches_scipy(self):
+        from scipy.linalg import lu_factor, lu_solve
+
+        rng = np.random.default_rng(2)
+        mats = rng.normal(size=(5, 8, 8)) + 8.0 * np.eye(8)
+        rhs = rng.normal(size=(5, 8, 4))
+        factors = [lu_factor(m) for m in mats]
+        lu = np.stack([f[0] for f in factors])
+        piv = np.stack([f[1] for f in factors]).astype(np.int32)
+        out = NumpyBackend().batched_lu_solve(lu, piv, rhs)
+        for t in range(5):
+            assert np.array_equal(out[t], lu_solve(factors[t], rhs[t]))
+
+    def test_scatter_columns(self):
+        out = np.zeros((10, 3))
+        NumpyBackend().scatter_columns(
+            out, [slice(0, 2), slice(5, 8)], [np.ones((2, 3)), np.full((3, 3), 2.0)]
+        )
+        assert np.all(out[0:2] == 1.0)
+        assert np.all(out[5:8] == 2.0)
+        assert np.all(out[2:5] == 0.0) and np.all(out[8:] == 0.0)

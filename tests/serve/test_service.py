@@ -276,3 +276,40 @@ async def test_service_restores_engine_determinism_mode():
     async with service:
         assert column_independent()
     assert not column_independent()
+
+
+async def test_tiled_solve_rides_the_stacked_engine():
+    """A blocked operator served through the service sweeps on the
+    vectorized grid engine: the scattered result surfaces the stacked
+    telemetry (O(block-rows) dispatches per sweep, stack-rebuild counts),
+    and the answer is bitwise the twin chip's direct stacked solve under
+    the service's deterministic engine mode."""
+    serve_solver = make_noiseless_solver(seed=11, num_macros=16, n=32)
+    reference_solver = make_noiseless_solver(seed=11, num_macros=16, n=32)
+    rng = np.random.default_rng(6)
+    n, tile = 32, 8
+    a = np.eye(n) * 4.0 + rng.normal(0.0, 0.05, (n, n))
+    b = rng.normal(0.0, 1.0, (n, 3))
+    b /= np.max(np.abs(b), axis=0)
+
+    with column_independent_apply():
+        with reference_solver.compile(a, AMCMode.INV, tile=tile) as ref:
+            ref_first = ref.solve(b)
+            ref_second = ref.solve(b)
+
+    service = SolveService(serve_solver, ServeConfig(window_s=0.02))
+    service.register_tenant("grid")
+    async with service:
+        op = await service.compile("grid", a, AMCMode.INV, tile=tile)
+        assert op.grid == (4, 4)  # compile kwargs reached the solver
+        first = await service.solve("grid", op, b)
+        second = await service.solve("grid", op, b)
+
+    assert np.array_equal(second.value, ref_second.value)
+    assert first.stack_rebuilds == ref_first.stack_rebuilds > 0
+    assert second.stack_rebuilds == 0  # steady state: stacks stay resident
+    assert second.sweeps == ref_second.sweeps >= 1
+    assert second.engine_dispatches == ref_second.engine_dispatches
+    # ≤ 3 kernels per block-row stage, independent of the tiles per row —
+    # the per-tile loop would pay O(tiles) engine calls per sweep.
+    assert 0 < second.engine_dispatches <= 3 * op.grid[0] * second.sweeps
