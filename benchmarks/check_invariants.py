@@ -9,11 +9,17 @@ sneak a regression past the step that uploads it.
 Usage::
 
     python benchmarks/check_invariants.py [BENCH_a.json ...]
+        [--json-summary PATH] [--markdown-summary PATH]
 
-With no arguments every canonical artifact is checked, and a missing
-artifact is a failure — a benchmark that silently stopped writing its
-JSON must not look green.  Exit status is non-zero if any recorded
-result violates its file's invariants.  Recognized invariant keys:
+With no positional arguments every canonical artifact is checked, and a
+missing artifact is a failure attributed to that file — a benchmark that
+silently stopped writing its JSON must not look green.  Exit status is
+non-zero if any recorded result violates its file's invariants.
+
+``--json-summary`` writes a machine-readable report (per-file pass/fail,
+failure strings, headline numbers); ``--markdown-summary`` appends a
+GitHub-flavoured markdown table of the same headline numbers — point it
+at ``$GITHUB_STEP_SUMMARY`` in CI.  Recognized invariant keys:
 
 * ``min_speedup`` — every result's ``speedup`` must be ≥ this;
 * ``min_speedup_<suffix>`` — the bound for results named ``*_<suffix>``
@@ -24,6 +30,11 @@ result violates its file's invariants.  Recognized invariant keys:
   must be ≤ this (the O(1)-dispatch claim, checked from the artifact);
 * ``bitwise_deterministic`` — bare-boolean ``bitwise_*`` results must
   have recorded ``true``;
+* ``min_refined_residual_improvement`` — every recorded
+  ``residual_improvement`` must be ≥ this (the iterative-refinement
+  accuracy contract: analog floor ÷ refined residual);
+* ``refined_residual_max`` — every recorded ``refined_residual`` must be
+  ≤ this (the ``rtol`` the refined solve contracted for);
 * ``eigs_per_programming_event`` — exact match where recorded;
 * ``reprogramming_events_per_solve`` — exact match where recorded;
 * ``reprogramming_events_steady_state`` / ``pool_evictions_steady_state``
@@ -34,6 +45,7 @@ result violates its file's invariants.  Recognized invariant keys:
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
@@ -48,6 +60,7 @@ EXPECTED_ARTIFACTS = (
     "BENCH_blocked.json",
     "BENCH_serve.json",
     "BENCH_grid.json",
+    "BENCH_refine.json",
 )
 
 _EXACT_KEYS = (
@@ -59,6 +72,20 @@ _EXACT_KEYS = (
 )
 
 _MIN_SPEEDUP_PREFIX = "min_speedup_"
+
+#: Result fields worth surfacing in the human/CI summary, in preference
+#: order (a result contributes the ones it recorded).
+_HEADLINE_KEYS = (
+    "speedup",
+    "relative_error",
+    "residual_floor",
+    "refined_residual",
+    "residual_improvement",
+    "refine_steps",
+    "dispatches_per_sweep",
+    "coalescing_factor",
+    "reprogramming_events_per_solve",
+)
 
 
 def check_file(path: Path) -> list[str]:
@@ -109,6 +136,20 @@ def check_file(path: Path) -> list[str]:
                     f"{where}: dispatches_per_sweep "
                     f"{result['dispatches_per_sweep']:.2f} > {max_dispatches}"
                 )
+        min_improvement = invariants.get("min_refined_residual_improvement")
+        if min_improvement is not None and "residual_improvement" in result:
+            if result["residual_improvement"] < min_improvement:
+                failures.append(
+                    f"{where}: residual_improvement "
+                    f"{result['residual_improvement']:.3e} < {min_improvement:.0e}"
+                )
+        residual_max = invariants.get("refined_residual_max")
+        if residual_max is not None and "refined_residual" in result:
+            if result["refined_residual"] > residual_max:
+                failures.append(
+                    f"{where}: refined_residual "
+                    f"{result['refined_residual']:.3e} > {residual_max:.0e}"
+                )
         for exact_key in _EXACT_KEYS:
             expected = invariants.get(exact_key)
             if expected is not None and exact_key in result:
@@ -119,21 +160,109 @@ def check_file(path: Path) -> list[str]:
     return failures
 
 
-def main(argv: list[str]) -> int:
-    paths = (
-        [Path(name) for name in argv]
-        if argv
-        else [_REPO_ROOT / name for name in EXPECTED_ARTIFACTS]
-    )
-    failures: list[str] = []
+def _headline(result: object) -> dict:
+    if not isinstance(result, dict):
+        return {"value": result}
+    return {key: result[key] for key in _HEADLINE_KEYS if key in result}
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, float):
+        return f"{value:.3g}" if 1e-3 <= abs(value) < 1e4 or value == 0 else f"{value:.2e}"
+    return str(value)
+
+
+def summarize(paths: "list[Path]") -> dict:
+    """Check every path; return the machine-readable report."""
+    files: dict[str, dict] = {}
     for path in paths:
         if not path.exists():
-            failures.append(f"{path.name}: artifact missing")
+            files[path.name] = {
+                "ok": False,
+                "failures": [f"{path.name}: artifact missing"],
+                "results": {},
+            }
             continue
-        file_failures = check_file(path)
-        failures.extend(file_failures)
-        if not file_failures:
-            print(f"{path.name}: all invariants hold")
+        failures = check_file(path)
+        payload = json.loads(path.read_text())
+        files[path.name] = {
+            "ok": not failures,
+            "failures": failures,
+            "results": {
+                name: _headline(result)
+                for name, result in payload.get("results", {}).items()
+            },
+        }
+    return {
+        "ok": all(entry["ok"] for entry in files.values()),
+        "files": files,
+    }
+
+
+def markdown_summary(report: dict) -> str:
+    """Headline numbers as one GitHub-flavoured markdown table."""
+    lines = [
+        "### Benchmark invariants",
+        "",
+        "| artifact | result | status | headline |",
+        "| --- | --- | --- | --- |",
+    ]
+    for file_name, entry in report["files"].items():
+        status = "✅" if entry["ok"] else "❌"
+        if not entry["results"]:
+            lines.append(f"| {file_name} | — | {status} | missing |")
+            continue
+        for result_name, headline in entry["results"].items():
+            numbers = ", ".join(
+                f"{key}={_format_cell(value)}" for key, value in headline.items()
+            )
+            lines.append(
+                f"| {file_name} | {result_name} | {status} | {numbers or '—'} |"
+            )
+    failures = [
+        failure for entry in report["files"].values() for failure in entry["failures"]
+    ]
+    if failures:
+        lines += ["", "**Violations:**", ""]
+        lines += [f"- `{failure}`" for failure in failures]
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "artifacts", nargs="*",
+        help="BENCH_*.json paths (default: every canonical artifact)",
+    )
+    parser.add_argument(
+        "--json-summary", metavar="PATH",
+        help="write the machine-readable per-file report here",
+    )
+    parser.add_argument(
+        "--markdown-summary", metavar="PATH",
+        help="append a markdown headline table here (e.g. $GITHUB_STEP_SUMMARY)",
+    )
+    options = parser.parse_args(argv)
+    paths = (
+        [Path(name) for name in options.artifacts]
+        if options.artifacts
+        else [_REPO_ROOT / name for name in EXPECTED_ARTIFACTS]
+    )
+    report = summarize(paths)
+    if options.json_summary:
+        Path(options.json_summary).write_text(
+            json.dumps(report, indent=2) + "\n"
+        )
+    if options.markdown_summary:
+        with Path(options.markdown_summary).open("a") as handle:
+            handle.write(markdown_summary(report))
+    failures: list[str] = []
+    for file_name, entry in report["files"].items():
+        if entry["ok"]:
+            print(f"{file_name}: all invariants hold")
+        failures.extend(entry["failures"])
     for failure in failures:
         print(f"INVARIANT VIOLATION: {failure}", file=sys.stderr)
     return 1 if failures else 0

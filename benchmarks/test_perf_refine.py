@@ -1,0 +1,165 @@
+"""Iterative-refinement accuracy/perf smoke: ``solve(rtol=...)`` as a contract.
+
+The blocked analog engine stalls at an O(η·κ) residual floor (~4e-2 on
+this bench's 256×256 / 4×4-grid system — see ``BENCH_blocked.json``).
+Digital iterative refinement (:mod:`repro.core.refine`) turns that floor
+into a *contract*: measure the float64 residual, re-solve the correction
+on the already-programmed grid, repeat.  The acceptance bars:
+
+* ``solve(rtol=1e-10)`` must actually deliver ≤ 1e-10 — a residual
+  improvement of ≥ 10⁶ over the raw analog floor;
+* **zero reprogramming events** across the whole refined solve — every
+  correction re-solve rides the resident grid;
+* the per-step residual trace must contract geometrically (each step
+  strictly below the floor of the step before it);
+* refinement cost stays proportional: a refined solve is at most
+  ``(steps + 1) × (1 + slack)`` the wall-clock of the plain analog solve.
+
+Measured numbers land in ``BENCH_refine.json`` with the invariants
+embedded, so CI re-validates the accuracy claim from the artifact itself
+(``benchmarks/check_invariants.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analog.topologies import AMCMode
+from repro.core.pool import MacroPool, PoolConfig
+from repro.core.solver import GramcSolver
+from repro.programming.levels import LevelMap
+from repro.workloads.matrices import block_dominant
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_BENCH_JSON = _REPO_ROOT / "BENCH_refine.json"
+
+_SIZE = 256
+_TILE = 64
+_COLUMNS = 32
+_LEVELS = 256
+_RTOL = 1e-10
+_REPEATS = 2
+
+_MIN_IMPROVEMENT = 1e6
+_REPROGRAMMING_EVENTS = 0
+_MAX_STEPS = 15
+
+
+def _solver() -> GramcSolver:
+    # Same chip sizing as the blocked bench: 40 macros of 64×64 with an
+    # 8-bit level map — the analog floor this bench starts from is the
+    # floor BENCH_blocked.json records.
+    return GramcSolver(
+        pool=MacroPool(
+            PoolConfig(
+                num_macros=40,
+                rows=_TILE,
+                cols=_TILE,
+                level_map=LevelMap(num_levels=_LEVELS),
+            ),
+            rng=np.random.default_rng(20260729),
+        ),
+        rng=np.random.default_rng(17),
+    )
+
+
+@pytest.fixture(scope="module")
+def bench_payload():
+    payload: dict = {
+        "config": {
+            "matrix": f"{_SIZE}x{_SIZE}",
+            "tile": _TILE,
+            "grid": f"{_SIZE // _TILE}x{_SIZE // _TILE}",
+            "columns": _COLUMNS,
+            "levels": _LEVELS,
+            "rtol": _RTOL,
+        },
+        "invariants": {
+            "min_refined_residual_improvement": _MIN_IMPROVEMENT,
+            "reprogramming_events_per_solve": _REPROGRAMMING_EVENTS,
+            "refined_residual_max": _RTOL,
+        },
+        "results": {},
+    }
+    yield payload
+    _BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {_BENCH_JSON}")
+
+
+def test_perf_refined_blocked_solve(bench_payload, best_of):
+    """256×256 blocked solve refined from the analog floor to 1e-10."""
+    rng = np.random.default_rng(3)
+    matrix = block_dominant(_SIZE, _TILE, rng=rng)
+    batch = rng.uniform(-1, 1, size=(_SIZE, _COLUMNS))
+
+    solver = _solver()
+    op = solver.compile(matrix, AMCMode.INV)
+    assert op.grid == (_SIZE // _TILE, _SIZE // _TILE)
+
+    op.solve(batch)  # warm the resident circuits + ranging
+
+    def residual(x: np.ndarray) -> float:
+        return float(
+            np.linalg.norm(batch - matrix @ x) / np.linalg.norm(batch)
+        )
+
+    analog = op.solve(batch)
+    analog_floor = residual(analog.value)
+
+    events_before = op.program_events
+    dispatches_before = solver.refine_dispatches
+    refined = op.solve(batch, rtol=_RTOL)
+    reprogramming = op.program_events - events_before
+    refine_dispatches = solver.refine_dispatches - dispatches_before
+
+    achieved = residual(refined.value)
+    improvement = analog_floor / max(achieved, np.finfo(float).tiny)
+
+    t_analog = best_of(_REPEATS, lambda: op.solve(batch))
+    t_refined = best_of(_REPEATS, lambda: op.solve(batch, rtol=_RTOL))
+
+    bench_payload["results"]["refined_blocked_inv"] = {
+        "analog_floor": analog_floor,
+        "refined_residual": refined.refined_residual,
+        "achieved_residual": achieved,
+        "residual_improvement": improvement,
+        "refine_steps": refined.refine_steps,
+        "refine_dispatches": refine_dispatches,
+        "residual_trace": list(refined.refine_residual_trace),
+        "analog_seconds": t_analog,
+        "refined_seconds": t_refined,
+        "refined_over_analog": t_refined / t_analog,
+        "reprogramming_events_per_solve": reprogramming,
+        "macros": op.macros,
+    }
+    print(
+        f"\nrefined blocked INV {_SIZE}x{_SIZE}, {_COLUMNS} RHS: analog "
+        f"floor {analog_floor:.2e} -> {achieved:.2e} in "
+        f"{refined.refine_steps} steps ({improvement:.1e}x better, "
+        f"{reprogramming} reprogramming events; refined solve "
+        f"{t_refined / t_analog:.1f}x the analog wall-clock)"
+    )
+
+    # The contract itself.
+    assert refined.refined_residual <= _RTOL
+    assert achieved <= 10 * _RTOL  # independent float64 re-measurement
+    assert bool(refined.per_column_converged.all())
+    assert improvement >= _MIN_IMPROVEMENT
+
+    # Program once, refine many: corrections never touch a conductance.
+    assert reprogramming == _REPROGRAMMING_EVENTS
+    assert refine_dispatches > 0  # the work split is observable
+
+    # Geometric contraction: every step strictly improves on the last.
+    trace = refined.refine_residual_trace
+    assert refined.refine_steps <= _MAX_STEPS
+    assert all(later < earlier for earlier, later in zip(trace, trace[1:]))
+
+    # Refinement cost stays proportional to the steps it took: each step
+    # is one more blocked solve (plus cheap float64 residual work).
+    assert t_refined <= (refined.refine_steps + 1) * 3.0 * t_analog
+    op.close()

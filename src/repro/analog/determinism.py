@@ -73,3 +73,28 @@ def apply_matrix(a: np.ndarray, x: np.ndarray) -> np.ndarray:
     if x.ndim == 2:
         return np.einsum("ij,jk->ik", a, x)
     return np.einsum("ij,j->i", a, x)
+
+
+def apply_matrix_per_column(a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """``a @ x`` with each column applied through the *vector* kernel.
+
+    The batched einsum's reduction order is width-stable only for widths
+    ≥ 2 — a ``(n, 1)`` operand dispatches to a different (SIMD) inner
+    loop on some BLAS-free builds, so code whose batch width *changes
+    between calls* (iterative refinement masks converged columns out of
+    each step) cannot rely on :func:`apply_matrix` alone for bitwise
+    column independence.  Applying every column as a vector pins one
+    reduction order for all widths, including 1.  Off-mode this is a
+    plain ``a @ x``.
+    """
+    if not _column_independent:
+        return a @ x
+    if x.ndim == 1:
+        return apply_matrix(a, x)
+    a = np.ascontiguousarray(a, dtype=float)
+    out = np.empty((a.shape[0], x.shape[1]))
+    for j in range(x.shape[1]):
+        out[:, j] = np.einsum(
+            "ij,j->i", a, np.ascontiguousarray(x[:, j], dtype=float)
+        )
+    return out

@@ -4,6 +4,7 @@ from repro.core.errors import CapacityError, ConvergenceError, GramcError, Shape
 from repro.core.iterative import AnalogIterativeSolver, IterativeResult
 from repro.core.operator import AnalogOperator, TileBinding
 from repro.core.pool import MacroPool, PoolConfig
+from repro.core.refine import RefineReport, as_rtol_vector, refine_solution
 from repro.core.results import SolveResult
 from repro.core.solver import GramcSolver, ProgrammedOperator
 from repro.core.tiled import TiledOperator
@@ -19,8 +20,11 @@ __all__ = [
     "MacroPool",
     "PoolConfig",
     "ProgrammedOperator",
+    "RefineReport",
     "ShapeError",
     "SolveResult",
     "TileBinding",
     "TiledOperator",
+    "as_rtol_vector",
+    "refine_solution",
 ]

@@ -38,7 +38,32 @@ class CapacityError(GramcError, ValueError):
 
 
 class ConvergenceError(GramcError):
-    """The analog circuit cannot converge to a meaningful solution."""
+    """The analog circuit cannot converge to a meaningful solution.
+
+    Raised by the iterative-refinement loop with structure attached:
+
+    Attributes
+    ----------
+    steps:
+        Refinement steps applied before divergence was declared
+        (``None`` for non-refinement convergence failures).
+    residual_trace:
+        Worst-column relative residual after each step, starting with
+        the raw analog answer — the evidence for the divergence call.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        steps: "int | None" = None,
+        residual_trace=None,
+    ) -> None:
+        super().__init__(message)
+        self.steps = steps
+        self.residual_trace = (
+            None if residual_trace is None else tuple(float(r) for r in residual_trace)
+        )
 
 
 class BackendError(GramcError, ValueError):

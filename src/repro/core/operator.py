@@ -39,6 +39,7 @@ from repro.analog.topologies import AMCMode
 from repro.arrays.mapping import DifferentialMapping
 from repro.core.errors import CapacityError, GramcError, ShapeError
 from repro.core.ranging import autorange_gain, autorange_gain_batch, autorange_mvm
+from repro.core.refine import DEFAULT_MAX_STEPS, refine_solve_result
 from repro.core.results import SolveResult
 from repro.macro.amc_macro import AMCMacro
 from repro.macro.registers import PlaneLayout
@@ -445,8 +446,53 @@ class AnalogOperator:
             column_saturated=column_saturated,
         )
 
-    def solve(self, b: np.ndarray, _reference: np.ndarray | None = None) -> SolveResult:
-        """Analog one-step linear solve ``A·y = b`` (``b``: vector or batch)."""
+    def solve(
+        self,
+        b: np.ndarray,
+        _reference: np.ndarray | None = None,
+        *,
+        rtol: "float | np.ndarray | None" = None,
+        max_refine_steps: int = DEFAULT_MAX_STEPS,
+    ) -> SolveResult:
+        """Analog linear solve ``A·y = b`` (``b``: vector or batch).
+
+        Without ``rtol`` this is the classic one-step analog solve: one
+        feedback settling, accuracy bounded by quantization/noise at
+        η ≈ 1e-2..1e-1 relative.  **With** ``rtol`` the analog answer is
+        only the first step of a digital iterative-refinement loop
+        (:mod:`repro.core.refine`): the controller measures the float64
+        residual ``b − A·x``, re-solves the correction on this *already
+        programmed* operator (zero reprogramming — one batched engine
+        call per step, over the still-unconverged columns only) and
+        repeats until every column's relative residual meets its target.
+
+        ``rtol`` may be a positive scalar or a per-column ``(k,)``
+        vector; ``inf`` entries ride the shared analog step but skip
+        refinement.  The result's ``refine_steps`` /
+        ``refined_residual`` / ``per_column_converged`` /
+        ``refine_residual_trace`` report the contract's outcome; raises
+        :class:`~repro.core.errors.ConvergenceError` (step trace
+        attached) when refinement diverges — the η·κ ≥ 1 regime where
+        the operand is too ill-conditioned for the analog accuracy.
+        """
+        b = np.asarray(b, dtype=float)
+        base = self._solve_analog(b, _reference)
+        if rtol is None:
+            return base
+        return refine_solve_result(
+            base,
+            matrix=self.matrix,
+            b=b,
+            rtol=rtol,
+            max_steps=max_refine_steps,
+            solve_correction=self._solve_batch,
+            solver=self._solver,
+        )
+
+    def _solve_analog(
+        self, b: np.ndarray, _reference: np.ndarray | None = None
+    ) -> SolveResult:
+        """The raw one-step analog solve (no refinement)."""
         self._require_mode(AMCMode.INV, "solve")
         b = np.asarray(b, dtype=float)
         n = self.shape[0]

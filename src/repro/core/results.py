@@ -61,6 +61,33 @@ class SolveResult:
     steady state, >0 exactly when a crossbar version bump (programming,
     refresh, preemption) invalidated cached circuit state.  ``None`` for
     direct solves and the per-tile engine."""
+    refine_steps: int | None = None
+    """Refined solves (``solve(b, rtol=...)``): digital iterative-
+    refinement steps applied on top of the analog answer (0 when the
+    analog answer already met every column's target).  ``None`` when no
+    ``rtol`` was requested."""
+    refined_residual: float | None = None
+    """Refined solves: worst per-column relative residual
+    ``‖b_j − A·x_j‖/‖b_j‖`` of the returned (refined) solution,
+    evaluated digitally in float64.  ``None`` when no ``rtol`` was
+    requested."""
+    per_column_converged: np.ndarray | None = None
+    """Refined solves: whether each column reached its ``rtol`` target,
+    shape ``(k,)`` bool (``(1,)`` for a vector solve — unlike the other
+    per-column arrays this one is always present on a refined result,
+    since it *is* the contract's verdict).  ``None`` when no ``rtol``
+    was requested."""
+    refine_residual_trace: tuple[float, ...] | None = None
+    """Refined solves: worst-column relative residual after each
+    refinement step, starting with the raw analog answer at index 0 —
+    the accuracy-vs-steps curve of this solve.  ``None`` when no
+    ``rtol`` was requested."""
+    per_column_residual: np.ndarray | None = None
+    """Refined solves: final relative residual of every column, shape
+    ``(k,)`` (``(1,)`` for a vector solve).  Lets a mixed-``rtol``
+    consumer (the serve layer's coalescer) report each caller's own
+    residual instead of the batch-worst.  ``None`` when no ``rtol``
+    was requested."""
 
     @property
     def ok(self) -> bool:

@@ -161,6 +161,8 @@ class GramcSolver:
         self.solve_counts: dict[str, int] = {m.value: 0 for m in AMCMode}
         self.engine_dispatches = 0
         self.stack_rebuilds = 0
+        self.refine_steps = 0
+        self.refine_dispatches = 0
 
     # ------------------------------------------------------------------ helpers
 
@@ -217,6 +219,17 @@ class GramcSolver:
         self.stack_rebuilds += count
         if self.stats is not None:
             self.stats.record_stack_rebuilds(count)
+
+    def _record_refinement(self, steps: int, dispatches: int) -> None:
+        """Account one refined solve's steps and correction dispatches.
+
+        ``dispatches`` is the slice of ``engine_dispatches`` issued by
+        the refinement loop's correction re-solves, so the analog/digital
+        work split of the ``rtol`` contract is observable per chip."""
+        self.refine_steps += steps
+        self.refine_dispatches += dispatches
+        if self.stats is not None:
+            self.stats.record_refinement(steps, dispatches)
 
     # --------------------------------------------------------------- compilation
 
@@ -730,14 +743,22 @@ class GramcSolver:
         finally:
             operator._refs -= 1  # a facade call is not a holder
 
-    def solve(self, matrix: np.ndarray, b: np.ndarray) -> SolveResult:
+    def solve(
+        self,
+        matrix: np.ndarray,
+        b: np.ndarray,
+        *,
+        rtol: "float | np.ndarray | None" = None,
+    ) -> SolveResult:
         """Analog linear solve ``A·y = b``: one INV step, or blocked sweeps.
 
         Systems that fit one array run the direct INV topology; larger
         square systems go through the blocked
         :class:`~repro.core.tiled.TiledOperator` grid (whose macros stay
         resident and pinned between facade calls — repeated solves on
-        the same operand re-use the programmed grid).
+        the same operand re-use the programmed grid).  ``rtol`` requests
+        digital iterative refinement down to the given relative residual
+        (see :mod:`repro.core.refine`).
         """
         self._warn_one_shot("solve", "compile")
         matrix = np.asarray(matrix, dtype=float)
@@ -748,7 +769,7 @@ class GramcSolver:
             raise ShapeError(f"b must have length {matrix.shape[0]}")
         operator = self.compile(matrix, AMCMode.INV)
         try:
-            return operator.solve(b)
+            return operator.solve(b, rtol=rtol)
         finally:
             if isinstance(operator, TiledOperator):
                 # The facade has no close() discipline: leave the grid

@@ -36,6 +36,7 @@ array (or any square operand with an explicit ``tile=``).
 from __future__ import annotations
 
 from dataclasses import replace
+from types import SimpleNamespace
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -43,6 +44,7 @@ import numpy as np
 from repro.analog.topologies import AMCMode
 from repro.core.errors import CapacityError, ConvergenceError, GramcError, ShapeError
 from repro.core.grid_engine import GridEngine
+from repro.core.refine import DEFAULT_MAX_STEPS, refine_solve_result
 from repro.core.results import SolveResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -492,6 +494,8 @@ class TiledOperator:
         max_sweeps: int = 40,
         method: str = "gauss-seidel",
         engine: str = "stacked",
+        rtol: "float | np.ndarray | None" = None,
+        max_refine_steps: int = DEFAULT_MAX_STEPS,
     ) -> SolveResult:
         """Blocked analog solve ``A·y = b`` (``b``: vector or ``(n, k)`` batch).
 
@@ -514,6 +518,20 @@ class TiledOperator:
         mode — while ``"pertile"`` forces the original one-engine-call-
         per-tile Python loop (the reference baseline the benchmarks
         compare against).
+
+        ``rtol`` turns the O(η·κ) floor into a **contract**: after the
+        analog sweeps, digital iterative refinement
+        (:mod:`repro.core.refine`) measures the float64 residual and
+        re-solves the correction on the *already programmed* grid — zero
+        reprogramming, each refinement step one more batched sweep solve
+        over the still-unconverged columns — until every column's
+        relative residual meets its target (scalar or per-column vector;
+        ``inf`` entries skip refinement).  ``refine_steps`` /
+        ``refined_residual`` / ``per_column_converged`` /
+        ``refine_residual_trace`` report the outcome; ``sweeps`` counts
+        base and correction sweeps together.  Raises
+        :class:`~repro.core.errors.ConvergenceError` (step trace
+        attached) when refinement diverges.
         """
         self._require_open()
         if method not in _METHODS:
@@ -530,7 +548,17 @@ class TiledOperator:
         reference = self._ref_inverse @ b
         batched = b.ndim == 2
         if batched and b.shape[1] == 0:
-            return self._empty_result(AMCMode.INV, reference)
+            empty = self._empty_result(AMCMode.INV, reference)
+            if rtol is not None:
+                empty = replace(
+                    empty,
+                    refine_steps=0,
+                    refined_residual=0.0,
+                    per_column_converged=np.zeros(0, dtype=bool),
+                    refine_residual_trace=(0.0,),
+                    per_column_residual=np.zeros(0),
+                )
+            return empty
         solver = self._solver
         dispatches_before = solver.engine_dispatches
         rebuilds_before = solver.stack_rebuilds
@@ -539,7 +567,9 @@ class TiledOperator:
         if len(self._edges) == 1:
             # Degenerate 1×1 grid: exactly the direct single-array path
             # (bit-for-bit — no extra engine calls, no extra noise draws).
-            inner = self._diag[0].solve(b, _reference=reference)
+            inner = self._diag[0].solve(
+                b, _reference=reference, rtol=rtol, max_refine_steps=max_refine_steps
+            )
             floor = self._residual_floor(b, inner.value)
             return replace(
                 inner, sweeps=1, residual_floor=floor, converged=True,
@@ -550,7 +580,6 @@ class TiledOperator:
 
         big_b = b if batched else b[:, None]
         columns = big_b.shape[1]
-        x = np.zeros_like(big_b)
         gauss_seidel = method == "gauss-seidel"
         stats = _SweepStats(columns)
         grid = (
@@ -558,6 +587,94 @@ class TiledOperator:
             if engine == "stacked" and self._can_stack()
             else None
         )
+
+        x, sweeps, converged = self._run_sweeps(
+            big_b, stats,
+            tolerance=tolerance, max_sweeps=max_sweeps,
+            gauss_seidel=gauss_seidel, grid=grid,
+        )
+
+        value = x if batched else x[:, 0]
+        result = SolveResult(
+            mode=AMCMode.INV,
+            value=value,
+            reference=reference,
+            attempts=stats.total_attempts,
+            input_scale=stats.worst_scale if stats.worst_scale > 0.0 else 1.0,
+            stable=stats.stable,
+            saturated=stats.saturated,
+            macro_ids=self.macro_ids,
+            input_scales=stats.col_scales if batched else None,
+            per_column_attempts=stats.col_attempts if batched else None,
+            column_saturated=stats.col_saturated if batched else None,
+            sweeps=sweeps,
+            residual_floor=self._residual_floor(b, value),
+            converged=converged,
+        )
+
+        if rtol is not None:
+            # Each refinement step re-solves the residual on the resident
+            # grid: a fresh block-sweep solve (zero reprogramming) whose
+            # per-column metadata stays local to the step — the returned
+            # per-column arrays describe the base analog step, the scalar
+            # attempts/stable/saturated fold corrections in.
+            correction_sweeps = 0
+
+            def correction(residual: np.ndarray) -> SimpleNamespace:
+                nonlocal correction_sweeps
+                corr_stats = _SweepStats(residual.shape[1])
+                xc, csweeps, _ = self._run_sweeps(
+                    residual, corr_stats,
+                    tolerance=tolerance, max_sweeps=max_sweeps,
+                    gauss_seidel=gauss_seidel, grid=grid,
+                )
+                correction_sweeps += csweeps
+                return SimpleNamespace(
+                    value=xc,
+                    attempts=corr_stats.total_attempts,
+                    stable=corr_stats.stable,
+                    saturated=corr_stats.saturated,
+                )
+
+            result = refine_solve_result(
+                result,
+                matrix=self.matrix,
+                b=b,
+                rtol=rtol,
+                max_steps=max_refine_steps,
+                solve_correction=correction,
+                solver=solver,
+            )
+            result = replace(
+                result,
+                sweeps=sweeps + correction_sweeps,
+                residual_floor=self._residual_floor(b, result.value),
+            )
+
+        return replace(
+            result,
+            engine_dispatches=solver.engine_dispatches - dispatches_before,
+            stack_rebuilds=solver.stack_rebuilds - rebuilds_before,
+        )
+
+    def _run_sweeps(
+        self,
+        big_b: np.ndarray,
+        stats: _SweepStats,
+        *,
+        tolerance: float,
+        max_sweeps: int,
+        gauss_seidel: bool,
+        grid: "GridEngine | None",
+    ) -> tuple[np.ndarray, int, bool]:
+        """One full blocked solve from a zero initial iterate.
+
+        Shared by the base solve and every refinement correction (which
+        re-solves the residual on the same resident grid).  Returns
+        ``(x, sweeps, converged)``; ``stats`` accumulates the engine-call
+        diagnostics of this solve only.
+        """
+        x = np.zeros_like(big_b)
 
         # Blocks with no incoming couplings solve exactly once: their
         # ``x_i = A_ii⁻¹·b_i`` is independent of every other block, so
@@ -622,27 +739,7 @@ class TiledOperator:
             else:
                 stalled = 0
             previous_delta = relative_delta
-
-        value = x if batched else x[:, 0]
-        floor = self._residual_floor(b, value)
-        return SolveResult(
-            mode=AMCMode.INV,
-            value=value,
-            reference=reference,
-            attempts=stats.total_attempts,
-            input_scale=stats.worst_scale if stats.worst_scale > 0.0 else 1.0,
-            stable=stats.stable,
-            saturated=stats.saturated,
-            macro_ids=self.macro_ids,
-            input_scales=stats.col_scales if batched else None,
-            per_column_attempts=stats.col_attempts if batched else None,
-            column_saturated=stats.col_saturated if batched else None,
-            sweeps=sweeps,
-            residual_floor=floor,
-            converged=converged,
-            engine_dispatches=solver.engine_dispatches - dispatches_before,
-            stack_rebuilds=solver.stack_rebuilds - rebuilds_before,
-        )
+        return x, sweeps, converged
 
     def _residual_floor(self, b: np.ndarray, value: np.ndarray) -> float:
         """Digitally evaluated relative residual of the analog solution.

@@ -35,7 +35,7 @@ from repro.analog.mvm import MVMCircuit
 from repro.analog.opamp import OpAmpBank, OpAmpParams
 from repro.analog.pinv import PinvCircuit
 from repro.analog.results import CircuitSolution
-from repro.analog.topologies import AMCMode, descriptor
+from repro.analog.topologies import AMCMode
 from repro.arrays.crossbar import CrossbarArray
 from repro.arrays.mapping import DifferentialMapping
 from repro.converters.adc import ADC, ADCParams
@@ -336,7 +336,7 @@ class AMCMacro:
         self, partner: "AMCMacro | None" = None, noisy: bool = True
     ) -> tuple[InvCircuit, tuple]:
         """The cached INV circuit plus its residency key (see the MVM twin)."""
-        config = self._check_mode(AMCMode.INV)
+        self._check_mode(AMCMode.INV)
         key = (
             self._word_key(include_g_f=False),
             self.array.version,

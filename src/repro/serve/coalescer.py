@@ -87,7 +87,27 @@ class CoalescedBatch:
             columns.append(payload.reshape(payload.shape[0], -1))
         batch = np.concatenate(columns, axis=1)
         method = getattr(self.operator, self.kind)
+        rtol = self._batch_rtol()
+        if rtol is not None:
+            return method(batch, rtol=rtol)
         return method(batch)
+
+    def _batch_rtol(self) -> np.ndarray | None:
+        """Window-wide per-column refinement targets, or ``None``.
+
+        A request without targets contributes ``inf`` entries — its
+        columns ride the shared analog step and are never touched by
+        correction solves, so (column-independent mode) its answer stays
+        bitwise identical to an unrefined window."""
+        if all(request.rtol is None for request in self.requests):
+            return None
+        parts = [
+            request.rtol
+            if request.rtol is not None
+            else np.full(request.columns, np.inf)
+            for request in self.requests
+        ]
+        return np.concatenate(parts)
 
     # ----------------------------------------------------------------- scatter
 
@@ -111,7 +131,7 @@ class CoalescedBatch:
                 result,
                 start,
                 stop,
-                request.vector,
+                request,
                 column_saturated,
                 input_scales,
                 per_column_attempts,
@@ -158,7 +178,7 @@ class CoalescedBatch:
         result: SolveResult,
         start: int,
         stop: int,
-        vector: bool,
+        request: SolveRequest,
         column_saturated: np.ndarray,
         input_scales: np.ndarray,
         per_column_attempts: np.ndarray,
@@ -168,7 +188,8 @@ class CoalescedBatch:
         scales = np.asarray(input_scales[start:stop], dtype=float)
         attempts = np.asarray(per_column_attempts[start:stop], dtype=int)
         saturated = np.asarray(column_saturated[start:stop], dtype=bool)
-        if vector:
+        refine = self._slice_refinement(result, start, stop, request)
+        if request.vector:
             return SolveResult(
                 mode=result.mode,
                 value=value[:, 0],
@@ -181,6 +202,7 @@ class CoalescedBatch:
                 sweeps=result.sweeps,
                 engine_dispatches=result.engine_dispatches,
                 stack_rebuilds=result.stack_rebuilds,
+                **refine,
             )
         return SolveResult(
             mode=result.mode,
@@ -197,7 +219,44 @@ class CoalescedBatch:
             sweeps=result.sweeps,
             engine_dispatches=result.engine_dispatches,
             stack_rebuilds=result.stack_rebuilds,
+            **refine,
         )
+
+    @staticmethod
+    def _slice_refinement(
+        result: SolveResult, start: int, stop: int, request: SolveRequest
+    ) -> dict:
+        """This caller's view of the window's refinement metadata.
+
+        A request that asked for no ``rtol`` gets ``None`` fields even
+        when siblings refined (its answer is the untouched analog step);
+        a refining request gets *its own* per-column verdicts and
+        worst-of-its-columns residual, not the window-wide worst."""
+        if request.rtol is None or result.per_column_converged is None:
+            return {}
+        converged = np.asarray(result.per_column_converged[start:stop], dtype=bool)
+        refine: dict = {
+            "refine_steps": result.refine_steps,
+            "per_column_converged": converged,
+            "refine_residual_trace": result.refine_residual_trace,
+        }
+        if result.per_column_residual is not None:
+            residuals = np.asarray(
+                result.per_column_residual[start:stop], dtype=float
+            )
+            refine["per_column_residual"] = residuals
+            # Scalar residual over this caller's *contracted* columns
+            # (finite targets) — inf entries opted out and sit at the
+            # analog floor by design.
+            tracked = np.isfinite(request.rtol)
+            if not tracked.any():
+                tracked = np.ones(residuals.size, dtype=bool)
+            refine["refined_residual"] = (
+                float(residuals[tracked].max()) if residuals.size else 0.0
+            )
+        else:
+            refine["refined_residual"] = result.refined_residual
+        return refine
 
 
 def coalesce(requests: "list[SolveRequest]") -> "list[CoalescedBatch]":

@@ -38,6 +38,7 @@ import numpy as np
 from repro.analog import determinism
 from repro.analog.topologies import AMCMode
 from repro.core.errors import CapacityError, GramcError, ShapeError
+from repro.core.refine import as_rtol_vector
 from repro.core.results import SolveResult
 from repro.core.solver import GramcSolver
 from repro.serve.admission import AdmissionController
@@ -191,12 +192,20 @@ class SolveService:
     # ------------------------------------------------------------------- submits
 
     async def solve(
-        self, tenant: str, operator, b, *, timeout=None, require_in_range=True
+        self, tenant: str, operator, b, *, timeout=None, require_in_range=True,
+        rtol=None,
     ) -> SolveResult:
-        """``A⁻¹·b`` through a resident INV operator (vector or batch)."""
+        """``A⁻¹·b`` through a resident INV operator (vector or batch).
+
+        ``rtol`` (scalar or per-column vector) requests digital iterative
+        refinement down to that relative residual.  Mixed-``rtol``
+        requests still coalesce: the window shares one analog step and
+        only the columns that asked for refinement pay correction solves
+        — under the service's column-independent deterministic mode a
+        no-``rtol`` sibling's answer is bitwise unaffected."""
         return await self.submit(
             tenant, operator, "solve", b,
-            timeout=timeout, require_in_range=require_in_range,
+            timeout=timeout, require_in_range=require_in_range, rtol=rtol,
         )
 
     async def mvm(
@@ -231,6 +240,7 @@ class SolveService:
         *,
         timeout: float | None = None,
         require_in_range: bool = True,
+        rtol=None,
     ) -> SolveResult:
         """Admit one request and await its scattered result.
 
@@ -239,6 +249,7 @@ class SolveService:
         column (coalesced siblings are unaffected)."""
         self._require_running()
         payload, columns, vector = self._validate(operator, kind, payload)
+        rtol_vector = self._validate_rtol(kind, rtol, columns)
         loop = asyncio.get_running_loop()
         request = SolveRequest(
             tenant=tenant,
@@ -249,6 +260,7 @@ class SolveService:
             columns=columns,
             vector=vector,
             require_in_range=require_in_range,
+            rtol=rtol_vector,
         )
         state = self._admission.admit(request)  # raises the shed errors
         assert self._queue is not None
@@ -404,3 +416,16 @@ class SolveService:
         if columns == 0:
             raise ShapeError(f"{kind} payload has zero columns")
         return payload, columns, vector
+
+    @staticmethod
+    def _validate_rtol(kind: str, rtol, columns: int) -> np.ndarray | None:
+        """Early rtol validation, still in caller context (bad targets
+        must reject *this* submit, never poison a coalesced window)."""
+        if rtol is None:
+            return None
+        if kind != "solve":
+            raise ServeError(
+                f"rtol is an iterative-refinement contract on 'solve' "
+                f"requests; {kind!r} does not support it"
+            )
+        return as_rtol_vector(rtol, columns)

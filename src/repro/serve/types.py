@@ -160,6 +160,12 @@ class SolveRequest:
     require_in_range: bool = True
     """Reject this request with :class:`ColumnRangingError` if any of its
     columns stays railed after auto-ranging (siblings are unaffected)."""
+    rtol: np.ndarray | None = None
+    """``solve`` only: validated per-column refinement targets (shape
+    ``(columns,)``), or ``None`` for a plain analog solve.  The coalescer
+    concatenates these across a window (filling ``inf`` — "no
+    refinement" — for requests without targets), so mixed-accuracy
+    requests share one analog step and refine independently."""
     timed_out: bool = False
     """Set by the submitter when the deadline cancelled the future, so
     the dispatcher does not double-count it as a client cancellation."""

@@ -56,6 +56,15 @@ class ChipStats:
     """Stacked-slice rebuilds in the grid engine: how many per-tile slices
     were (re)copied into the contiguous stacks because a crossbar version
     bump (programming, refresh, preemption) invalidated them."""
+    refine_steps: int = 0
+    """Digital iterative-refinement steps applied across all
+    ``solve(rtol=...)`` calls — each is one float64 residual + one analog
+    correction re-solve on the resident operator."""
+    refine_dispatches: int = 0
+    """Engine kernel dispatches issued *by refinement steps* (a subset of
+    ``engine_dispatches``).  ``engine_dispatches − refine_dispatches`` is
+    the base analog work; the ratio makes the analog/digital work split
+    of the accuracy contract observable."""
 
     def record_instruction(self, name: str, cycles: int = 1) -> None:
         self.instructions[name] += 1
@@ -66,6 +75,12 @@ class ChipStats:
 
     def record_stack_rebuilds(self, count: int = 1) -> None:
         self.stack_rebuilds += count
+
+    def record_refinement(self, steps: int, dispatches: int) -> None:
+        """Account one refined solve: its step count and the engine
+        dispatches those correction re-solves issued."""
+        self.refine_steps += steps
+        self.refine_dispatches += dispatches
 
     def record_solve(self, mode: str, amplifiers: int, settling_time: float | None) -> None:
         self.analog_solves[mode] += 1
@@ -110,6 +125,8 @@ class ChipStats:
             "cells_programmed": float(self.cells_programmed),
             "engine_dispatches": float(self.engine_dispatches),
             "stack_rebuilds": float(self.stack_rebuilds),
+            "refine_steps": float(self.refine_steps),
+            "refine_dispatches": float(self.refine_dispatches),
             "energy_J": self.estimated_energy(),
             "latency_s": self.estimated_latency(),
         }

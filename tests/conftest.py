@@ -11,7 +11,6 @@ from repro.devices.constants import (
     DEFAULT_STACK,
     DeviceStack,
     VariabilityParams,
-    WriteVerifyParams,
 )
 from repro.programming.write_verify import VgEstimator
 

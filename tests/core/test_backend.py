@@ -91,6 +91,18 @@ class TestChipIntegration:
         with pytest.raises(BackendError):
             GramcChip()
 
+    def test_chip_env_rejection_carries_structured_details(self, monkeypatch):
+        """The CI contract, promoted from an inline workflow heredoc: an
+        unknown ``REPRO_BACKEND`` at chip construction must raise the
+        structured error naming exactly what was requested and what the
+        build actually offers — a client script can print a useful
+        message without parsing the string."""
+        monkeypatch.setenv(REPRO_BACKEND_ENV, "definitely-not-a-backend")
+        with pytest.raises(BackendError) as excinfo:
+            GramcChip()
+        assert excinfo.value.requested == "definitely-not-a-backend"
+        assert "numpy" in excinfo.value.available
+
 
 class TestNumpyKernels:
     def test_stack_zero_pads_ragged_blocks(self):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analog.topologies import AMCMode
-from repro.core.errors import CapacityError, GramcError, ShapeError
+from repro.core.errors import GramcError, ShapeError
 from repro.core.pool import PoolConfig
 from repro.system.gramc import GramcChip
 from repro.workloads.matrices import gram, wishart

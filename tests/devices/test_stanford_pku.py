@@ -1,7 +1,5 @@
 """Unit tests for the Stanford-PKU RRAM compact model."""
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given, settings

@@ -10,7 +10,6 @@ topologies (INV) cannot be compensated this way and show the raw damage.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.pool import MacroPool, PoolConfig
 from repro.core.solver import GramcSolver

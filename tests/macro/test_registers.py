@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.analog.topologies import AMCMode
 from repro.macro.registers import (
-    G_F_STEP,
     G_LAMBDA_STEP,
     MacroConfig,
     MacroRole,

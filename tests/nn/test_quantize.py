@@ -1,7 +1,6 @@
 """Quantization and bit-slicing tests."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays

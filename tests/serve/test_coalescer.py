@@ -7,7 +7,6 @@ contract against the real engine lives in ``test_service.py``."""
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analog.topologies import AMCMode
 from repro.core.results import SolveResult
