@@ -40,7 +40,17 @@ at ``$GITHUB_STEP_SUMMARY`` in CI.  Recognized invariant keys:
 * ``reprogramming_events_steady_state`` / ``pool_evictions_steady_state``
   / ``structured_rejections_fraction`` — exact match where recorded
   (the serve-layer bars: coalescing must not churn residency, and every
-  shed request must carry the structured backpressure error).
+  shed request must carry the structured backpressure error);
+* ``max_disabled_overhead_fraction`` — every recorded
+  ``disabled_overhead_fraction`` must be ≤ this (the "disabled tracer is
+  near-free" gate of the observability subsystem).
+
+Additionally, a top-level ``breakdown`` block (written by every bench via
+:func:`repro.obs.report.solve_breakdown`) is re-validated arithmetically:
+component times/energies must be non-negative, ``time_pct`` /
+``energy_pct`` must sum to 100 ± ``breakdown_pct_tolerance`` (default
+0.1) whenever the corresponding total is non-zero, and the
+analog/digital/mixed/wait domain times must partition the total.
 """
 
 from __future__ import annotations
@@ -61,6 +71,7 @@ EXPECTED_ARTIFACTS = (
     "BENCH_serve.json",
     "BENCH_grid.json",
     "BENCH_refine.json",
+    "BENCH_obs.json",
 )
 
 _EXACT_KEYS = (
@@ -72,6 +83,9 @@ _EXACT_KEYS = (
 )
 
 _MIN_SPEEDUP_PREFIX = "min_speedup_"
+
+#: The breakdown's domain-time fields must partition ``total_time_s``.
+_BREAKDOWN_DOMAINS = ("analog_time_s", "digital_time_s", "mixed_time_s", "wait_time_s")
 
 #: Result fields worth surfacing in the human/CI summary, in preference
 #: order (a result contributes the ones it recorded).
@@ -85,7 +99,44 @@ _HEADLINE_KEYS = (
     "dispatches_per_sweep",
     "coalescing_factor",
     "reprogramming_events_per_solve",
+    "spans",
+    "disabled_overhead_fraction",
 )
+
+
+def check_breakdown(payload: dict, where: str) -> list[str]:
+    """Re-verify the ``breakdown`` block's arithmetic from the artifact."""
+    breakdown = payload.get("breakdown")
+    if breakdown is None:
+        return []
+    tolerance = payload.get("invariants", {}).get("breakdown_pct_tolerance", 0.1)
+    failures: list[str] = []
+    components = breakdown.get("components", [])
+    if not components:
+        return [f"{where}: breakdown block has no components"]
+    for row in components:
+        for field in ("time_s", "energy_J", "time_pct", "energy_pct"):
+            if row.get(field, 0.0) < 0.0:
+                failures.append(
+                    f"{where}: breakdown {row.get('component')}.{field} "
+                    f"negative ({row[field]})"
+                )
+    for axis, total_key in (("time_pct", "total_time_s"), ("energy_pct", "total_energy_J")):
+        if breakdown.get(total_key, 0.0) > 0.0:
+            total_pct = sum(row.get(axis, 0.0) for row in components)
+            if abs(total_pct - 100.0) > tolerance:
+                failures.append(
+                    f"{where}: breakdown {axis} sums to {total_pct:.4f}, "
+                    f"not 100 ± {tolerance}"
+                )
+    domain_sum = sum(breakdown.get(field, 0.0) for field in _BREAKDOWN_DOMAINS)
+    total_time = breakdown.get("total_time_s", 0.0)
+    if abs(domain_sum - total_time) > max(1e-9, 1e-6 * max(total_time, 1.0)):
+        failures.append(
+            f"{where}: breakdown domain times sum to {domain_sum!r}, "
+            f"total_time_s is {total_time!r}"
+        )
+    return failures
 
 
 def check_file(path: Path) -> list[str]:
@@ -150,6 +201,13 @@ def check_file(path: Path) -> list[str]:
                     f"{where}: refined_residual "
                     f"{result['refined_residual']:.3e} > {residual_max:.0e}"
                 )
+        max_overhead = invariants.get("max_disabled_overhead_fraction")
+        if max_overhead is not None and "disabled_overhead_fraction" in result:
+            if result["disabled_overhead_fraction"] > max_overhead:
+                failures.append(
+                    f"{where}: disabled_overhead_fraction "
+                    f"{result['disabled_overhead_fraction']:.4f} > {max_overhead}"
+                )
         for exact_key in _EXACT_KEYS:
             expected = invariants.get(exact_key)
             if expected is not None and exact_key in result:
@@ -157,6 +215,7 @@ def check_file(path: Path) -> list[str]:
                     failures.append(
                         f"{where}: {exact_key} {result[exact_key]} != {expected}"
                     )
+    failures.extend(check_breakdown(payload, path.name))
     return failures
 
 

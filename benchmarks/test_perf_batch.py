@@ -25,6 +25,7 @@ from repro.analog import dynamics
 from repro.analog.topologies import AMCMode
 from repro.core.pool import MacroPool, PoolConfig
 from repro.core.solver import GramcSolver
+from repro.obs.report import solve_breakdown
 from repro.workloads.matrices import wishart
 
 _REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -143,6 +144,9 @@ def test_perf_batch_inv(bench_payload, best_of):
         "relative_error": first.relative_error,
         "eigs_per_programming_event": eigs_first,
     }
+    # Where one steady-state batched INV solve spends its modeled
+    # time/energy — re-validated arithmetically by check_invariants.py.
+    bench_payload["breakdown"] = solve_breakdown(op.solve(batch))
     print(
         f"\nINV {_SIZE}x{_SIZE}, {_COLUMNS} RHS: batch {t_batch * 1e3:.2f} ms, "
         f"column loop {t_loop * 1e3:.2f} ms -> {speedup:.1f}x "

@@ -27,6 +27,7 @@ import pytest
 from repro.analog.topologies import AMCMode
 from repro.core.pool import MacroPool, PoolConfig
 from repro.core.solver import GramcSolver
+from repro.obs.report import solve_breakdown
 from repro.programming.levels import LevelMap
 from repro.workloads.matrices import block_dominant
 
@@ -124,6 +125,9 @@ def test_perf_blocked_inv(bench_payload, best_of):
         "reprogramming_events_per_solve": reprogramming,
         "macros": op.macros,
     }
+    # Where one steady-state blocked solve spends its modeled time/energy
+    # — re-validated arithmetically by check_invariants.py.
+    bench_payload["breakdown"] = solve_breakdown(result)
     print(
         f"\nblocked INV {_SIZE}x{_SIZE} on a {op.grid[0]}x{op.grid[1]} grid, "
         f"{_COLUMNS} RHS: batch {t_batch * 1e3:.1f} ms, column loop "

@@ -43,6 +43,7 @@ from repro.converters.adc import ADCParams
 from repro.converters.dac import DACParams
 from repro.core.pool import MacroPool, PoolConfig
 from repro.core.solver import GramcSolver
+from repro.obs.report import solve_breakdown
 from repro.devices.constants import DeviceStack, VariabilityParams
 from repro.programming.levels import LevelMap
 from repro.workloads.matrices import block_dominant
@@ -156,6 +157,9 @@ def _measure(size: int, bench_payload, best_of) -> dict:
         "macros": op.macros,
     }
     bench_payload["results"][f"grid_{size}"] = row
+    # Breakdown of the largest grid measured so far (the loop ascends):
+    # where a stacked-engine sweep solve spends its modeled time/energy.
+    bench_payload["breakdown"] = solve_breakdown(result)
     print(
         f"\ngrid {size}x{size} ({grid[0]}x{grid[1]} tiles, {_COLUMNS} RHS): "
         f"stacked {t_stacked * 1e3:.1f} ms vs per-tile {t_pertile * 1e3:.1f} ms "

@@ -31,6 +31,7 @@ import pytest
 from repro.analog.topologies import AMCMode
 from repro.core.pool import MacroPool, PoolConfig
 from repro.core.solver import GramcSolver
+from repro.obs.report import solve_breakdown
 from repro.programming.levels import LevelMap
 from repro.workloads.matrices import block_dominant
 
@@ -136,6 +137,9 @@ def test_perf_refined_blocked_solve(bench_payload, best_of):
         "reprogramming_events_per_solve": reprogramming,
         "macros": op.macros,
     }
+    # Where the refined solve spends its modeled time/energy — refinement
+    # must show up as separately-attributed digital work.
+    bench_payload["breakdown"] = solve_breakdown(refined)
     print(
         f"\nrefined blocked INV {_SIZE}x{_SIZE}, {_COLUMNS} RHS: analog "
         f"floor {analog_floor:.2e} -> {achieved:.2e} in "

@@ -51,6 +51,7 @@ from repro.analog.results import CircuitSolution
 from repro.analog.topologies import AMCMode
 from repro.core.ranging import autorange_gain_batch, autorange_mvm
 from repro.macro.amc_macro import MacroResult
+from repro.obs import trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.backend import Backend
@@ -443,14 +444,20 @@ class GridEngine:
                 np.clip(nc, -params.v_sat, params.v_sat, out=nc)
 
         ci = determinism.column_independent()
-        currents = self._backend.batched_matmul(self._off_gp[sl], v_in, ci)
+        with trace.span(
+            "engine_dispatch", kernel="batched_matmul", slots=t_count, columns=k
+        ):
+            currents = self._backend.batched_matmul(self._off_gp[sl], v_in, ci)
         solver._record_dispatch(1)
         if self._off_any_neg:
-            np.add(
-                currents,
-                self._backend.batched_matmul(self._off_gn[sl], v_neg, ci),
-                out=currents,
-            )
+            with trace.span(
+                "engine_dispatch", kernel="batched_matmul", slots=t_count, columns=k
+            ):
+                np.add(
+                    currents,
+                    self._backend.batched_matmul(self._off_gn[sl], v_neg, ci),
+                    out=currents,
+                )
             solver._record_dispatch(1)
 
         # TIA stage with the live per-macro ladder value (set_g_f moves
@@ -519,13 +526,11 @@ class GridEngine:
         else:
             needs_ranging = np.zeros(t_count, dtype=bool)
         fast = ~needs_ranging
-        # Settling-time diagnostics feed the ranging solutions and the
-        # per-solve chip stats; neither consumer exists on the steady-state
-        # fast path of a stats-less solver, so compute them on demand.
-        settling = None
-        if solver.stats is not None or needs_ranging.any():
-            noise_gain = 1.0 + np.max(gnode_all, axis=1) / g_f
-            settling = noise_gain / (2.0 * np.pi * params.gbw)
+        # Settling-time diagnostics feed the ranging solutions, the chip
+        # stats, and the always-on cost ledger (analog settling / amp-energy
+        # attribution) — two vector ops per stage, so always computed.
+        noise_gain = 1.0 + np.max(gnode_all, axis=1) / g_f
+        settling = noise_gain / (2.0 * np.pi * params.gbw)
 
         products = []
         last = k - 1
@@ -561,7 +566,8 @@ class GridEngine:
                     if result_stack:
                         return result_stack.pop()
                     solver._record_dispatch(1)
-                    return primary.compute_mvm(chunk, partner=slot.tile.partner)
+                    with trace.span("engine_dispatch", kernel="pertile_mvm"):
+                        return primary.compute_mvm(chunk, partner=slot.tile.partner)
 
                 partners = (slot.tile.partner,) if slot.tile.partner is not None else ()
                 result, attempts, final_saturated = autorange_mvm(
@@ -588,10 +594,14 @@ class GridEngine:
                     input_scales=scale,
                     column_saturated=column_saturated,
                 )
-                if solver.stats is not None:
-                    solver._record_solve(
-                        AMCMode.MVM, slot.amps, result.solution.settling_time
-                    )
+                solver._record_solve(
+                    AMCMode.MVM, slot.amps, result.solution.settling_time
+                )
+                solver._record_conversions(
+                    dac=slot.cols * k * attempts,
+                    adc=slot.rows * k * attempts,
+                    macs=slot.rows * slot.cols * k * attempts,
+                )
             fault = slot.tile.fault_correction
             if fault is not None:
                 chunk = x_raw[t, : slot.cols, :k] / scales[t]
@@ -612,10 +622,19 @@ class GridEngine:
                 input_scales=np.max(scales[fast], axis=0),
                 column_saturated=np.any(col_or_clip[fast], axis=0),
             )
-            if solver.stats is not None:
-                for t, slot in enumerate(slots):
-                    if fast[t]:
-                        solver._record_solve(AMCMode.MVM, slot.amps, float(settling[t]))
+            for t, slot in enumerate(slots):
+                if fast[t]:
+                    solver._record_solve(AMCMode.MVM, slot.amps, float(settling[t]))
+            # Valid (unpadded) per-slot sizes — the same DAC/ADC/MAC charge
+            # the per-tile loop books, so the two engines cost identically.
+            fast_rows = sum(slot.rows for t, slot in enumerate(slots) if fast[t])
+            fast_cols = sum(slot.cols for t, slot in enumerate(slots) if fast[t])
+            fast_macs = sum(
+                slot.rows * slot.cols for t, slot in enumerate(slots) if fast[t]
+            )
+            solver._record_conversions(
+                dac=fast_cols * k, adc=fast_rows * k, macs=fast_macs * k
+            )
         solver.solve_counts[AMCMode.MVM.value] += t_count
         return products
 
@@ -657,7 +676,13 @@ class GridEngine:
         rhs_c = -i_in + self._diag_offset[indices][:, :, None]
         if determinism.column_independent():
             self._ensure_diag_inv(indices)
-            xs = self._backend.batched_matmul(self._diag_inv[indices], rhs_c, True)
+            with trace.span(
+                "engine_dispatch",
+                kernel="batched_matmul",
+                slots=len(indices),
+                columns=k,
+            ):
+                xs = self._backend.batched_matmul(self._diag_inv[indices], rhs_c, True)
             solver._record_dispatch(1)
         else:
             self._ensure_diag_lu(indices)
@@ -668,9 +693,16 @@ class GridEngine:
             for n, positions in by_size.items():
                 bucket = self._lu_bucket(n)
                 rows = [bucket["pos"][indices[p]] for p in positions]
-                solved = self._backend.batched_lu_solve(
-                    bucket["lu"][rows], bucket["piv"][rows], rhs_c[positions][:, :n, :]
-                )
+                with trace.span(
+                    "engine_dispatch",
+                    kernel="batched_lu_solve",
+                    slots=len(positions),
+                    size=n,
+                    columns=k,
+                ):
+                    solved = self._backend.batched_lu_solve(
+                        bucket["lu"][rows], bucket["piv"][rows], rhs_c[positions][:, :n, :]
+                    )
                 solver._record_dispatch(1)
                 for p, block in zip(positions, solved):
                     xs[p, :n] = block
@@ -735,7 +767,8 @@ class GridEngine:
                     if result_stack:
                         return result_stack.pop()
                     solver._record_dispatch(1)
-                    return primary.compute_inv(block / s, partner=slot.tile.partner)
+                    with trace.span("engine_dispatch", kernel="pertile_inv"):
+                        return primary.compute_inv(block / s, partner=slot.tile.partner)
 
                 outcome = autorange_gain_batch(
                     compute,
@@ -755,10 +788,14 @@ class GridEngine:
                     input_scales=outcome.input_scales,
                     column_saturated=outcome.column_saturated,
                 )
-                if solver.stats is not None:
-                    solver._record_solve(
-                        AMCMode.INV, slot.amps, outcome.result.solution.settling_time
-                    )
+                solver._record_solve(
+                    AMCMode.INV, slot.amps, outcome.result.solution.settling_time
+                )
+                solver._record_conversions(
+                    dac=n * k * outcome.attempts,
+                    adc=n * k * outcome.attempts,
+                    macs=n * n * k * outcome.attempts,
+                )
             row_slices.append(self._edges[slot.i])
             blocks.append(value)
 
@@ -773,9 +810,16 @@ class GridEngine:
                 input_scales=np.max(scales[fast], axis=0),
                 column_saturated=np.any(col_sat[fast], axis=0),
             )
-            if solver.stats is not None:
-                for t, slot in enumerate(slots):
-                    if fast[t]:
-                        solver._record_solve(AMCMode.INV, slot.amps, None)
+            for t, slot in enumerate(slots):
+                if fast[t]:
+                    solver._record_solve(AMCMode.INV, slot.amps, None)
+            # Same charge as one per-tile batched INV solve per fast slot.
+            fast_n = sum(slot.rows for t, slot in enumerate(slots) if fast[t])
+            fast_macs = sum(
+                slot.rows * slot.rows for t, slot in enumerate(slots) if fast[t]
+            )
+            solver._record_conversions(
+                dac=fast_n * k, adc=fast_n * k, macs=fast_macs * k
+            )
         solver.solve_counts[AMCMode.INV.value] += k * len(slots)
         self._backend.scatter_columns(x, row_slices, blocks)

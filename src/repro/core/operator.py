@@ -30,6 +30,7 @@ compiled transpose plane, as IBM's aihwkit ``AnalogMatrix`` does),
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -43,6 +44,7 @@ from repro.core.refine import DEFAULT_MAX_STEPS, refine_solve_result
 from repro.core.results import SolveResult
 from repro.macro.amc_macro import AMCMacro
 from repro.macro.registers import PlaneLayout
+from repro.obs import trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.solver import GramcSolver
@@ -343,6 +345,15 @@ class AnalogOperator:
         config = tile.primary.config
         return config.rows + config.cols
 
+    def _capture_cost(
+        self, result: SolveResult, before, started: float
+    ) -> SolveResult:
+        """Attach the solver-ledger delta of this call as ``result.cost``."""
+        cost = self._solver.cost.delta(before)
+        cost.host_s = time.perf_counter() - started
+        result.cost = cost
+        return result
+
     def _require_mode(self, expected: AMCMode, operation: str) -> None:
         if self.mode is not expected:
             raise GramcError(
@@ -380,12 +391,17 @@ class AnalogOperator:
             raise ShapeError(
                 f"x must have leading dimension {self.shape[1]} (vector or batch)"
             )
+        started = time.perf_counter()
+        before = self._solver.cost.snapshot()
         self._ensure_programmed()
         solver = self._solver
         reference = self.matrix @ x
         batched = x.ndim == 2
         if batched and x.shape[1] == 0:
-            return self._empty_batch_result(reference)
+            return self._capture_cost(
+                self._empty_batch_result(reference), before, started
+            )
+        k = x.shape[1] if batched else 1
 
         v_ref = solver.pool.config.dac.v_ref
         if batched:
@@ -398,39 +414,49 @@ class AnalogOperator:
         total_attempts = 0
         tiles = self._tiles
         assert tiles is not None
-        for tile in tiles:
-            chunk = x[tile.col_slice] / scale
-            partners = (tile.partner,) if tile.partner is not None else ()
-            result, attempts, saturated = autorange_mvm(
-                lambda: tile.primary.compute_mvm(chunk, partner=tile.partner),
-                tile.primary,
-                partners,
-                target=solver._output_target,
-                max_attempts=solver.max_attempts,
-            )
-            total_attempts += attempts
-            solver._record_dispatch(attempts)
-            any_saturated |= saturated
-            if column_saturated is not None:
-                tile_columns = (
-                    result.solution.column_saturated
-                    if result.solution.column_saturated is not None
-                    else np.full(x.shape[1], bool(result.solution.saturated))
+        with trace.span("mvm", shape=str(self.shape), columns=k, tiles=len(tiles)):
+            for tile in tiles:
+                chunk = x[tile.col_slice] / scale
+                partners = (tile.partner,) if tile.partner is not None else ()
+                result, attempts, saturated = autorange_mvm(
+                    lambda: tile.primary.compute_mvm(chunk, partner=tile.partner),
+                    tile.primary,
+                    partners,
+                    target=solver._output_target,
+                    max_attempts=solver.max_attempts,
                 )
-                column_saturated |= np.asarray(tile_columns, dtype=bool)
-                column_saturated |= tile.primary.adc.clips_columns(result.raw)
-            g_f = tile.primary.config.g_f
-            accumulator[tile.row_slice] += -result.values * g_f * tile.mapping.value_scale * scale
-            if tile.fault_correction is not None:
-                # Known stuck-cell contributions are subtracted digitally.
-                accumulator[tile.row_slice] -= (tile.fault_correction @ chunk) * scale
-            solver._record_solve(
-                AMCMode.MVM,
-                self._tile_amplifiers(tile),
-                result.solution.settling_time,
-            )
+                total_attempts += attempts
+                solver._record_dispatch(attempts)
+                n_rows = tile.row_slice.stop - tile.row_slice.start
+                width = tile.col_slice.stop - tile.col_slice.start
+                solver._record_conversions(
+                    dac=width * k * attempts,
+                    adc=n_rows * k * attempts,
+                    macs=n_rows * width * k * attempts,
+                )
+                any_saturated |= saturated
+                if column_saturated is not None:
+                    tile_columns = (
+                        result.solution.column_saturated
+                        if result.solution.column_saturated is not None
+                        else np.full(x.shape[1], bool(result.solution.saturated))
+                    )
+                    column_saturated |= np.asarray(tile_columns, dtype=bool)
+                    column_saturated |= tile.primary.adc.clips_columns(result.raw)
+                g_f = tile.primary.config.g_f
+                accumulator[tile.row_slice] += (
+                    -result.values * g_f * tile.mapping.value_scale * scale
+                )
+                if tile.fault_correction is not None:
+                    # Known stuck-cell contributions are subtracted digitally.
+                    accumulator[tile.row_slice] -= (tile.fault_correction @ chunk) * scale
+                solver._record_solve(
+                    AMCMode.MVM,
+                    self._tile_amplifiers(tile),
+                    result.solution.settling_time,
+                )
         solver.solve_counts[AMCMode.MVM.value] += 1
-        return SolveResult(
+        return self._capture_cost(SolveResult(
             mode=AMCMode.MVM,
             value=accumulator,
             reference=reference,
@@ -444,7 +470,7 @@ class AnalogOperator:
                 np.full(x.shape[1], total_attempts) if batched else None
             ),
             column_saturated=column_saturated,
-        )
+        ), before, started)
 
     def solve(
         self,
@@ -476,18 +502,28 @@ class AnalogOperator:
         the operand is too ill-conditioned for the analog accuracy.
         """
         b = np.asarray(b, dtype=float)
-        base = self._solve_analog(b, _reference)
-        if rtol is None:
-            return base
-        return refine_solve_result(
-            base,
-            matrix=self.matrix,
-            b=b,
-            rtol=rtol,
-            max_steps=max_refine_steps,
-            solve_correction=self._solve_batch,
-            solver=self._solver,
-        )
+        started = time.perf_counter()
+        before = self._solver.cost.snapshot()
+        with trace.span(
+            "solve",
+            mode=self.mode.value,
+            shape=str(self.shape),
+            columns=b.shape[1] if b.ndim == 2 else 1,
+            refine=rtol is not None,
+        ):
+            base = self._solve_analog(b, _reference)
+            if rtol is None:
+                return self._capture_cost(base, before, started)
+            refined = refine_solve_result(
+                base,
+                matrix=self.matrix,
+                b=b,
+                rtol=rtol,
+                max_steps=max_refine_steps,
+                solve_correction=self._solve_batch,
+                solver=self._solver,
+            )
+        return self._capture_cost(refined, before, started)
 
     def _solve_analog(
         self, b: np.ndarray, _reference: np.ndarray | None = None
@@ -524,6 +560,11 @@ class AnalogOperator:
         )
         solver.solve_counts[AMCMode.INV.value] += 1
         solver._record_dispatch(outcome.attempts)
+        solver._record_conversions(
+            dac=n * outcome.attempts,
+            adc=n * outcome.attempts,
+            macs=n * n * outcome.attempts,
+        )
         solver._record_solve(
             AMCMode.INV,
             self._tile_amplifiers(tile),
@@ -550,13 +591,18 @@ class AnalogOperator:
             )
         b = np.asarray(b, dtype=float)
         m = self.shape[0]
+        started = time.perf_counter()
+        before = self._solver.cost.snapshot()
         if self._ref_pinv is None:
             # One pseudoinverse of the immutable matrix covers every solve.
             self._ref_pinv = np.linalg.pinv(self.matrix)
         if b.ndim == 2:
             if b.shape[0] != m:
                 raise ShapeError(f"b must have leading dimension {m}")
-            return self._lstsq_batch(b)
+            with trace.span(
+                "solve", mode=self.mode.value, shape=str(self.shape), columns=b.shape[1]
+            ):
+                return self._capture_cost(self._lstsq_batch(b), before, started)
         if b.shape != (m,):
             raise ShapeError(f"b must have length {m}")
         self._ensure_programmed()
@@ -566,45 +612,59 @@ class AnalogOperator:
         tile_at = self._transpose._tiles[0]
         reference = self._ref_pinv @ b if _reference is None else _reference
 
-        outcome = autorange_gain(
-            lambda s: tile_a.primary.compute_pinv(
-                b / s,
-                partner_t=tile_at.primary,
-                partner_neg=tile_a.partner,
-                partner_t_neg=tile_at.partner,
+        with trace.span("solve", mode=self.mode.value, shape=str(self.shape), columns=1):
+            outcome = autorange_gain(
+                lambda s: tile_a.primary.compute_pinv(
+                    b / s,
+                    partner_t=tile_at.primary,
+                    partner_neg=tile_a.partner,
+                    partner_t_neg=tile_at.partner,
+                ),
+                tile_a.primary,
+                lambda result, s, g_f: -result.values * s / (tile_a.mapping.value_scale * g_f),
+                scale=max(solver._input_scale(b, solver.pool.config.dac.v_ref), 1e-30),
+                target=solver._output_target,
+                max_attempts=solver.max_attempts,
+            )
+            solver.solve_counts[AMCMode.PINV.value] += 1
+            solver._record_dispatch(outcome.attempts)
+            m_rows, n_cols = self.shape
+            solver._record_conversions(
+                dac=m_rows * outcome.attempts,
+                adc=n_cols * outcome.attempts,
+                macs=2 * m_rows * n_cols * outcome.attempts,
+            )
+            solver._record_solve(
+                AMCMode.PINV,
+                self._tile_amplifiers(tile_a) + self._tile_amplifiers(tile_at),
+                outcome.result.solution.settling_time,
+            )
+        return self._capture_cost(
+            SolveResult(
+                mode=AMCMode.PINV,
+                value=outcome.value,
+                reference=reference,
+                attempts=outcome.attempts,
+                input_scale=outcome.input_scale,
+                stable=outcome.stable,
+                saturated=outcome.saturated,
+                macro_ids=self._resident_macro_ids(),
             ),
-            tile_a.primary,
-            lambda result, s, g_f: -result.values * s / (tile_a.mapping.value_scale * g_f),
-            scale=max(solver._input_scale(b, solver.pool.config.dac.v_ref), 1e-30),
-            target=solver._output_target,
-            max_attempts=solver.max_attempts,
-        )
-        solver.solve_counts[AMCMode.PINV.value] += 1
-        solver._record_dispatch(outcome.attempts)
-        solver._record_solve(
-            AMCMode.PINV,
-            self._tile_amplifiers(tile_a) + self._tile_amplifiers(tile_at),
-            outcome.result.solution.settling_time,
-        )
-        return SolveResult(
-            mode=AMCMode.PINV,
-            value=outcome.value,
-            reference=reference,
-            attempts=outcome.attempts,
-            input_scale=outcome.input_scale,
-            stable=outcome.stable,
-            saturated=outcome.saturated,
-            macro_ids=self._resident_macro_ids(),
+            before,
+            started,
         )
 
     def eigvec(self, transient: bool = False) -> SolveResult:
         """Dominant eigenvector via the EGV topology (unit norm)."""
         self._require_mode(AMCMode.EGV, "eigvec")
+        started = time.perf_counter()
+        before = self._solver.cost.snapshot()
         self._ensure_programmed()
         solver = self._solver
         assert self._tiles is not None
         tile = self._tiles[0]
-        result = tile.primary.compute_egv(partner=tile.partner, transient=transient)
+        with trace.span("solve", mode=self.mode.value, shape=str(self.shape)):
+            result = tile.primary.compute_egv(partner=tile.partner, transient=transient)
 
         if self._egv_reference is None:
             eigenvalues, eigenvectors = np.linalg.eig(self.matrix)
@@ -625,21 +685,27 @@ class AnalogOperator:
 
         solver.solve_counts[AMCMode.EGV.value] += 1
         solver._record_dispatch(1)
+        n = self.shape[0]
+        solver._record_conversions(adc=n, macs=n * n)
         solver._record_solve(
             AMCMode.EGV,
             self._tile_amplifiers(tile),
             result.solution.settling_time,
         )
-        return SolveResult(
-            mode=AMCMode.EGV,
-            value=value,
-            reference=reference,
-            attempts=1,
-            input_scale=1.0,
-            stable=result.solution.stable,
-            saturated=result.solution.saturated,
-            settling_time=result.solution.settling_time,
-            macro_ids=self._resident_macro_ids(),
+        return self._capture_cost(
+            SolveResult(
+                mode=AMCMode.EGV,
+                value=value,
+                reference=reference,
+                attempts=1,
+                input_scale=1.0,
+                stable=result.solution.stable,
+                saturated=result.solution.saturated,
+                settling_time=result.solution.settling_time,
+                macro_ids=self._resident_macro_ids(),
+            ),
+            before,
+            started,
         )
 
     def _batch_solve_result(self, outcome, reference: np.ndarray) -> SolveResult:
@@ -688,6 +754,12 @@ class AnalogOperator:
         )
         solver.solve_counts[AMCMode.INV.value] += b.shape[1]
         solver._record_dispatch(outcome.attempts)
+        n, k = b.shape[0], b.shape[1]
+        solver._record_conversions(
+            dac=n * k * outcome.attempts,
+            adc=n * k * outcome.attempts,
+            macs=n * n * k * outcome.attempts,
+        )
         solver._record_solve(
             AMCMode.INV,
             self._tile_amplifiers(tile),
@@ -724,6 +796,13 @@ class AnalogOperator:
         )
         solver.solve_counts[AMCMode.PINV.value] += b.shape[1]
         solver._record_dispatch(outcome.attempts)
+        m_rows, n_cols = self.shape
+        k = b.shape[1]
+        solver._record_conversions(
+            dac=m_rows * k * outcome.attempts,
+            adc=n_cols * k * outcome.attempts,
+            macs=2 * m_rows * n_cols * k * outcome.attempts,
+        )
         solver._record_solve(
             AMCMode.PINV,
             self._tile_amplifiers(tile_a) + self._tile_amplifiers(tile_at),

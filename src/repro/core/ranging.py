@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.macro.amc_macro import AMCMacro, MacroResult
 from repro.macro.registers import g_f_code_for
+from repro.obs import trace
 
 
 def autorange_mvm(
@@ -50,27 +51,29 @@ def autorange_mvm(
     ``compute`` may return batched conversions ``(rows, k)``; the shared
     ladder then follows the worst column.
     """
-    result = compute()
-    attempts = 1
-    while attempts < max_attempts:
-        saturated = result.solution.saturated or primary.adc.clips(result.raw)
-        peak = float(np.max(np.abs(result.raw)))
-        g_f = primary.config.g_f
-        if saturated:
-            desired = g_f * 4.0
-        elif 0.0 < peak < 0.25 * target:
-            desired = g_f * peak / target
-        else:
-            break
-        if g_f_code_for(desired) == primary.config.g_f_code:
-            break  # ladder already at its limit — skip the no-op rewrite + re-run
-        primary.set_g_f(desired)
-        for partner in partners:
-            partner.set_g_f(desired)
+    with trace.span("autorange", kind="mvm") as sp:
         result = compute()
-        attempts += 1
-    final_saturated = result.solution.saturated or primary.adc.clips(result.raw)
-    return result, attempts, final_saturated
+        attempts = 1
+        while attempts < max_attempts:
+            saturated = result.solution.saturated or primary.adc.clips(result.raw)
+            peak = float(np.max(np.abs(result.raw)))
+            g_f = primary.config.g_f
+            if saturated:
+                desired = g_f * 4.0
+            elif 0.0 < peak < 0.25 * target:
+                desired = g_f * peak / target
+            else:
+                break
+            if g_f_code_for(desired) == primary.config.g_f_code:
+                break  # ladder already at its limit — skip the no-op rewrite + re-run
+            primary.set_g_f(desired)
+            for partner in partners:
+                partner.set_g_f(desired)
+            result = compute()
+            attempts += 1
+        final_saturated = result.solution.saturated or primary.adc.clips(result.raw)
+        sp.set(attempts=attempts, saturated=final_saturated)
+        return result, attempts, final_saturated
 
 
 @dataclass
@@ -109,28 +112,30 @@ def autorange_gain(
     result: MacroResult | None = None
     attempts = 0
     applied_scale = scale
-    for attempts in range(1, max_attempts + 1):
-        result = compute(scale)
-        applied_scale = scale
-        g_f = primary.config.g_f
-        value = to_value(result, scale, g_f)
-        stable = result.solution.stable
-        saturated = result.solution.saturated
-        peak = float(np.max(np.abs(result.raw)))
-        if saturated:
-            desired = g_f / 4.0
-        elif 0.0 < peak < 0.25 * target:
-            desired = g_f * target / peak
-        else:
-            break
-        actual = primary.set_g_f(desired)
-        if abs(actual - g_f) < 1e-15:
+    with trace.span("autorange", kind="gain") as sp:
+        for attempts in range(1, max_attempts + 1):
+            result = compute(scale)
+            applied_scale = scale
+            g_f = primary.config.g_f
+            value = to_value(result, scale, g_f)
+            stable = result.solution.stable
+            saturated = result.solution.saturated
+            peak = float(np.max(np.abs(result.raw)))
             if saturated:
-                # Ladder floor reached and still railed: fall back to
-                # shrinking the inputs (trading DAC resolution for range).
-                scale *= 2.0
-                continue
-            break  # ladder limit reached
+                desired = g_f / 4.0
+            elif 0.0 < peak < 0.25 * target:
+                desired = g_f * target / peak
+            else:
+                break
+            actual = primary.set_g_f(desired)
+            if abs(actual - g_f) < 1e-15:
+                if saturated:
+                    # Ladder floor reached and still railed: fall back to
+                    # shrinking the inputs (trading DAC resolution for range).
+                    scale *= 2.0
+                    continue
+                break  # ladder limit reached
+        sp.set(attempts=attempts, saturated=saturated)
     assert result is not None
     return GainRangingOutcome(
         result=result,
@@ -201,29 +206,31 @@ def autorange_gain_batch(
     result: MacroResult | None = None
     attempts = 0
     applied_scales = scales
-    for attempts in range(1, max_attempts + 1):
-        result = compute(scales)
-        applied_scales = scales
-        g_f = primary.config.g_f
-        value = to_value(result, scales, g_f)
-        stable = result.solution.stable
-        column_saturated = _column_saturation(result, columns)
-        peak = float(np.max(np.abs(result.raw))) if result.raw.size else 0.0
-        if np.any(column_saturated):
-            desired = g_f / 4.0
-        elif 0.0 < peak < 0.25 * target:
-            desired = g_f * target / peak
-        else:
-            break
-        actual = primary.set_g_f(desired)
-        if abs(actual - g_f) < 1e-15:
+    with trace.span("autorange", kind="gain_batch", columns=columns) as sp:
+        for attempts in range(1, max_attempts + 1):
+            result = compute(scales)
+            applied_scales = scales
+            g_f = primary.config.g_f
+            value = to_value(result, scales, g_f)
+            stable = result.solution.stable
+            column_saturated = _column_saturation(result, columns)
+            peak = float(np.max(np.abs(result.raw))) if result.raw.size else 0.0
             if np.any(column_saturated):
-                # Ladder floor reached and columns still railed: shrink the
-                # inputs of exactly those columns (the others keep their
-                # full DAC resolution).
-                scales = np.where(column_saturated, scales * 2.0, scales)
-                continue
-            break  # ladder limit reached
+                desired = g_f / 4.0
+            elif 0.0 < peak < 0.25 * target:
+                desired = g_f * target / peak
+            else:
+                break
+            actual = primary.set_g_f(desired)
+            if abs(actual - g_f) < 1e-15:
+                if np.any(column_saturated):
+                    # Ladder floor reached and columns still railed: shrink the
+                    # inputs of exactly those columns (the others keep their
+                    # full DAC resolution).
+                    scales = np.where(column_saturated, scales * 2.0, scales)
+                    continue
+                break  # ladder limit reached
+        sp.set(attempts=attempts)
     assert result is not None
     return BatchGainRangingOutcome(
         result=result,

@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.analog.determinism import apply_matrix_per_column
 from repro.core.errors import ConvergenceError, ShapeError
+from repro.obs import trace as obs_trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.results import SolveResult
@@ -203,32 +204,38 @@ def refine_solution(
 
     while steps < max_steps and not converged.all():
         active = ~converged
-        correction = resolve(residual[:, active])
-        x[:, active] += correction
-        steps += 1
-        correction_solves += 1
-        residual[:, active] = b[:, active] - apply_matrix_per_column(
-            matrix, x[:, active]
-        )
-        res = res.copy()
-        res[active] = _column_norms(residual[:, active]) / denominators[active]
-        trace.append(worst(res))
-        converged = converged | (res <= rtol)
-        grew = active & ~converged & (
-            ~np.isfinite(res) | (res > divergence_ratio * best)
-        )
-        if np.any(grew):
-            offender = int(np.argmax(np.where(grew, res, -np.inf)))
-            raise ConvergenceError(
-                f"iterative refinement diverged after {steps} step(s): "
-                f"column {offender} residual {res[offender]:.3e} grew past "
-                f"{divergence_ratio}x its best {best[offender]:.3e} — the "
-                "operand is too ill-conditioned (eta*kappa >= 1) for the "
-                "analog accuracy available",
-                steps=steps,
-                residual_trace=trace,
+        with obs_trace.span(
+            "refine_step", step=steps + 1, active=int(active.sum())
+        ) as sp:
+            correction = resolve(residual[:, active])
+            x[:, active] += correction
+            steps += 1
+            correction_solves += 1
+            residual[:, active] = b[:, active] - apply_matrix_per_column(
+                matrix, x[:, active]
             )
-        np.minimum(best, np.where(np.isfinite(res), res, np.inf), out=best)
+            res = res.copy()
+            res[active] = (
+                _column_norms(residual[:, active]) / denominators[active]
+            )
+            trace.append(worst(res))
+            sp.set(residual=worst(res))
+            converged = converged | (res <= rtol)
+            grew = active & ~converged & (
+                ~np.isfinite(res) | (res > divergence_ratio * best)
+            )
+            if np.any(grew):
+                offender = int(np.argmax(np.where(grew, res, -np.inf)))
+                raise ConvergenceError(
+                    f"iterative refinement diverged after {steps} step(s): "
+                    f"column {offender} residual {res[offender]:.3e} grew past "
+                    f"{divergence_ratio}x its best {best[offender]:.3e} — the "
+                    "operand is too ill-conditioned (eta*kappa >= 1) for the "
+                    "analog accuracy available",
+                    steps=steps,
+                    residual_trace=trace,
+                )
+            np.minimum(best, np.where(np.isfinite(res), res, np.inf), out=best)
 
     report = RefineReport(
         steps=steps,
@@ -255,8 +262,13 @@ class _CorrectionFold:
         self.attempts = 0
         self.stable = True
         self.saturated = False
+        self.columns_resolved = 0
+        """Total residual columns re-solved across all steps — the digital
+        residual recomputes scale with this, so it sizes the refinement
+        MAC charge."""
 
     def __call__(self, residual: np.ndarray) -> np.ndarray:
+        self.columns_resolved += residual.shape[1]
         inner = self._solve(residual)
         self.attempts += inner.attempts
         self.stable &= inner.stable
@@ -300,17 +312,28 @@ def refine_solve_result(
     x0 = base.value[:, None] if vector else base.value
     fold = _CorrectionFold(solve_correction)
     dispatches_before = solver.engine_dispatches
+    n_rows, n_cols = matrix.shape
+
+    def digital_macs() -> int:
+        # One full-width residual up front plus one recompute per re-solved
+        # column block — the float64 A·x work the host actually performed.
+        return n_rows * n_cols * (columns + fold.columns_resolved)
+
     try:
         refined, report = refine_solution(
             matrix, big_b, x0, fold, targets, max_steps=max_steps
         )
     except ConvergenceError as error:
         solver._record_refinement(
-            error.steps or 0, solver.engine_dispatches - dispatches_before
+            error.steps or 0,
+            solver.engine_dispatches - dispatches_before,
+            macs=digital_macs(),
         )
         raise
     solver._record_refinement(
-        report.steps, solver.engine_dispatches - dispatches_before
+        report.steps,
+        solver.engine_dispatches - dispatches_before,
+        macs=digital_macs(),
     )
     return replace(
         base,

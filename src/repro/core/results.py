@@ -3,13 +3,17 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.analog.topologies import AMCMode
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.cost import SolveCost
 
-@dataclass
+
+@dataclass(repr=False)
 class SolveResult:
     """One matrix problem solved on the analog system.
 
@@ -88,6 +92,11 @@ class SolveResult:
     consumer (the serve layer's coalescer) report each caller's own
     residual instead of the batch-worst.  ``None`` when no ``rtol``
     was requested."""
+    cost: "SolveCost | None" = None
+    """What this solve spent, by physical category (settling, DAC/ADC
+    conversions, engine/refinement MACs, programming, queue wait) — the
+    input to :func:`repro.obs.report.solve_breakdown`.  Attached by the
+    operator layer; ``None`` only on results assembled outside it."""
 
     @property
     def ok(self) -> bool:
@@ -111,3 +120,27 @@ class SolveResult:
     def scatter_points(self) -> tuple[np.ndarray, np.ndarray]:
         """(ideal, non-ideal) pairs — the axes of a Fig. 4 scatter panel."""
         return self.reference.copy(), self.value.copy()
+
+    def __repr__(self) -> str:
+        """Compact one-line summary (the dataclass default printed whole
+        arrays, which made a 256×256 batch result unreadable in a REPL)."""
+        shape = "×".join(str(dim) for dim in self.value.shape) or "scalar"
+        parts = [f"<SolveResult {self.mode.value} {shape}"]
+        if self.sweeps is not None:
+            parts.append(f"sweeps={self.sweeps}")
+        if self.refine_steps is not None:
+            parts.append(f"refine_steps={self.refine_steps}")
+        if self.refined_residual is not None:
+            parts.append(f"residual={self.refined_residual:.3e}")
+        elif self.residual_floor is not None:
+            parts.append(f"residual={self.residual_floor:.3e}")
+        else:
+            parts.append(f"rel_err={self.relative_error:.3e}")
+        parts.append(f"attempts={self.attempts}")
+        if not self.stable:
+            parts.append("UNSTABLE")
+        if self.saturated:
+            parts.append("saturated")
+        if self.converged is False:
+            parts.append("not-converged")
+        return " ".join(parts) + ">"

@@ -51,6 +51,8 @@ from repro.arrays.mapping import DifferentialMapping
 from repro.core.backend import Backend, resolve_backend
 from repro.core.errors import CapacityError, ConvergenceError, GramcError, ShapeError
 from repro.core.operator import AnalogOperator, TileBinding
+from repro.obs import trace
+from repro.obs.cost import CostAccumulator
 from repro.core.pool import MacroPool, PoolConfig
 from repro.core.results import SolveResult
 from repro.core.tiled import TiledOperator
@@ -163,6 +165,7 @@ class GramcSolver:
         self.stack_rebuilds = 0
         self.refine_steps = 0
         self.refine_dispatches = 0
+        self.cost = CostAccumulator()
 
     # ------------------------------------------------------------------ helpers
 
@@ -205,14 +208,29 @@ class GramcSolver:
     ) -> None:
         """Runtime-path solve accounting, matching the controller's EXE
         bookkeeping (amplifiers = active rows + cols of the macro config)."""
+        self.cost.add_analog(amplifiers, settling_time)
         if self.stats is not None:
             self.stats.record_solve(mode.value, amplifiers, settling_time)
 
     def _record_dispatch(self, count: int = 1) -> None:
         """Count digital-engine kernel dispatches (batched or per-tile)."""
         self.engine_dispatches += count
+        self.cost.add_dispatches(count)
         if self.stats is not None:
             self.stats.record_dispatches(count)
+
+    def _record_conversions(self, dac: int = 0, adc: int = 0, macs: int = 0) -> None:
+        """Account the mixed-signal boundary of one engine call: DAC/ADC
+        conversions at the tile edges and the multiply-accumulates its
+        digital kernel executed (these feed the per-solve breakdown and,
+        via :data:`~repro.system.stats.DIGITAL_MACS_PER_CYCLE`, the chip's
+        digital-cycle energy/latency estimates)."""
+        self.cost.add_conversions(dac, adc)
+        if macs:
+            self.cost.add_engine_macs(macs)
+        if self.stats is not None:
+            self.stats.record_conversions(dac, adc)
+            self.stats.record_digital_work(macs)
 
     def _record_stack_rebuilds(self, count: int = 1) -> None:
         """Count grid-engine stacked slices invalidated and recopied."""
@@ -220,16 +238,19 @@ class GramcSolver:
         if self.stats is not None:
             self.stats.record_stack_rebuilds(count)
 
-    def _record_refinement(self, steps: int, dispatches: int) -> None:
+    def _record_refinement(self, steps: int, dispatches: int, macs: int = 0) -> None:
         """Account one refined solve's steps and correction dispatches.
 
         ``dispatches`` is the slice of ``engine_dispatches`` issued by
         the refinement loop's correction re-solves, so the analog/digital
-        work split of the ``rtol`` contract is observable per chip."""
+        work split of the ``rtol`` contract is observable per chip;
+        ``macs`` is the float64 residual/correction arithmetic those
+        steps executed on the digital side."""
         self.refine_steps += steps
         self.refine_dispatches += dispatches
+        self.cost.add_refine(steps, macs)
         if self.stats is not None:
-            self.stats.record_refinement(steps, dispatches)
+            self.stats.record_refinement(steps, dispatches, macs)
 
     # --------------------------------------------------------------- compilation
 
@@ -271,6 +292,36 @@ class GramcSolver:
         call (or use the ``with`` form): handles are shared objects and
         each close releases one holder reference.
         """
+        with trace.span("compile", mode=mode.value) as sp:
+            operator = self._compile(
+                matrix,
+                mode,
+                g_lambda=g_lambda,
+                lambda_hat=lambda_hat,
+                tag=tag,
+                quant_peak=quant_peak,
+                pin=pin,
+                tile=tile,
+                _transpose_plane=_transpose_plane,
+                _egv_auto=_egv_auto,
+            )
+            sp.set(shape=str(operator.matrix.shape), key=operator.key[:12])
+            return operator
+
+    def _compile(
+        self,
+        matrix: np.ndarray,
+        mode: AMCMode = AMCMode.MVM,
+        *,
+        g_lambda: float | None = None,
+        lambda_hat: float | None = None,
+        tag: str = "",
+        quant_peak: float | None = None,
+        pin: bool = False,
+        tile: int | None = None,
+        _transpose_plane: bool = False,
+        _egv_auto: bool = False,
+    ) -> AnalogOperator | TiledOperator:
         original = np.asarray(matrix, dtype=float)
         if original.ndim != 2:
             raise ShapeError("operands must be 2-D matrices")
@@ -504,14 +555,20 @@ class GramcSolver:
 
     def _program_operator(self, operator: AnalogOperator) -> None:
         """(Re-)program an operator's tiles and restore its cache/pin state."""
-        operator._tiles = self._program_tiles(
-            operator.matrix,
-            operator.mode,
-            operator.key,
-            g_lambda=operator.g_lambda,
-            quant_peak=operator.quant_peak,
-            on_evict=operator._on_evicted,
-        )
+        with trace.span(
+            "program",
+            mode=operator.mode.value,
+            shape=str(operator.matrix.shape),
+            key=operator.key[:12],
+        ):
+            operator._tiles = self._program_tiles(
+                operator.matrix,
+                operator.mode,
+                operator.key,
+                g_lambda=operator.g_lambda,
+                quant_peak=operator.quant_peak,
+                on_evict=operator._on_evicted,
+            )
         operator._stale = False
         operator.program_count += 1
         self._operators[operator.key] = operator
@@ -624,9 +681,11 @@ class GramcSolver:
                         role=MacroRole.PARTNER_NEG,
                     )
                 primary.program_mapping(mapping, partner=partner)
+                # Both conductance planes of the differential pair.
+                cells = 2 * n_rows * width
+                self.cost.add_programming(cells, int(round(cells * 9.0)))
                 if self.stats is not None:
-                    # Both conductance planes of the differential pair.
-                    self.stats.record_programming(2 * n_rows * width)
+                    self.stats.record_programming(cells)
                 tiles.append(
                     TileBinding(
                         row_slice=row_slice,

@@ -35,6 +35,7 @@ array (or any square operand with an explicit ``tile=``).
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 from types import SimpleNamespace
 from typing import TYPE_CHECKING
@@ -46,6 +47,7 @@ from repro.core.errors import CapacityError, ConvergenceError, GramcError, Shape
 from repro.core.grid_engine import GridEngine
 from repro.core.refine import DEFAULT_MAX_STEPS, refine_solve_result
 from repro.core.results import SolveResult
+from repro.obs import trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.operator import AnalogOperator
@@ -417,6 +419,13 @@ class TiledOperator:
 
     # --------------------------------------------------------------- execution
 
+    def _capture_cost(self, result: SolveResult, before, started: float) -> SolveResult:
+        """Attach this call's cost delta (plus wall-clock) to the result."""
+        cost = self._solver.cost.delta(before)
+        cost.host_s = time.perf_counter() - started
+        result.cost = cost
+        return result
+
     def _can_stack(self) -> bool:
         """Whether the stacked grid engine can run this grid.
 
@@ -542,6 +551,9 @@ class TiledOperator:
         n = self.shape[0]
         if b.ndim not in (1, 2) or b.shape[0] != n:
             raise ShapeError(f"b must have leading dimension {n} (vector or batch)")
+        solver = self._solver
+        started = time.perf_counter()
+        before = solver.cost.snapshot()
         if self._ref_inverse is None:
             # One factorization of the immutable matrix serves every solve.
             self._ref_inverse = np.linalg.inv(self.matrix)
@@ -558,8 +570,7 @@ class TiledOperator:
                     refine_residual_trace=(0.0,),
                     per_column_residual=np.zeros(0),
                 )
-            return empty
-        solver = self._solver
+            return self._capture_cost(empty, before, started)
         dispatches_before = solver.engine_dispatches
         rebuilds_before = solver.stack_rebuilds
         self._ensure_programmed()
@@ -571,12 +582,13 @@ class TiledOperator:
                 b, _reference=reference, rtol=rtol, max_refine_steps=max_refine_steps
             )
             floor = self._residual_floor(b, inner.value)
-            return replace(
+            inner = replace(
                 inner, sweeps=1, residual_floor=floor, converged=True,
                 macro_ids=self.macro_ids,
                 engine_dispatches=solver.engine_dispatches - dispatches_before,
                 stack_rebuilds=solver.stack_rebuilds - rebuilds_before,
             )
+            return self._capture_cost(inner, before, started)
 
         big_b = b if batched else b[:, None]
         columns = big_b.shape[1]
@@ -588,74 +600,85 @@ class TiledOperator:
             else None
         )
 
-        x, sweeps, converged = self._run_sweeps(
-            big_b, stats,
-            tolerance=tolerance, max_sweeps=max_sweeps,
-            gauss_seidel=gauss_seidel, grid=grid,
-        )
-
-        value = x if batched else x[:, 0]
-        result = SolveResult(
-            mode=AMCMode.INV,
-            value=value,
-            reference=reference,
-            attempts=stats.total_attempts,
-            input_scale=stats.worst_scale if stats.worst_scale > 0.0 else 1.0,
-            stable=stats.stable,
-            saturated=stats.saturated,
-            macro_ids=self.macro_ids,
-            input_scales=stats.col_scales if batched else None,
-            per_column_attempts=stats.col_attempts if batched else None,
-            column_saturated=stats.col_saturated if batched else None,
-            sweeps=sweeps,
-            residual_floor=self._residual_floor(b, value),
-            converged=converged,
-        )
-
-        if rtol is not None:
-            # Each refinement step re-solves the residual on the resident
-            # grid: a fresh block-sweep solve (zero reprogramming) whose
-            # per-column metadata stays local to the step — the returned
-            # per-column arrays describe the base analog step, the scalar
-            # attempts/stable/saturated fold corrections in.
-            correction_sweeps = 0
-
-            def correction(residual: np.ndarray) -> SimpleNamespace:
-                nonlocal correction_sweeps
-                corr_stats = _SweepStats(residual.shape[1])
-                xc, csweeps, _ = self._run_sweeps(
-                    residual, corr_stats,
-                    tolerance=tolerance, max_sweeps=max_sweeps,
-                    gauss_seidel=gauss_seidel, grid=grid,
-                )
-                correction_sweeps += csweeps
-                return SimpleNamespace(
-                    value=xc,
-                    attempts=corr_stats.total_attempts,
-                    stable=corr_stats.stable,
-                    saturated=corr_stats.saturated,
-                )
-
-            result = refine_solve_result(
-                result,
-                matrix=self.matrix,
-                b=b,
-                rtol=rtol,
-                max_steps=max_refine_steps,
-                solve_correction=correction,
-                solver=solver,
-            )
-            result = replace(
-                result,
-                sweeps=sweeps + correction_sweeps,
-                residual_floor=self._residual_floor(b, result.value),
+        with trace.span(
+            "solve",
+            mode=AMCMode.INV.value,
+            shape=str(self.shape),
+            columns=columns,
+            grid=f"{len(self._edges)}x{len(self._edges)}",
+            engine="stacked" if grid is not None else "pertile",
+            refine=rtol is not None,
+        ) as sp:
+            x, sweeps, converged = self._run_sweeps(
+                big_b, stats,
+                tolerance=tolerance, max_sweeps=max_sweeps,
+                gauss_seidel=gauss_seidel, grid=grid,
             )
 
-        return replace(
+            value = x if batched else x[:, 0]
+            result = SolveResult(
+                mode=AMCMode.INV,
+                value=value,
+                reference=reference,
+                attempts=stats.total_attempts,
+                input_scale=stats.worst_scale if stats.worst_scale > 0.0 else 1.0,
+                stable=stats.stable,
+                saturated=stats.saturated,
+                macro_ids=self.macro_ids,
+                input_scales=stats.col_scales if batched else None,
+                per_column_attempts=stats.col_attempts if batched else None,
+                column_saturated=stats.col_saturated if batched else None,
+                sweeps=sweeps,
+                residual_floor=self._residual_floor(b, value),
+                converged=converged,
+            )
+
+            if rtol is not None:
+                # Each refinement step re-solves the residual on the resident
+                # grid: a fresh block-sweep solve (zero reprogramming) whose
+                # per-column metadata stays local to the step — the returned
+                # per-column arrays describe the base analog step, the scalar
+                # attempts/stable/saturated fold corrections in.
+                correction_sweeps = 0
+
+                def correction(residual: np.ndarray) -> SimpleNamespace:
+                    nonlocal correction_sweeps
+                    corr_stats = _SweepStats(residual.shape[1])
+                    xc, csweeps, _ = self._run_sweeps(
+                        residual, corr_stats,
+                        tolerance=tolerance, max_sweeps=max_sweeps,
+                        gauss_seidel=gauss_seidel, grid=grid,
+                    )
+                    correction_sweeps += csweeps
+                    return SimpleNamespace(
+                        value=xc,
+                        attempts=corr_stats.total_attempts,
+                        stable=corr_stats.stable,
+                        saturated=corr_stats.saturated,
+                    )
+
+                result = refine_solve_result(
+                    result,
+                    matrix=self.matrix,
+                    b=b,
+                    rtol=rtol,
+                    max_steps=max_refine_steps,
+                    solve_correction=correction,
+                    solver=solver,
+                )
+                result = replace(
+                    result,
+                    sweeps=sweeps + correction_sweeps,
+                    residual_floor=self._residual_floor(b, result.value),
+                )
+            sp.set(sweeps=result.sweeps, converged=bool(result.converged))
+
+        result = replace(
             result,
             engine_dispatches=solver.engine_dispatches - dispatches_before,
             stack_rebuilds=solver.stack_rebuilds - rebuilds_before,
         )
+        return self._capture_cost(result, before, started)
 
     def _run_sweeps(
         self,
@@ -709,10 +732,16 @@ class TiledOperator:
             # Gauss-Seidel reads the in-place updated iterate; Jacobi the
             # frozen previous sweep.  Same loop, different source view.
             source = x if gauss_seidel else previous
-            if grid is not None:
-                grid.sweep(big_b, x, source, coupled, stats, gauss_seidel)
-            else:
-                self._swept_pertile(big_b, x, source, coupled, stats)
+            with trace.span(
+                "sweep",
+                sweep=sweep,
+                method="gauss-seidel" if gauss_seidel else "jacobi",
+                tiles=len(coupled),
+            ):
+                if grid is not None:
+                    grid.sweep(big_b, x, source, coupled, stats, gauss_seidel)
+                else:
+                    self._swept_pertile(big_b, x, source, coupled, stats)
             sweeps = sweep
             delta = float(np.linalg.norm(x - previous))
             scale = max(float(np.linalg.norm(x)), 1e-30)
@@ -803,8 +832,12 @@ class TiledOperator:
             raise ShapeError(f"x must have leading dimension {n} (vector or batch)")
         reference = self.matrix @ x
         batched = x.ndim == 2
+        started = time.perf_counter()
+        before = self._solver.cost.snapshot()
         if batched and x.shape[1] == 0:
-            return self._empty_result(AMCMode.MVM, reference)
+            return self._capture_cost(
+                self._empty_result(AMCMode.MVM, reference), before, started
+            )
         self._ensure_programmed()
         big_x = x if batched else x[:, None]
         out = np.zeros_like(big_x)
@@ -812,21 +845,27 @@ class TiledOperator:
         stable = True
         saturated = False
         worst_scale = 0.0
-        for i, rows in enumerate(self._edges):
-            for j, cols in enumerate(self._edges):
-                if i == j:
-                    op = self._diag_mvm_handle(i)
-                elif (i, j) in self._off:
-                    op = self._off[(i, j)]
-                else:
-                    continue  # all-zero coupling block
-                product = op.mvm(big_x[cols])
-                out[rows] += product.value
-                attempts += product.attempts
-                stable &= product.stable
-                saturated |= product.saturated
-                worst_scale = max(worst_scale, product.input_scale)
-        return SolveResult(
+        with trace.span(
+            "mvm",
+            shape=str(self.shape),
+            columns=big_x.shape[1],
+            grid=f"{len(self._edges)}x{len(self._edges)}",
+        ):
+            for i, rows in enumerate(self._edges):
+                for j, cols in enumerate(self._edges):
+                    if i == j:
+                        op = self._diag_mvm_handle(i)
+                    elif (i, j) in self._off:
+                        op = self._off[(i, j)]
+                    else:
+                        continue  # all-zero coupling block
+                    product = op.mvm(big_x[cols])
+                    out[rows] += product.value
+                    attempts += product.attempts
+                    stable &= product.stable
+                    saturated |= product.saturated
+                    worst_scale = max(worst_scale, product.input_scale)
+        result = SolveResult(
             mode=AMCMode.MVM,
             value=out if batched else out[:, 0],
             reference=reference,
@@ -836,6 +875,7 @@ class TiledOperator:
             saturated=saturated,
             macro_ids=self.macro_ids,
         )
+        return self._capture_cost(result, before, started)
 
     def __matmul__(self, other) -> np.ndarray:
         """``op @ x`` — the blocked analog product as a plain array."""

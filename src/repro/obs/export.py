@@ -1,0 +1,224 @@
+"""Exporters: JSONL span streams, Chrome ``trace_event`` JSON, Prometheus text.
+
+Three consumers, three formats, one span/metric model:
+
+* :class:`JsonlSpanSink` / :func:`spans_to_jsonl` — one JSON object per
+  finished span, streamable and greppable;
+* :func:`chrome_trace` / :func:`write_chrome_trace` /
+  :class:`ChromeTraceSink` — the Chrome ``trace_event`` array format, so
+  a traced solve loads as a flamegraph in Perfetto or
+  ``chrome://tracing`` (complete ``"ph": "X"`` events, microsecond
+  timestamps);
+* :func:`prometheus_text` — the Prometheus text exposition format for a
+  :class:`~repro.obs.registry.MetricsRegistry`, suitable for a
+  ``/metrics`` endpoint or a textfile collector.
+
+Everything is stdlib-only.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.trace import Span
+
+__all__ = [
+    "ChromeTraceSink",
+    "JsonlSpanSink",
+    "chrome_trace",
+    "prometheus_text",
+    "spans_to_jsonl",
+    "write_chrome_trace",
+]
+
+
+# -- JSONL --------------------------------------------------------------------
+
+
+def spans_to_jsonl(spans: "Iterable[Span]") -> str:
+    """Finished spans as newline-delimited JSON (one object per span)."""
+    return "".join(json.dumps(span.as_dict()) + "\n" for span in spans)
+
+
+class JsonlSpanSink:
+    """Streams each finished span as one JSON line to ``path``.
+
+    The file is opened lazily on the first span and truncated then — a
+    run that traces nothing leaves no file behind.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self._handle = None
+        self._lock = threading.Lock()
+
+    def emit(self, span: "Span") -> None:
+        line = json.dumps(span.as_dict()) + "\n"
+        with self._lock:
+            if self._handle is None:
+                self._handle = self.path.open("w")
+            self._handle.write(line)
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+# -- Chrome trace_event -------------------------------------------------------
+
+
+def chrome_trace(spans: "Iterable[Span]", process_name: str = "gramc") -> dict:
+    """Spans as a Chrome ``trace_event`` document (Perfetto-loadable).
+
+    Each span becomes one complete event (``"ph": "X"``) with
+    microsecond ``ts``/``dur``; the span tree is recovered by the viewer
+    from timestamps + thread lanes, and ``args`` carries the span id /
+    parent id / attributes for inspection.  Thread-name metadata events
+    label each chip/serve thread lane.
+    """
+    events: list[dict] = []
+    threads: set[int] = set()
+    for span in spans:
+        threads.add(span.thread_id)
+        args: dict[str, object] = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+        }
+        args.update(span.attrs)
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": span.start_s * 1e6,
+                "dur": span.duration_s * 1e6,
+                "pid": 1,
+                "tid": span.thread_id,
+                "cat": "gramc",
+                "args": args,
+            }
+        )
+    metadata: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for tid in sorted(threads):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": f"thread-{tid}"},
+            }
+        )
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: "str | Path", spans: "Iterable[Span]", process_name: str = "gramc"
+) -> Path:
+    """Write :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(spans, process_name)) + "\n")
+    return path
+
+
+class ChromeTraceSink:
+    """Buffers spans and writes the full Chrome-trace JSON on ``flush``.
+
+    The ``trace_event`` array format is a single document, so unlike the
+    JSONL sink this one cannot stream; ``Tracer.flush()`` (or
+    ``Tracer.close()``) rewrites the file with everything buffered so far.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self._spans: "list[Span]" = []
+        self._lock = threading.Lock()
+
+    def emit(self, span: "Span") -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def flush(self) -> None:
+        with self._lock:
+            spans = list(self._spans)
+        if spans:
+            write_chrome_trace(self.path, spans)
+
+    def close(self) -> None:
+        self.flush()
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _format_labels(labels: dict[str, str], extra: "dict[str, str] | None" = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(f'{key}="{_escape_label(val)}"' for key, val in merged.items())
+    return "{" + body + "}"
+
+
+def prometheus_text(registry: "MetricsRegistry") -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, cell in family.samples():
+            if family.kind == "histogram":
+                cumulative = 0
+                for bound, count in zip(cell.buckets, cell.bucket_counts):
+                    cumulative += count
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_format_labels(labels, {'le': _format_value(bound)})}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_bucket{_format_labels(labels, {'le': '+Inf'})}"
+                    f" {cell.count}"
+                )
+                lines.append(
+                    f"{family.name}_sum{_format_labels(labels)} {_format_value(cell.sum)}"
+                )
+                lines.append(f"{family.name}_count{_format_labels(labels)} {cell.count}")
+            else:
+                lines.append(
+                    f"{family.name}{_format_labels(labels)} {_format_value(cell.value)}"
+                )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,203 @@
+"""Per-solve / per-window time-and-energy breakdown reports.
+
+:func:`solve_breakdown` turns a :class:`~repro.obs.cost.SolveCost` (or a
+``SolveResult`` carrying one, or a batch of either) into the
+analog-settling / conversion / digital-engine / refinement /
+programming / queue-wait attribution table that the ISSUE's north star
+demands: percentages sum to 100 ± float noise, analog and digital time
+separately totalled.  ``benchmarks/`` embeds the returned dict as the
+``breakdown`` block of every ``BENCH_*.json``, and
+``benchmarks/check_invariants.py`` re-validates its arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.obs.cost import SolveCost
+from repro.system.stats import (
+    DIGITAL_CYCLE_TIME,
+    DIGITAL_MACS_PER_CYCLE,
+    ENERGY_ADC_CONVERSION,
+    ENERGY_DAC_CONVERSION,
+    ENERGY_DIGITAL_CYCLE,
+    ENERGY_WRITE_PULSE,
+    POWER_OPAMP,
+    TIME_ADC_CONVERSION,
+    TIME_DAC_CONVERSION,
+    TIME_WRITE_PULSE,
+)
+
+__all__ = ["format_breakdown", "solve_breakdown", "window_breakdown"]
+
+#: Breakdown components in presentation order: (name, domain).
+COMPONENTS = (
+    ("analog_settling", "analog"),
+    ("conversion", "mixed"),
+    ("digital_engine", "digital"),
+    ("refinement", "digital"),
+    ("programming", "mixed"),
+    ("queue_wait", "wait"),
+)
+
+
+def _extract_cost(source: object) -> SolveCost:
+    """A SolveCost from a cost, a result carrying one, or a batch of either."""
+    if isinstance(source, SolveCost):
+        return source
+    cost = getattr(source, "cost", None)
+    if isinstance(cost, SolveCost):
+        return cost
+    if isinstance(source, Iterable):
+        total = SolveCost()
+        empty = True
+        for item in source:
+            total = total + _extract_cost(item)
+            empty = False
+        if not empty:
+            return total
+    raise TypeError(
+        f"solve_breakdown needs a SolveCost, a result with .cost, or an "
+        f"iterable of those; got {type(source).__name__}"
+    )
+
+
+def _component_costs(cost: SolveCost) -> dict[str, tuple[float, float]]:
+    """(time_s, energy_J) per component under the documented model."""
+    engine_cycles = math.ceil(cost.engine_macs / DIGITAL_MACS_PER_CYCLE)
+    refine_cycles = math.ceil(cost.refine_macs / DIGITAL_MACS_PER_CYCLE)
+    return {
+        "analog_settling": (
+            cost.analog_settling_s,
+            cost.amp_seconds * POWER_OPAMP,
+        ),
+        "conversion": (
+            cost.dac_conversions * TIME_DAC_CONVERSION
+            + cost.adc_conversions * TIME_ADC_CONVERSION,
+            cost.dac_conversions * ENERGY_DAC_CONVERSION
+            + cost.adc_conversions * ENERGY_ADC_CONVERSION,
+        ),
+        "digital_engine": (
+            engine_cycles * DIGITAL_CYCLE_TIME,
+            engine_cycles * ENERGY_DIGITAL_CYCLE,
+        ),
+        "refinement": (
+            refine_cycles * DIGITAL_CYCLE_TIME,
+            refine_cycles * ENERGY_DIGITAL_CYCLE,
+        ),
+        "programming": (
+            cost.write_pulses * TIME_WRITE_PULSE,
+            cost.write_pulses * ENERGY_WRITE_PULSE,
+        ),
+        "queue_wait": (cost.queue_wait_s, 0.0),
+    }
+
+
+def solve_breakdown(source: object) -> dict:
+    """The time/energy attribution table for one solve (or a window).
+
+    ``source`` may be a :class:`SolveCost`, any object with a ``.cost``
+    attribute (``SolveResult``), or an iterable of either (a serve
+    window).  Returns::
+
+        {
+          "components": [
+            {"component", "domain", "time_s", "energy_J",
+             "time_pct", "energy_pct"}, ...
+          ],
+          "total_time_s": ..., "total_energy_J": ...,
+          "analog_time_s": ..., "digital_time_s": ...,
+          "mixed_time_s": ..., "wait_time_s": ...,
+          "analog_time_pct": ..., "digital_time_pct": ...,
+          "counters": {raw SolveCost fields},
+        }
+
+    ``time_pct`` (and ``energy_pct``) sum to 100 ± float noise whenever
+    the corresponding total is non-zero — an arithmetic identity the
+    invariant checker re-verifies from the JSON artifact.
+    """
+    cost = _extract_cost(source)
+    per_component = _component_costs(cost)
+    total_time = sum(t for t, _ in per_component.values())
+    total_energy = sum(e for _, e in per_component.values())
+    components: list[dict] = []
+    domain_time: dict[str, float] = {}
+    for name, domain in COMPONENTS:
+        time_s, energy_j = per_component[name]
+        domain_time[domain] = domain_time.get(domain, 0.0) + time_s
+        components.append(
+            {
+                "component": name,
+                "domain": domain,
+                "time_s": time_s,
+                "energy_J": energy_j,
+                "time_pct": (100.0 * time_s / total_time) if total_time > 0 else 0.0,
+                "energy_pct": (
+                    (100.0 * energy_j / total_energy) if total_energy > 0 else 0.0
+                ),
+            }
+        )
+    return {
+        "components": components,
+        "total_time_s": total_time,
+        "total_energy_J": total_energy,
+        "analog_time_s": domain_time.get("analog", 0.0),
+        "digital_time_s": domain_time.get("digital", 0.0),
+        "mixed_time_s": domain_time.get("mixed", 0.0),
+        "wait_time_s": domain_time.get("wait", 0.0),
+        "analog_time_pct": (
+            100.0 * domain_time.get("analog", 0.0) / total_time if total_time > 0 else 0.0
+        ),
+        "digital_time_pct": (
+            100.0 * domain_time.get("digital", 0.0) / total_time if total_time > 0 else 0.0
+        ),
+        "counters": cost.as_dict(),
+    }
+
+
+def window_breakdown(results: "Iterable[object]") -> dict:
+    """Aggregate breakdown over a serve window (iterable of results/costs)."""
+    return solve_breakdown(results)
+
+
+def _si_time(seconds: float) -> str:
+    if seconds == 0:
+        return "0"
+    for unit, scale in (("s", 1.0), ("ms", 1e-3), ("us", 1e-6), ("ns", 1e-9)):
+        if abs(seconds) >= scale:
+            return f"{seconds / scale:.3g} {unit}"
+    return f"{seconds:.3g} s"
+
+
+def _si_energy(joules: float) -> str:
+    if joules == 0:
+        return "0"
+    for unit, scale in (("J", 1.0), ("mJ", 1e-3), ("uJ", 1e-6), ("nJ", 1e-9), ("pJ", 1e-12)):
+        if abs(joules) >= scale:
+            return f"{joules / scale:.3g} {unit}"
+    return f"{joules:.3g} J"
+
+
+def format_breakdown(breakdown: dict) -> str:
+    """The breakdown as a GitHub-flavoured markdown table (for PRs/CI)."""
+    lines = [
+        "| component | domain | time | time % | energy | energy % |",
+        "| --- | --- | --- | --- | --- | --- |",
+    ]
+    for row in breakdown["components"]:
+        lines.append(
+            f"| {row['component']} | {row['domain']} "
+            f"| {_si_time(row['time_s'])} | {row['time_pct']:.1f} "
+            f"| {_si_energy(row['energy_J'])} | {row['energy_pct']:.1f} |"
+        )
+    lines.append(
+        f"| **total** |  | **{_si_time(breakdown['total_time_s'])}** | 100.0 "
+        f"| **{_si_energy(breakdown['total_energy_J'])}** | 100.0 |"
+    )
+    lines.append("")
+    lines.append(
+        f"analog {breakdown['analog_time_pct']:.1f}% / "
+        f"digital {breakdown['digital_time_pct']:.1f}% of modeled time"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,394 @@
+"""Span tracing for the chip-to-serve pipeline.
+
+A :class:`Tracer` produces nested :class:`Span` records with monotonic
+(``time.perf_counter``) timestamps and per-span attributes.  Spans are
+emitted at every hot-path boundary — ``compile`` / ``program`` /
+``autorange`` / ``sweep`` / ``engine_dispatch`` / ``refine_step`` on the
+chip side, ``admit`` / ``queue`` / ``coalesce`` / ``dispatch`` /
+``scatter`` on the serve side — so one traced solve renders as a
+flamegraph (:func:`repro.obs.export.chrome_trace`).
+
+Design constraints, in priority order:
+
+* **A disabled tracer is near-free.**  The module-level :func:`span`
+  checks one attribute and returns a preallocated no-op context manager
+  — no object allocation, no clock read.  CI gates the end-to-end
+  overhead of the disabled path below 2 % (``benchmarks/test_obs_smoke``).
+* **Concurrency-correct nesting.**  The active-span stack lives in a
+  :mod:`contextvars` context variable, so it is per-asyncio-task *and*
+  per-thread: two serve-layer ``submit`` coroutines interleaving on one
+  event loop each see their own stack, and a chip-executor thread sees
+  none until the dispatcher :meth:`Tracer.adopt`\\ s its window span
+  across the ``run_in_executor`` boundary.
+* **Zero dependencies.**  Sinks are plain objects with
+  ``emit(span)`` / ``flush()``; the bundled ones live in
+  :mod:`repro.obs.export`.
+
+Enable globally with ``REPRO_TRACE`` (e.g. ``REPRO_TRACE=memory``,
+``REPRO_TRACE=chrome:trace.json,jsonl:spans.jsonl``) or per chip with
+``GramcChip(trace=...)``.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "configure",
+    "configure_from_env",
+    "current_span",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "traced",
+]
+
+import contextvars
+
+_ENV_VAR = "REPRO_TRACE"
+_OFF_SPECS = frozenset({"", "0", "off", "none", "false", "disabled"})
+_MEMORY_SPECS = frozenset({"1", "on", "true", "memory", "mem"})
+
+
+class Span:
+    """One timed, attributed region of work.
+
+    ``start_s`` / ``end_s`` are ``time.perf_counter()`` readings —
+    monotonic, comparable only within a process.  ``parent_id`` is the
+    enclosing span's id (``None`` for roots), which is all the exporters
+    need to rebuild the tree.
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "thread_id", "start_s", "end_s", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        thread_id: int,
+        start_s: float,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.thread_id = thread_id
+        self.start_s = start_s
+        self.end_s: float | None = None
+        self.attrs: dict[str, object] = {}
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end_s if self.end_s is not None else self.start_s) - self.start_s
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread": self.thread_id,
+            "start_us": round(self.start_s * 1e6, 3),
+            "dur_us": round(self.duration_s * 1e6, 3),
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, "
+            f"dur={self.duration_s * 1e6:.1f}us, attrs={self.attrs})"
+        )
+
+
+class _NullSpan:
+    """The span handed out by a disabled tracer: absorbs everything."""
+
+    __slots__ = ()
+    name = ""
+    span_id = -1
+    parent_id = None
+    thread_id = -1
+    start_s = 0.0
+    end_s = 0.0
+    duration_s = 0.0
+    attrs: dict[str, object] = {}
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+    def as_dict(self) -> dict[str, object]:  # pragma: no cover - debugging aid
+        return {}
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _NullContext:
+    """Reusable no-op context manager — the whole disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+#: The active-span stack: an immutable tuple in a context variable, so
+#: pushes/pops are token-scoped and concurrent asyncio tasks / threads
+#: never see each other's stacks.
+_STACK: "contextvars.ContextVar[tuple[Span, ...]]" = contextvars.ContextVar(
+    "repro_trace_stack", default=()
+)
+
+
+class Tracer:
+    """Collects finished spans in memory and forwards them to sinks."""
+
+    def __init__(self, enabled: bool = True, sinks: "tuple | list" = ()) -> None:
+        self.enabled = enabled
+        self.sinks = list(sinks)
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def span(self, name: str, **attrs: object):
+        """Context manager timing one region, nested under the current span."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return self._span_cm(name, attrs)
+
+    @contextmanager
+    def _span_cm(self, name: str, attrs: dict[str, object]):
+        stack = _STACK.get()
+        parent_id = stack[-1].span_id if stack else None
+        sp = Span(
+            name, next(self._ids), parent_id, threading.get_ident(), time.perf_counter()
+        )
+        if attrs:
+            sp.attrs.update(attrs)
+        token = _STACK.set(stack + (sp,))
+        try:
+            yield sp
+        finally:
+            _STACK.reset(token)
+            self._finish(sp)
+
+    def begin(self, name: str, parent: "Span | None" = None, **attrs: object) -> Span:
+        """Open a span by hand (for regions that cross coroutine/thread
+        boundaries, e.g. queue wait).  Pair with :meth:`finish`; the span
+        does NOT join the context stack."""
+        if not self.enabled:
+            return NULL_SPAN
+        if parent is None:
+            stack = _STACK.get()
+            parent = stack[-1] if stack else None
+        parent_id = parent.span_id if isinstance(parent, Span) else None
+        sp = Span(
+            name, next(self._ids), parent_id, threading.get_ident(), time.perf_counter()
+        )
+        if attrs:
+            sp.attrs.update(attrs)
+        return sp
+
+    def finish(self, sp: "Span | _NullSpan", **attrs: object) -> None:
+        """Close a :meth:`begin`-opened span (idempotent; no-op span safe)."""
+        if not isinstance(sp, Span) or sp.end_s is not None:
+            return
+        if attrs:
+            sp.attrs.update(attrs)
+        self._finish(sp)
+
+    def _finish(self, sp: Span) -> None:
+        if sp.end_s is None:
+            sp.end_s = time.perf_counter()
+        with self._lock:
+            self._spans.append(sp)
+        for sink in self.sinks:
+            sink.emit(sp)
+
+    @contextmanager
+    def adopt(self, parent: "Span | _NullSpan | None"):
+        """Run a block with ``parent`` as the current span.
+
+        This is the cross-thread/task bridge: the serve dispatcher passes
+        its window span into the chip-executor thread so the chip-side
+        spans nest under it instead of becoming roots.
+        """
+        if not self.enabled or not isinstance(parent, Span):
+            yield
+            return
+        token = _STACK.set((parent,))
+        try:
+            yield
+        finally:
+            _STACK.reset(token)
+
+    # -- introspection -------------------------------------------------------
+
+    def current(self) -> "Span | None":
+        stack = _STACK.get()
+        return stack[-1] if stack else None
+
+    def spans(self) -> "list[Span]":
+        """Snapshot of finished spans, in finish order."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def flush(self) -> None:
+        for sink in self.sinks:
+            sink.flush()
+
+    def close(self) -> None:
+        self.flush()
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+#: The process-global tracer.  Disabled by default; ``REPRO_TRACE`` or
+#: ``GramcChip(trace=...)`` / :func:`configure` swap it.
+_tracer = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    return _tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the global tracer; returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+def span(name: str, **attrs: object):
+    """Module-level span on the global tracer — the one-liner hot paths use.
+
+    Disabled path: one attribute load, one truth test, return a shared
+    no-op context manager.  No allocation beyond the kwargs dict.
+    """
+    tracer = _tracer
+    if not tracer.enabled:
+        return _NULL_CONTEXT
+    return tracer._span_cm(name, attrs)
+
+
+def current_span() -> "Span | None":
+    """The innermost active span in this task/thread (None when idle)."""
+    stack = _STACK.get()
+    return stack[-1] if stack else None
+
+
+def traced(name: str | None = None, **attrs: object):
+    """Decorator form: trace every call of the wrapped function."""
+
+    def decorate(fn):
+        label = name if name is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: object, **kwargs: object):
+            tracer = _tracer
+            if not tracer.enabled:
+                return fn(*args, **kwargs)
+            with tracer._span_cm(label, dict(attrs)):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+# -- configuration ------------------------------------------------------------
+
+
+def configure(spec: "str | bool | Tracer | None") -> Tracer:
+    """Build + install a tracer from a ``REPRO_TRACE``-style spec.
+
+    Accepted specs (comma-separable, case-insensitive):
+
+    * ``None`` / ``"off"`` / ``"0"`` / ``"none"`` — disabled tracer;
+    * ``True`` / ``"on"`` / ``"1"`` / ``"memory"`` — enabled, in-memory only;
+    * ``"jsonl:PATH"`` — stream every finished span as one JSON line;
+    * ``"chrome:PATH"`` — buffer spans, write a Chrome ``trace_event``
+      JSON (load in Perfetto / ``chrome://tracing``) on flush/exit;
+    * an existing :class:`Tracer` — installed as-is.
+
+    Returns the installed tracer.
+    """
+    if isinstance(spec, Tracer):
+        set_tracer(spec)
+        return spec
+    if spec is None or spec is False:
+        tracer = Tracer(enabled=False)
+        set_tracer(tracer)
+        return tracer
+    if spec is True:
+        tracer = Tracer(enabled=True)
+        set_tracer(tracer)
+        return tracer
+    text = str(spec).strip().lower()
+    if text in _OFF_SPECS:
+        tracer = Tracer(enabled=False)
+        set_tracer(tracer)
+        return tracer
+    sinks: list = []
+    enabled = False
+    for part in str(spec).split(","):
+        part = part.strip()
+        if not part:
+            continue
+        lowered = part.lower()
+        if lowered in _MEMORY_SPECS:
+            enabled = True
+            continue
+        if lowered in _OFF_SPECS:
+            continue
+        kind, _, target = part.partition(":")
+        kind = kind.strip().lower()
+        if kind == "jsonl":
+            from repro.obs.export import JsonlSpanSink
+
+            sinks.append(JsonlSpanSink(target or "repro_spans.jsonl"))
+            enabled = True
+        elif kind == "chrome":
+            from repro.obs.export import ChromeTraceSink
+
+            sinks.append(ChromeTraceSink(target or "repro_trace.json"))
+            enabled = True
+        else:
+            raise ValueError(
+                f"unknown {_ENV_VAR} sink {part!r} "
+                f"(expected memory, jsonl:PATH or chrome:PATH)"
+            )
+    tracer = Tracer(enabled=enabled, sinks=sinks)
+    set_tracer(tracer)
+    return tracer
+
+
+def configure_from_env(environ: "dict[str, str] | None" = None) -> Tracer:
+    """Install the tracer ``REPRO_TRACE`` asks for (disabled if unset)."""
+    env = os.environ if environ is None else environ
+    return configure(env.get(_ENV_VAR))

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.obs import trace
 from repro.serve.tenancy import TenantRegistry, TenantState
 from repro.serve.types import (
     QuotaExceeded,
@@ -54,28 +55,37 @@ class AdmissionController:
         Raises :class:`UnknownTenant` / :class:`ServiceOverloaded` /
         :class:`QuotaExceeded`; on success the request holds one pending
         slot until :meth:`release`."""
-        state = self._registry.get(request.tenant)
-        state.counters.submitted += 1
-        state.counters.columns_submitted += request.columns
-        if self._total_pending >= self._config.max_pending:
-            raise self._shed(
-                state,
-                ServiceOverloaded,
-                f"service overloaded: {self._total_pending} requests pending "
-                f"(global bound {self._config.max_pending}); request from "
-                f"tenant {state.name!r} shed",
-            )
-        if state.pending >= state.quota.max_pending:
-            raise self._shed(
-                state,
-                QuotaExceeded,
-                f"tenant {state.name!r} quota exceeded: {state.pending} "
-                f"requests pending (bound {state.quota.max_pending})",
-            )
-        state.pending += 1
-        self._total_pending += 1
-        state.counters.admitted += 1
-        return state
+        with trace.span(
+            "admit",
+            tenant=request.tenant,
+            kind=request.kind,
+            columns=request.columns,
+        ) as sp:
+            state = self._registry.get(request.tenant)
+            state.counters.submitted += 1
+            state.counters.columns_submitted += request.columns
+            if self._total_pending >= self._config.max_pending:
+                sp.set(outcome="shed-global")
+                raise self._shed(
+                    state,
+                    ServiceOverloaded,
+                    f"service overloaded: {self._total_pending} requests pending "
+                    f"(global bound {self._config.max_pending}); request from "
+                    f"tenant {state.name!r} shed",
+                )
+            if state.pending >= state.quota.max_pending:
+                sp.set(outcome="shed-quota")
+                raise self._shed(
+                    state,
+                    QuotaExceeded,
+                    f"tenant {state.name!r} quota exceeded: {state.pending} "
+                    f"requests pending (bound {state.quota.max_pending})",
+                )
+            state.pending += 1
+            self._total_pending += 1
+            state.counters.admitted += 1
+            sp.set(outcome="admitted")
+            return state
 
     def release(self, request: SolveRequest) -> None:
         """Return the request's pending slot (whatever its outcome)."""

@@ -189,6 +189,24 @@ class CoalescedBatch:
         attempts = np.asarray(per_column_attempts[start:stop], dtype=int)
         saturated = np.asarray(column_saturated[start:stop], dtype=bool)
         refine = self._slice_refinement(result, start, stop, request)
+        # Cost attribution: each caller is charged its column share of the
+        # window's engine work, plus its *own* queue wait — siblings that
+        # arrived earlier waited longer for the same dispatch.
+        cost = None
+        if result.cost is not None:
+            cost = result.cost.scaled((stop - start) / max(self.columns, 1))
+            cost.queue_wait_s = request.queue_wait_s
+            # Refinement is paid only by the columns that contracted for
+            # it: an rtol-less rider is never touched by correction
+            # solves, so refining siblings split that work by column.
+            refining = sum(r.columns for r in self.requests if r.rtol is not None)
+            if request.rtol is None:
+                cost.refine_macs = 0
+                cost.refine_steps = 0
+            elif refining:
+                share = request.columns / refining
+                cost.refine_macs = round(result.cost.refine_macs * share)
+                cost.refine_steps = round(result.cost.refine_steps * share)
         if request.vector:
             return SolveResult(
                 mode=result.mode,
@@ -202,6 +220,7 @@ class CoalescedBatch:
                 sweeps=result.sweeps,
                 engine_dispatches=result.engine_dispatches,
                 stack_rebuilds=result.stack_rebuilds,
+                cost=cost,
                 **refine,
             )
         return SolveResult(
@@ -219,6 +238,7 @@ class CoalescedBatch:
             sweeps=result.sweeps,
             engine_dispatches=result.engine_dispatches,
             stack_rebuilds=result.stack_rebuilds,
+            cost=cost,
             **refine,
         )
 

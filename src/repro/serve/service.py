@@ -31,6 +31,7 @@ Design points:
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -41,6 +42,7 @@ from repro.core.errors import CapacityError, GramcError, ShapeError
 from repro.core.refine import as_rtol_vector
 from repro.core.results import SolveResult
 from repro.core.solver import GramcSolver
+from repro.obs import trace
 from repro.serve.admission import AdmissionController
 from repro.serve.coalescer import CoalescedBatch, coalesce
 from repro.serve.scheduler import FairShareScheduler
@@ -80,7 +82,11 @@ class SolveService:
     def __init__(self, solver: GramcSolver, config: ServeConfig | None = None):
         self.solver = solver
         self.config = config or ServeConfig()
-        self.stats = ServiceStats()
+        # Chip and service counters land in one metrics registry when the
+        # solver has stats (one Prometheus scrape covers the whole stack).
+        self.stats = ServiceStats(
+            registry=getattr(solver.stats, "registry", None)
+        )
         self.registry = TenantRegistry(self.stats)
         self._admission = AdmissionController(
             self.registry, self.config, self.stats, solver.pool.owner_stats
@@ -263,6 +269,12 @@ class SolveService:
             rtol=rtol_vector,
         )
         state = self._admission.admit(request)  # raises the shed errors
+        request.admitted_s = time.perf_counter()
+        # The queue wait crosses coroutine boundaries (submitter here,
+        # dispatcher finishes it), so it is a manual begin/finish span.
+        request.queue_span = trace.get_tracer().begin(
+            "queue", tenant=tenant, kind=kind, columns=columns
+        )
         assert self._queue is not None
         self._queue.put_nowait(request)
         if timeout is None:
@@ -315,18 +327,30 @@ class SolveService:
             await self._dispatch_window(window)
 
     async def _dispatch_window(self, window: "list[SolveRequest]") -> None:
+        tracer = trace.get_tracer()
         live: list[SolveRequest] = []
         for request in window:
             if request.future.done():
                 # Cancelled (or deadline-cancelled) while queued.
+                tracer.finish(request.queue_span, outcome="abandoned")
+                request.queue_span = None
                 if not request.timed_out:
                     self.registry.get(request.tenant).counters.cancelled += 1
                 continue
             live.append(request)
         if not live:
             return
-        for batch in self._scheduler.order(coalesce(live)):
-            await self._run_batch(batch)
+        with trace.span(
+            "serve_window",
+            requests=len(live),
+            columns=sum(request.columns for request in live),
+        ) as window_span:
+            with trace.span("coalesce", requests=len(live)) as sp:
+                batches = self._scheduler.order(coalesce(live))
+                sp.set(batches=len(batches))
+            for batch in batches:
+                await self._run_batch(batch)
+            window_span.set(batches=len(batches))
 
     async def _run_batch(self, batch: CoalescedBatch) -> None:
         loop = asyncio.get_running_loop()
@@ -334,14 +358,44 @@ class SolveService:
         # (re-)programming, reclaim tiles from over-share tenants first so
         # quota, not LRU recency, picks the victim.  No-op in steady state.
         self._scheduler.reclaim_for(batch)
+
+        # The batch is leaving the queue for the chip: close every
+        # member's queue span and stamp its wait (fed into the scattered
+        # per-request cost breakdowns by the coalescer).
+        tracer = trace.get_tracer()
+        now = time.perf_counter()
+        for request in batch.requests:
+            if request.admitted_s is not None:
+                request.queue_wait_s = now - request.admitted_s
+            tracer.finish(
+                request.queue_span, wait_s=round(request.queue_wait_s, 9)
+            )
+            request.queue_span = None
+
+        # ``batch.execute`` runs on the chip thread, outside this task's
+        # context: adopt the window span there so chip-side spans (solve,
+        # sweeps, refine steps) nest under the serve window.
+        parent = tracer.current()
+
+        def execute():
+            with tracer.adopt(parent):
+                with trace.span(
+                    "dispatch",
+                    operator=batch.operator.key[:12],
+                    kind=batch.kind,
+                    columns=batch.columns,
+                    requests=len(batch.requests),
+                ):
+                    return batch.execute()
+
         try:
-            result = await loop.run_in_executor(self._executor, batch.execute)
+            result = await loop.run_in_executor(self._executor, execute)
         except CapacityError:
             if not self._scheduler.make_room(batch):
                 batch.reject_all(self._overloaded(batch), self.registry)
                 return
             try:
-                result = await loop.run_in_executor(self._executor, batch.execute)
+                result = await loop.run_in_executor(self._executor, execute)
             except CapacityError:
                 batch.reject_all(self._overloaded(batch), self.registry)
                 return
@@ -354,7 +408,10 @@ class SolveService:
             batch.reject_all(error, self.registry)
             return
         self.stats.record_dispatch(batch.tenant_names(), batch.columns)
-        batch.scatter(result, self.registry)
+        with trace.span(
+            "scatter", columns=batch.columns, requests=len(batch.requests)
+        ):
+            batch.scatter(result, self.registry)
         self._scheduler.charge(batch)
 
     def _overloaded(self, batch: CoalescedBatch) -> ServiceOverloaded:

@@ -169,3 +169,14 @@ class SolveRequest:
     timed_out: bool = False
     """Set by the submitter when the deadline cancelled the future, so
     the dispatcher does not double-count it as a client cancellation."""
+    admitted_s: float | None = None
+    """``time.perf_counter()`` at admission — the start of this request's
+    queue wait (``None`` until admitted)."""
+    queue_wait_s: float = 0.0
+    """Seconds spent between admission and engine dispatch, stamped by
+    the dispatcher; feeds the per-solve cost breakdown's ``queue_wait``
+    component."""
+    queue_span: object = field(default=None, repr=False)
+    """Open ``queue`` trace span (a :class:`repro.obs.trace.Span` handle,
+    started at admission, finished at dispatch); ``None`` when tracing is
+    disabled."""

@@ -19,6 +19,8 @@ Both runtime paths account programming and solve activity into
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.analog.topologies import AMCMode
@@ -27,6 +29,7 @@ from repro.core.operator import AnalogOperator
 from repro.core.pool import MacroPool, PoolConfig
 from repro.core.solver import GramcSolver
 from repro.core.tiled import TiledOperator
+from repro.obs import trace as obs_trace
 from repro.system.assembler import assemble
 from repro.system.buffers import GlobalBuffer
 from repro.system.controller import Controller, ExecutionTrace
@@ -43,12 +46,22 @@ class GramcChip:
         rng: np.random.Generator | None = None,
         buffer_capacity: int = 1 << 16,
         backend: "object | str | None" = None,
+        trace: "str | bool | None" = None,
     ):
         self.rng = rng if rng is not None else np.random.default_rng(2025)
         self.pool = MacroPool(pool_config or PoolConfig(), rng=self.rng)
         self.global_buffer = GlobalBuffer(buffer_capacity)
         self.stats = ChipStats()
         self.controller = Controller(self.pool.macros, self.global_buffer, stats=self.stats)
+        # ``trace=`` configures the process-global tracer (spans are a
+        # process-wide stream, like logging): ``True``/"memory" buffers in
+        # memory, "jsonl:PATH" / "chrome:PATH" stream to exporters, and
+        # ``None`` defers to the ``REPRO_TRACE`` environment variable —
+        # without clobbering a tracer someone already installed by hand.
+        if trace is not None:
+            obs_trace.configure(trace)
+        elif os.environ.get("REPRO_TRACE"):
+            obs_trace.configure_from_env()
         # Resolved eagerly so an unknown backend name (or a bad
         # REPRO_BACKEND value) fails at chip construction, not mid-solve.
         self.backend = resolve_backend(backend)

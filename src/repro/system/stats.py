@@ -4,12 +4,22 @@ The paper reports no performance table, so these estimates are an
 *extension*: they use published AMC component figures (documented per
 constant) to let users compare configurations.  The ablation bench
 ``benchmarks/test_ablation_settling.py`` builds on the latency side.
+
+Since the observability PR, :class:`ChipStats`, :class:`TenantCounters`
+and :class:`ServiceStats` are **views over one**
+:class:`~repro.obs.registry.MetricsRegistry` instead of parallel
+bespoke dicts: the same cells that feed ``summary()`` feed the
+Prometheus dump (:func:`repro.obs.export.prometheus_text`), so chip
+counters, serve counters and exported metrics can never drift apart.
+The public surface (field reads, ``+=`` updates, ``record_*`` methods,
+``summary()``/``as_dict()`` key sets) is unchanged.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass, field
+import math
+
+from repro.obs.registry import MetricFamily, MetricsRegistry
 
 # Energy model constants (order-of-magnitude figures from the AMC/IMC
 # literature; see e.g. ISAAC/PRIME-class accelerator papers).
@@ -31,71 +41,198 @@ DIGITAL_CYCLE_TIME = 1e-9
 ENERGY_DIGITAL_CYCLE = 5e-12
 """Joules per digital controller cycle."""
 
+# Time model constants for the per-solve breakdown (same literature; the
+# conversion times bracket published 8-bit SAR ADC / current-steering
+# DAC figures, the write-pulse time is the 30 ns SET/RESET pulse).
+TIME_DAC_CONVERSION = 5e-9
+"""Seconds per 8-bit DAC conversion."""
 
-@dataclass
+TIME_ADC_CONVERSION = 1e-8
+"""Seconds per 8-bit ADC conversion."""
+
+TIME_WRITE_PULSE = 3e-8
+"""Seconds per programming pulse."""
+
+DIGITAL_MACS_PER_CYCLE = 128
+"""Multiply-accumulates the digital engine retires per cycle (a modest
+128-lane MAC array — how engine kernels convert to cycles)."""
+
+
+class _CounterMap:
+    """Counter-like view over a labeled counter family (0-default reads).
+
+    Presents ``stats.instructions["EXE"] += 1`` / ``.values()`` /
+    ``.items()`` on top of per-label registry cells, preserving the
+    :class:`collections.Counter` surface the seed exposed.
+    """
+
+    __slots__ = ("_family",)
+
+    def __init__(self, family: MetricFamily) -> None:
+        self._family = family
+
+    def __getitem__(self, key: str) -> int:
+        child = self._family._children.get((str(key),))
+        return int(child.value) if child is not None else 0
+
+    def __setitem__(self, key: str, value: int) -> None:
+        self._family.labels(str(key)).set(value)
+
+    def __contains__(self, key: str) -> bool:
+        return (str(key),) in self._family._children
+
+    def __iter__(self):
+        return (key[0] for key in self._family._children)
+
+    def __len__(self) -> int:
+        return len(self._family._children)
+
+    def get(self, key: str, default: int = 0) -> int:
+        return self[key] if key in self else default
+
+    def keys(self):
+        return [key[0] for key in self._family._children]
+
+    def values(self):
+        return [int(cell.value) for cell in self._family._children.values()]
+
+    def items(self):
+        return [
+            (key[0], int(cell.value)) for key, cell in self._family._children.items()
+        ]
+
+    def total(self) -> int:
+        return sum(self.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({dict(self.items())!r})"
+
+
+def _scalar_property(attr: str, cast=int):
+    """An int/float property over a zero-label registry cell."""
+
+    def getter(self):
+        return cast(getattr(self, attr).value)
+
+    def setter(self, value):
+        getattr(self, attr).set(value)
+
+    return property(getter, setter)
+
+
 class ChipStats:
-    """Mutable counters updated by the controller and macros."""
+    """Mutable counters updated by the controller and macros.
 
-    instructions: Counter = field(default_factory=Counter)
-    digital_cycles: int = 0
-    analog_solves: Counter = field(default_factory=Counter)
-    analog_solve_time: float = 0.0
-    amp_solve_integral: float = 0.0
-    """Σ (active amplifiers × settling time) over all solves."""
+    A view over a :class:`MetricsRegistry` — pass one to share it with
+    the serve layer (``GramcChip`` shares a single registry between its
+    ``ChipStats`` and its service's ``ServiceStats``).
+    """
 
-    dac_conversions: int = 0
-    adc_conversions: int = 0
-    write_pulses: int = 0
-    cells_programmed: int = 0
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self.instructions = _CounterMap(
+            r.counter("gramc_instructions_total", "ISA instructions executed", ("name",))
+        )
+        self.analog_solves = _CounterMap(
+            r.counter("gramc_analog_solves_total", "Analog solves by mode", ("mode",))
+        )
+        self._digital_cycles = r.counter(
+            "gramc_digital_cycles_total", "Digital controller cycles"
+        )
+        self._analog_solve_time = r.counter(
+            "gramc_analog_solve_seconds_total", "Summed analog settling time (s)"
+        )
+        self._amp_solve_integral = r.counter(
+            "gramc_amp_seconds_total",
+            "Sum of (active amplifiers x settling time) over all solves",
+        )
+        self._dac_conversions = r.counter(
+            "gramc_dac_conversions_total", "DAC conversions"
+        )
+        self._adc_conversions = r.counter(
+            "gramc_adc_conversions_total", "ADC conversions"
+        )
+        self._write_pulses = r.counter(
+            "gramc_write_pulses_total", "Programming pulses applied"
+        )
+        self._cells_programmed = r.counter(
+            "gramc_cells_programmed_total", "Crossbar cells programmed"
+        )
+        self._engine_dispatches = r.counter(
+            "gramc_engine_dispatches_total",
+            "Digital-engine kernel dispatches (batched array kernels or "
+            "per-tile compute calls) — the vectorized grid engine's "
+            "O(1)-per-sweep claim is asserted against this counter",
+        )
+        self._stack_rebuilds = r.counter(
+            "gramc_stack_rebuilds_total",
+            "Stacked-slice rebuilds in the grid engine (slices recopied "
+            "after a crossbar version bump)",
+        )
+        self._refine_steps = r.counter(
+            "gramc_refine_steps_total",
+            "Digital iterative-refinement steps across all solve(rtol=...) "
+            "calls",
+        )
+        self._refine_dispatches = r.counter(
+            "gramc_refine_dispatches_total",
+            "Engine kernel dispatches issued by refinement steps (a subset "
+            "of gramc_engine_dispatches_total)",
+        )
 
-    engine_dispatches: int = 0
-    """Digital-engine kernel dispatches (one batched array kernel or one
-    per-tile compute call each) — the vectorized grid engine's O(1)-per-
-    sweep claim is asserted against this counter."""
-    stack_rebuilds: int = 0
-    """Stacked-slice rebuilds in the grid engine: how many per-tile slices
-    were (re)copied into the contiguous stacks because a crossbar version
-    bump (programming, refresh, preemption) invalidated them."""
-    refine_steps: int = 0
-    """Digital iterative-refinement steps applied across all
-    ``solve(rtol=...)`` calls — each is one float64 residual + one analog
-    correction re-solve on the resident operator."""
-    refine_dispatches: int = 0
-    """Engine kernel dispatches issued *by refinement steps* (a subset of
-    ``engine_dispatches``).  ``engine_dispatches − refine_dispatches`` is
-    the base analog work; the ratio makes the analog/digital work split
-    of the accuracy contract observable."""
+    digital_cycles = _scalar_property("_digital_cycles")
+    analog_solve_time = _scalar_property("_analog_solve_time", float)
+    amp_solve_integral = _scalar_property("_amp_solve_integral", float)
+    dac_conversions = _scalar_property("_dac_conversions")
+    adc_conversions = _scalar_property("_adc_conversions")
+    write_pulses = _scalar_property("_write_pulses")
+    cells_programmed = _scalar_property("_cells_programmed")
+    engine_dispatches = _scalar_property("_engine_dispatches")
+    stack_rebuilds = _scalar_property("_stack_rebuilds")
+    refine_steps = _scalar_property("_refine_steps")
+    refine_dispatches = _scalar_property("_refine_dispatches")
 
     def record_instruction(self, name: str, cycles: int = 1) -> None:
         self.instructions[name] += 1
-        self.digital_cycles += cycles
+        self._digital_cycles.inc(cycles)
 
     def record_dispatches(self, count: int = 1) -> None:
-        self.engine_dispatches += count
+        self._engine_dispatches.inc(count)
 
     def record_stack_rebuilds(self, count: int = 1) -> None:
-        self.stack_rebuilds += count
+        self._stack_rebuilds.inc(count)
 
-    def record_refinement(self, steps: int, dispatches: int) -> None:
-        """Account one refined solve: its step count and the engine
-        dispatches those correction re-solves issued."""
-        self.refine_steps += steps
-        self.refine_dispatches += dispatches
+    def record_digital_work(self, macs: int) -> None:
+        """Account ``macs`` multiply-accumulates executed by the digital
+        engine (converted to controller cycles at
+        :data:`DIGITAL_MACS_PER_CYCLE` per cycle), so engine kernels feed
+        the energy/latency estimates like ISA instructions do."""
+        if macs > 0:
+            self._digital_cycles.inc(math.ceil(macs / DIGITAL_MACS_PER_CYCLE))
+
+    def record_refinement(self, steps: int, dispatches: int, macs: int = 0) -> None:
+        """Account one refined solve: its step count, the engine dispatches
+        those correction re-solves issued, and the float64 residual MACs
+        (which feed the digital-cycle energy/latency estimates)."""
+        self._refine_steps.inc(steps)
+        self._refine_dispatches.inc(dispatches)
+        self.record_digital_work(macs)
 
     def record_solve(self, mode: str, amplifiers: int, settling_time: float | None) -> None:
         self.analog_solves[mode] += 1
         if settling_time is not None:
-            self.analog_solve_time += settling_time
-            self.amp_solve_integral += amplifiers * settling_time
+            self._analog_solve_time.inc(settling_time)
+            self._amp_solve_integral.inc(amplifiers * settling_time)
 
     def record_conversions(self, dac: int = 0, adc: int = 0) -> None:
-        self.dac_conversions += dac
-        self.adc_conversions += adc
+        self._dac_conversions.inc(dac)
+        self._adc_conversions.inc(adc)
 
     def record_programming(self, cells: int, pulses_per_cell: float = 9.0) -> None:
         """Account a bulk write (mean pulse count from the physical model)."""
-        self.cells_programmed += cells
-        self.write_pulses += int(round(cells * pulses_per_cell))
+        self._cells_programmed.inc(cells)
+        self._write_pulses.inc(int(round(cells * pulses_per_cell)))
 
     # -- estimates --------------------------------------------------------------
 
@@ -132,44 +269,79 @@ class ChipStats:
         }
 
 
-@dataclass
+#: TenantCounters fields, in the ``as_dict()``/``summary()`` key order.
+_TENANT_FIELDS = (
+    "submitted",
+    "admitted",
+    "rejected",
+    "completed",
+    "failed",
+    "cancelled",
+    "timed_out",
+    "columns_submitted",
+    "columns_dispatched",
+    "engine_calls",
+    "preemptions",
+)
+
+
+def _tenant_property(field: str):
+    def getter(self):
+        return int(self._cells[field].value)
+
+    def setter(self, value):
+        self._cells[field].set(value)
+
+    return property(getter, setter)
+
+
 class TenantCounters:
-    """Request-lifecycle counters for one tenant of the solve service."""
+    """Request-lifecycle counters for one tenant of the solve service.
 
-    submitted: int = 0
-    admitted: int = 0
-    rejected: int = 0
-    completed: int = 0
-    failed: int = 0
-    cancelled: int = 0
-    timed_out: int = 0
-    columns_submitted: int = 0
-    columns_dispatched: int = 0
-    engine_calls: int = 0
-    """Batched engine calls that carried at least one of this tenant's
-    columns (a shared coalesced call counts once per participating
-    tenant)."""
-    preemptions: int = 0
-    """Times one of this tenant's resident operators was preempted by the
-    fair-share scheduler to make room for another tenant."""
+    ``engine_calls`` counts batched engine calls that carried at least
+    one of this tenant's columns (a shared coalesced call counts once per
+    participating tenant); ``preemptions`` counts times one of this
+    tenant's resident operators was preempted by the fair-share scheduler.
+    """
 
-    def as_dict(self) -> dict[str, int]:
-        return {
-            "submitted": self.submitted,
-            "admitted": self.admitted,
-            "rejected": self.rejected,
-            "completed": self.completed,
-            "failed": self.failed,
-            "cancelled": self.cancelled,
-            "timed_out": self.timed_out,
-            "columns_submitted": self.columns_submitted,
-            "columns_dispatched": self.columns_dispatched,
-            "engine_calls": self.engine_calls,
-            "preemptions": self.preemptions,
+    __slots__ = ("_cells",)
+
+    def __init__(
+        self, registry: MetricsRegistry | None = None, tenant: str = ""
+    ) -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        self._cells = {
+            field: registry.counter(
+                f"serve_tenant_{field}_total",
+                f"Per-tenant {field.replace('_', ' ')} count",
+                ("tenant",),
+            ).labels(tenant)
+            for field in _TENANT_FIELDS
         }
 
+    submitted = _tenant_property("submitted")
+    admitted = _tenant_property("admitted")
+    rejected = _tenant_property("rejected")
+    completed = _tenant_property("completed")
+    failed = _tenant_property("failed")
+    cancelled = _tenant_property("cancelled")
+    timed_out = _tenant_property("timed_out")
+    columns_submitted = _tenant_property("columns_submitted")
+    columns_dispatched = _tenant_property("columns_dispatched")
+    engine_calls = _tenant_property("engine_calls")
+    preemptions = _tenant_property("preemptions")
 
-@dataclass
+    def as_dict(self) -> dict[str, int]:
+        return {field: int(self._cells[field].value) for field in _TENANT_FIELDS}
+
+    def summary(self) -> dict[str, int]:
+        """Identical key set to :meth:`as_dict` — the two are one table."""
+        return self.as_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TenantCounters({self.as_dict()!r})"
+
+
 class ServiceStats:
     """Aggregated multi-tenant serving counters (updated by the serve layer).
 
@@ -177,39 +349,56 @@ class ServiceStats:
     the *hardware* did (solves, conversions, write pulses), ``ServiceStats``
     counts what the *request layer* did to keep that hardware saturated —
     admissions, rejections, and how many caller columns each batched engine
-    call amortized.
+    call amortized.  Pass the chip's registry to publish both through one
+    Prometheus dump.
     """
 
-    tenants: dict[str, TenantCounters] = field(default_factory=dict)
-    engine_calls: int = 0
-    """Dispatched batched engine calls (one per coalesced window group)."""
-    coalesced_columns: int = 0
-    """RHS columns carried by those calls — ``coalesced_columns /
-    engine_calls`` is the coalescing factor, the serve layer's whole
-    reason to exist."""
-    shed_requests: int = 0
-    """Requests rejected with a structured backpressure error."""
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tenants: dict[str, TenantCounters] = {}
+        self._engine_calls = self.registry.counter(
+            "serve_engine_calls_total",
+            "Dispatched batched engine calls (one per coalesced window group)",
+        )
+        self._coalesced_columns = self.registry.counter(
+            "serve_coalesced_columns_total",
+            "RHS columns carried by batched engine calls — divided by "
+            "serve_engine_calls_total this is the coalescing factor, the "
+            "serve layer's whole reason to exist",
+        )
+        self._shed_requests = self.registry.counter(
+            "serve_shed_requests_total",
+            "Requests rejected with a structured backpressure error",
+        )
+
+    engine_calls = _scalar_property("_engine_calls")
+    coalesced_columns = _scalar_property("_coalesced_columns")
+    shed_requests = _scalar_property("_shed_requests")
 
     def tenant(self, name: str) -> TenantCounters:
         """The (auto-created) counter block for ``name``."""
         counters = self.tenants.get(name)
         if counters is None:
-            counters = self.tenants[name] = TenantCounters()
+            counters = self.tenants[name] = TenantCounters(self.registry, name)
         return counters
 
     def record_dispatch(self, tenant_names: "list[str]", columns: int) -> None:
         """Account one batched engine call carrying ``columns`` columns."""
-        self.engine_calls += 1
-        self.coalesced_columns += columns
+        self._engine_calls.inc()
+        self._coalesced_columns.inc(columns)
         for name in tenant_names:
             self.tenant(name).engine_calls += 1
 
     @property
     def coalescing_factor(self) -> float:
-        """Mean caller columns per engine call (1.0 = no coalescing win)."""
-        if self.engine_calls == 0:
+        """Mean caller columns per engine call (1.0 = no coalescing win).
+
+        0.0 before any dispatch — the undefined 0/0 must read as "no
+        coalescing observed", never raise (regression-tested)."""
+        engine_calls = self.engine_calls
+        if engine_calls == 0:
             return 0.0
-        return self.coalesced_columns / self.engine_calls
+        return self.coalesced_columns / engine_calls
 
     def summary(self) -> dict[str, object]:
         """Nested dictionary for report tables and service snapshots."""

@@ -40,3 +40,27 @@ class TestFlags:
         non_ideal[0] = 99.0
         assert result.reference[0] == 2.0
         assert result.value[0] == 1.0
+
+
+class TestRepr:
+    """The compact __repr__: one line, no array dumps (regression for the
+    dataclass default printing whole 256-column batches)."""
+
+    def test_basic_shape_and_mode(self):
+        text = repr(_result(np.ones((4, 3)), np.ones((4, 3))))
+        assert text.startswith("<SolveResult mvm 4×3")
+        assert "\n" not in text
+        assert "[" not in text  # no array payloads
+
+    def test_sweeps_and_refinement_fields(self):
+        result = _result(
+            [1.0], [1.0], sweeps=7, refine_steps=2, refined_residual=3.25e-9,
+        )
+        text = repr(result)
+        assert "sweeps=7" in text
+        assert "refine_steps=2" in text
+        assert "residual=3.250e-09" in text
+
+    def test_flags_surface_in_repr(self):
+        text = repr(_result([1.0], [1.0], stable=False, saturated=True))
+        assert "UNSTABLE" in text and "saturated" in text

@@ -1,0 +1,114 @@
+"""Exporters: JSONL spans, Chrome trace_event JSON, Prometheus text."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import trace
+from repro.obs.export import chrome_trace, prometheus_text, spans_to_jsonl, write_chrome_trace
+from repro.obs.registry import MetricsRegistry
+
+
+def _traced_spans():
+    """A small two-level span tree recorded on a throwaway memory tracer."""
+    previous = trace.get_tracer()
+    try:
+        tracer = trace.configure("memory")
+        with trace.span("solve", mode="inv"):
+            with trace.span("sweep", sweep=1):
+                pass
+        return tracer.spans()
+    finally:
+        trace.set_tracer(previous)
+
+
+class TestJsonl:
+    def test_one_line_per_span(self):
+        spans = _traced_spans()
+        lines = spans_to_jsonl(spans).strip().split("\n")
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert {r["name"] for r in records} == {"sweep", "solve"}
+
+    def test_line_schema(self):
+        spans = _traced_spans()
+        record = json.loads(spans_to_jsonl(spans).splitlines()[0])
+        assert set(record) == {
+            "name", "span_id", "parent_id", "thread", "start_us", "dur_us", "attrs",
+        }
+        assert record["dur_us"] >= 0
+
+    def test_parent_linkage_round_trips(self):
+        spans = _traced_spans()
+        records = {r["name"]: r for r in map(json.loads, spans_to_jsonl(spans).splitlines())}
+        assert records["sweep"]["parent_id"] == records["solve"]["span_id"]
+        assert records["solve"]["parent_id"] is None
+
+
+class TestChromeTrace:
+    def test_document_schema(self):
+        doc = chrome_trace(_traced_spans())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        phases = {event["ph"] for event in doc["traceEvents"]}
+        assert phases == {"M", "X"}
+
+    def test_complete_events_carry_span_identity(self):
+        doc = chrome_trace(_traced_spans())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == 2
+        for event in events:
+            assert set(event) >= {"name", "ts", "dur", "pid", "tid", "cat", "args"}
+            assert "span_id" in event["args"] and "parent_id" in event["args"]
+            assert event["cat"] == "gramc"
+            assert event["dur"] >= 0  # microseconds
+
+    def test_metadata_names_process_and_threads(self):
+        doc = chrome_trace(_traced_spans(), process_name="chip")
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert names == {"process_name", "thread_name"}
+        process = next(e for e in meta if e["name"] == "process_name")
+        assert process["args"]["name"] == "chip"
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", _traced_spans())
+        doc = json.loads(path.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("solves_total", "completed solves").inc(3)
+        registry.gauge("queue_depth", "pending requests").set(2)
+        text = prometheus_text(registry)
+        assert "# HELP solves_total completed solves" in text
+        assert "# TYPE solves_total counter" in text
+        assert "solves_total 3" in text
+        assert "queue_depth 2" in text
+
+    def test_labelled_samples(self):
+        registry = MetricsRegistry()
+        family = registry.counter("ops_total", "ops", label_names=("tenant",))
+        family.labels("alice").inc()
+        text = prometheus_text(registry)
+        assert 'ops_total{tenant="alice"} 1' in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        family = registry.counter("ops_total", "ops", label_names=("path",))
+        family.labels('a"b\\c').inc()
+        text = prometheus_text(registry)
+        assert 'ops_total{path="a\\"b\\\\c"} 1' in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", "latency", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        text = prometheus_text(registry)
+        assert 'lat_seconds_bucket{le="1"} 1' in text
+        assert 'lat_seconds_bucket{le="10"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_sum 55.5" in text
+        assert "lat_seconds_count 3" in text

@@ -1,0 +1,95 @@
+"""MetricsRegistry: families, labels, histograms, conflict detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+
+
+class TestCounters:
+    def test_zero_label_counter_is_its_own_cell(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", "hits")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_labelled_counter_children(self):
+        registry = MetricsRegistry()
+        family = registry.counter("ops_total", "ops", label_names=("mode",))
+        family.labels("inv").inc(2)
+        family.labels(mode="mvm").inc()
+        assert family.labels("inv").value == 2
+        assert family.labels("mvm").value == 1
+
+    def test_registry_caches_families(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", "x")
+        b = registry.counter("x_total", "x")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("y_total", "y")
+        with pytest.raises(ValueError):
+            registry.gauge("y_total", "y")
+
+    def test_label_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total", "z", label_names=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("z_total", "z", label_names=("b",))
+
+
+class TestGauges:
+    def test_set_and_inc(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "queue depth")
+        gauge.set(7)
+        gauge.inc(-2)
+        assert gauge.value == 5
+
+
+class TestHistograms:
+    def test_observe_updates_aggregates(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_seconds", "latency")
+        for value in (0.001, 0.01, 0.1):
+            hist.observe(value)
+        cell = hist._solo
+        assert cell.count == 3
+        assert cell.sum == pytest.approx(0.111)
+        assert cell.min == pytest.approx(0.001)
+        assert cell.max == pytest.approx(0.1)
+        assert cell.mean == pytest.approx(0.111 / 3)
+
+    def test_bucket_counts_are_cumulative_ready(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "h", buckets=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        hist.observe(50.0)
+        cell = hist._solo
+        # Per-bucket (non-cumulative) storage: one observation each in
+        # (≤1], (1, 10] and the +Inf overflow.
+        assert cell.buckets == (1.0, 10.0)
+        assert cell.bucket_counts == [1, 1, 1]
+        assert cell.count == 3
+
+
+class TestSamples:
+    def test_families_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", "b")
+        registry.counter("a_total", "a")
+        assert [f.name for f in registry.families()] == ["a_total", "b_total"]
+
+    def test_samples_sorted_by_label_values(self):
+        registry = MetricsRegistry()
+        family = registry.counter("t_total", "t", label_names=("tenant",))
+        family.labels("zed").inc()
+        family.labels("abe").inc()
+        labels = [labels for labels, _ in family.samples()]
+        assert labels == [{"tenant": "abe"}, {"tenant": "zed"}]

@@ -1,0 +1,191 @@
+"""Tracer semantics: nesting, disabled-path cost, cross-thread/task spans."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture()
+def tracer():
+    """A fresh enabled in-memory tracer installed for the test."""
+    previous = trace.get_tracer()
+    installed = trace.configure("memory")
+    yield installed
+    trace.set_tracer(previous)
+
+
+class TestNesting:
+    def test_parent_child_linkage(self, tracer):
+        with trace.span("outer") as outer:
+            with trace.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            assert trace.current_span() is outer
+        assert trace.current_span() is None
+        names = [s.name for s in tracer.spans()]
+        assert names == ["inner", "outer"]  # finish order: children first
+
+    def test_attrs_at_open_and_close(self, tracer):
+        with trace.span("op", mode="inv") as sp:
+            sp.set(attempts=3)
+        (span,) = tracer.spans()
+        assert span.attrs == {"mode": "inv", "attempts": 3}
+        assert span.end_s >= span.start_s
+
+    def test_span_survives_exception(self, tracer):
+        with pytest.raises(ValueError):
+            with trace.span("boom"):
+                raise ValueError("x")
+        (span,) = tracer.spans()
+        assert span.name == "boom" and span.end_s is not None
+        assert trace.current_span() is None
+
+    def test_traced_decorator(self, tracer):
+        @trace.traced("unit")
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        assert [s.name for s in tracer.spans()] == ["unit"]
+
+
+class TestDisabled:
+    def test_disabled_yields_null_span(self):
+        previous = trace.get_tracer()
+        try:
+            trace.configure(None)
+            with trace.span("ignored") as sp:
+                sp.set(anything=1)  # must be a harmless no-op
+            assert trace.get_tracer().spans() == []
+        finally:
+            trace.set_tracer(previous)
+
+    def test_disabled_context_is_shared_singleton(self):
+        previous = trace.get_tracer()
+        try:
+            trace.configure(None)
+            assert trace.span("a") is trace.span("b")
+        finally:
+            trace.set_tracer(previous)
+
+    def test_begin_finish_null_safe(self):
+        previous = trace.get_tracer()
+        try:
+            tracer = trace.configure(None)
+            sp = tracer.begin("queue")
+            tracer.finish(sp, wait_s=1.0)  # no-op span, no crash
+            assert tracer.spans() == []
+        finally:
+            trace.set_tracer(previous)
+
+
+class TestManualSpans:
+    def test_begin_finish_records_span(self, tracer):
+        sp = tracer.begin("queue", tenant="alice")
+        tracer.finish(sp, wait_s=0.5)
+        (span,) = tracer.spans()
+        assert span.name == "queue"
+        assert span.attrs == {"tenant": "alice", "wait_s": 0.5}
+
+    def test_finish_is_idempotent(self, tracer):
+        sp = tracer.begin("once")
+        tracer.finish(sp)
+        tracer.finish(sp)
+        assert len(tracer.spans()) == 1
+
+    def test_begin_inherits_current_parent(self, tracer):
+        with trace.span("outer") as outer:
+            sp = tracer.begin("queued")
+        tracer.finish(sp)
+        assert sp.parent_id == outer.span_id
+
+
+class TestCrossThread:
+    def test_adopt_bridges_thread(self, tracer):
+        captured = {}
+
+        with trace.span("window") as window:
+
+            def chip_side():
+                with tracer.adopt(window):
+                    with trace.span("dispatch") as d:
+                        captured["parent"] = d.parent_id
+
+            worker = threading.Thread(target=chip_side)
+            worker.start()
+            worker.join()
+        assert captured["parent"] == window.span_id
+
+    def test_thread_without_adopt_is_root(self, tracer):
+        captured = {}
+
+        with trace.span("window"):
+
+            def chip_side():
+                with trace.span("orphan") as sp:
+                    captured["parent"] = sp.parent_id
+
+            worker = threading.Thread(target=chip_side)
+            worker.start()
+            worker.join()
+        assert captured["parent"] is None
+
+
+class TestCrossTask:
+    def test_sibling_tasks_do_not_share_stacks(self, tracer):
+        async def worker(name, results):
+            with trace.span(name) as sp:
+                await asyncio.sleep(0)
+                results[name] = sp.parent_id
+
+        async def main():
+            results: dict = {}
+            await asyncio.gather(worker("a", results), worker("b", results))
+            return results
+
+        results = asyncio.run(main())
+        assert results == {"a": None, "b": None}
+
+
+class TestConfigure:
+    def test_off_specs(self):
+        previous = trace.get_tracer()
+        try:
+            for spec in (None, False, "off", "0", "none", ""):
+                assert trace.configure(spec).enabled is False
+        finally:
+            trace.set_tracer(previous)
+
+    def test_on_specs(self):
+        previous = trace.get_tracer()
+        try:
+            for spec in (True, "on", "1", "memory"):
+                assert trace.configure(spec).enabled is True
+        finally:
+            trace.set_tracer(previous)
+
+    def test_env_configuration(self):
+        previous = trace.get_tracer()
+        try:
+            tracer = trace.configure_from_env({"REPRO_TRACE": "memory"})
+            assert tracer.enabled
+            tracer = trace.configure_from_env({})
+            assert not tracer.enabled
+        finally:
+            trace.set_tracer(previous)
+
+    def test_jsonl_spec(self, tmp_path):
+        previous = trace.get_tracer()
+        try:
+            path = tmp_path / "spans.jsonl"
+            tracer = trace.configure(f"jsonl:{path}")
+            with trace.span("one"):
+                pass
+            tracer.close()
+            assert path.exists() and '"name": "one"' in path.read_text()
+        finally:
+            trace.set_tracer(previous)

@@ -4,9 +4,14 @@ import pytest
 
 from repro.system.stats import (
     ChipStats,
+    DIGITAL_CYCLE_TIME,
+    DIGITAL_MACS_PER_CYCLE,
     ENERGY_ADC_CONVERSION,
     ENERGY_DAC_CONVERSION,
+    ENERGY_DIGITAL_CYCLE,
     ENERGY_WRITE_PULSE,
+    ServiceStats,
+    TenantCounters,
 )
 
 
@@ -59,3 +64,85 @@ class TestEstimates:
         summary = ChipStats().summary()
         for key in ("instructions", "analog_solves", "energy_J", "latency_s"):
             assert key in summary
+
+    def test_energy_is_monotone_under_recording(self):
+        """Every record_* call can only grow the energy estimate."""
+        stats = ChipStats()
+        last = stats.estimated_energy()
+        for record in (
+            lambda: stats.record_conversions(dac=16, adc=16),
+            lambda: stats.record_solve("inv", amplifiers=64, settling_time=1e-6),
+            lambda: stats.record_programming(32, pulses_per_cell=3.0),
+            lambda: stats.record_instruction("EXE", cycles=100),
+            lambda: stats.record_digital_work(4096),
+            lambda: stats.record_refinement(steps=2, dispatches=2, macs=8192),
+        ):
+            record()
+            current = stats.estimated_energy()
+            assert current > last
+            last = current
+
+    def test_latency_is_monotone_under_recording(self):
+        stats = ChipStats()
+        last = stats.estimated_latency()
+        for record in (
+            lambda: stats.record_instruction("NOP", cycles=50),
+            lambda: stats.record_solve("mvm", amplifiers=16, settling_time=2e-6),
+            lambda: stats.record_digital_work(1024),
+            lambda: stats.record_refinement(steps=1, dispatches=1, macs=2048),
+        ):
+            record()
+            current = stats.estimated_latency()
+            assert current > last
+            last = current
+
+    def test_refinement_feeds_energy_and_latency(self):
+        """record_refinement's MACs land in the digital-cycle estimates."""
+        stats = ChipStats()
+        macs = 10 * DIGITAL_MACS_PER_CYCLE
+        stats.record_refinement(steps=3, dispatches=2, macs=macs)
+        assert stats.refine_steps == 3
+        assert stats.refine_dispatches == 2
+        assert stats.digital_cycles == 10
+        assert stats.estimated_energy() == pytest.approx(10 * ENERGY_DIGITAL_CYCLE)
+        assert stats.estimated_latency() == pytest.approx(10 * DIGITAL_CYCLE_TIME)
+
+
+class TestTenantCounters:
+    def test_as_dict_and_summary_share_keys(self):
+        counters = TenantCounters()
+        counters.submitted += 3
+        counters.admitted += 2
+        assert counters.summary() == counters.as_dict()
+        assert set(counters.summary()) == set(counters.as_dict())
+        assert counters.as_dict()["submitted"] == 3
+
+
+class TestServiceStats:
+    def test_coalescing_factor_zero_guard(self):
+        """No dispatches yet: 0/0 must read 0.0, never raise."""
+        stats = ServiceStats()
+        assert stats.coalescing_factor == 0.0
+        assert stats.summary()["coalescing_factor"] == 0.0
+
+    def test_coalescing_factor_after_dispatch(self):
+        stats = ServiceStats()
+        stats.record_dispatch(["a", "b"], columns=8)
+        stats.record_dispatch(["a"], columns=4)
+        assert stats.coalescing_factor == pytest.approx(6.0)
+        assert stats.tenant("a").engine_calls == 2
+        assert stats.tenant("b").engine_calls == 1
+
+    def test_summary_nests_tenant_tables(self):
+        stats = ServiceStats()
+        stats.tenant("alice").completed += 1
+        summary = stats.summary()
+        assert summary["tenants"]["alice"] == stats.tenant("alice").as_dict()
+
+    def test_shared_registry_publishes_serve_counters(self):
+        chip = ChipStats()
+        stats = ServiceStats(registry=chip.registry)
+        stats.record_dispatch(["a"], columns=4)
+        names = {family.name for family in chip.registry.families()}
+        assert "serve_engine_calls_total" in names
+        assert "gramc_digital_cycles_total" in names
