@@ -43,7 +43,11 @@ at ``$GITHUB_STEP_SUMMARY`` in CI.  Recognized invariant keys:
   shed request must carry the structured backpressure error);
 * ``max_disabled_overhead_fraction`` — every recorded
   ``disabled_overhead_fraction`` must be ≤ this (the "disabled tracer is
-  near-free" gate of the observability subsystem).
+  near-free" gate of the observability subsystem);
+* ``min_recovery_rate`` — every recorded ``recovery_rate`` must be ≥
+  this (the chaos-suite self-healing contract: the fraction of workload
+  solves whose rtol held, possibly after healing, under the canonical
+  fault plan).
 
 Additionally, a top-level ``breakdown`` block (written by every bench via
 :func:`repro.obs.report.solve_breakdown`) is re-validated arithmetically:
@@ -72,6 +76,7 @@ EXPECTED_ARTIFACTS = (
     "BENCH_grid.json",
     "BENCH_refine.json",
     "BENCH_obs.json",
+    "BENCH_faults.json",
 )
 
 _EXACT_KEYS = (
@@ -101,6 +106,9 @@ _HEADLINE_KEYS = (
     "reprogramming_events_per_solve",
     "spans",
     "disabled_overhead_fraction",
+    "recovery_rate",
+    "degraded_errors",
+    "reprogrammed_tiles",
 )
 
 
@@ -200,6 +208,13 @@ def check_file(path: Path) -> list[str]:
                 failures.append(
                     f"{where}: refined_residual "
                     f"{result['refined_residual']:.3e} > {residual_max:.0e}"
+                )
+        min_recovery = invariants.get("min_recovery_rate")
+        if min_recovery is not None and "recovery_rate" in result:
+            if result["recovery_rate"] < min_recovery:
+                failures.append(
+                    f"{where}: recovery_rate "
+                    f"{result['recovery_rate']:.2f} < {min_recovery}"
                 )
         max_overhead = invariants.get("max_disabled_overhead_fraction")
         if max_overhead is not None and "disabled_overhead_fraction" in result:

@@ -24,7 +24,7 @@ import numpy as np
 from repro.arrays.drivers import DriverBank
 from repro.arrays.parasitics import effective_conductances
 from repro.devices.cell import OneT1R
-from repro.devices.constants import DeviceStack, G_MAX
+from repro.devices.constants import DeviceStack, G_MAX, G_MIN
 from repro.devices.variability import VariabilityModel
 from repro.programming.levels import LevelMap
 from repro.programming.write_verify import (
@@ -197,3 +197,91 @@ class CrossbarArray:
 
     def fault_fraction(self) -> float:
         return float(np.mean(self._faults != 0))
+
+    def stored_conductances(self) -> np.ndarray:
+        """Full-array copy of the stored conductances — no region windowing,
+        no read noise, no wire parasitics.  The fault injector's baseline
+        snapshot (and the health monitor's re-verify comparison) read here."""
+        return self._conductances.copy()
+
+    def inject_conductances(self, conductances: np.ndarray) -> None:
+        """Physics-path overwrite of the full stored conductance matrix.
+
+        Used by fault injection (retention drift) — unlike programming, it
+        costs no write pulses and books no ``cells_programmed``, but it
+        does re-pin stuck cells and bump ``version`` so every resident
+        circuit/stack built from the old snapshot invalidates.
+        """
+        conductances = np.asarray(conductances, dtype=float)
+        if conductances.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"conductances shape {conductances.shape} does not match "
+                f"array {(self.rows, self.cols)}"
+            )
+        self._conductances = VariabilityModel.apply_faults(conductances, self._faults)
+        self.version += 1
+
+    def reverify(self, targets: np.ndarray, *, band: float, apply: bool = True) -> dict:
+        """Targeted re-verify of the active region (healing ladder rung 2).
+
+        Compares the stored conductances against ``targets`` and — when
+        ``apply`` — rewrites only the healthy cells whose deviation
+        exceeds ``band`` (a fraction of the G_MIN..G_MAX window).
+        Deviations are judged against what write-verify could actually
+        achieve (each cell's device-to-device ceiling), so a weak cell
+        programmed to its own limit never reads as drifted.  Returns the
+        measurement dict; ``max_deviation`` is re-measured after any
+        rewrite, so the caller sees the *post-heal* state.
+        """
+        rows_idx, cols_idx = self._active_view()
+        targets = np.asarray(targets, dtype=float)
+        if targets.shape != (rows_idx.size, cols_idx.size):
+            raise ValueError(
+                f"targets shape {targets.shape} does not match active region "
+                f"{(rows_idx.size, cols_idx.size)}"
+            )
+        region = np.ix_(rows_idx, cols_idx)
+        ceiling = G_MAX * _D2D_RANGE_HEADROOM * self._d2d[region]
+        achievable = np.minimum(targets, ceiling)
+        healthy = self._faults[region] == 0
+        window = G_MAX - G_MIN
+
+        def deviation() -> np.ndarray:
+            return np.abs(self._conductances[region] - achievable) / window
+
+        dev = deviation()
+        mask = healthy & (dev > band)
+        rewritten = int(mask.sum()) if apply else 0
+        if rewritten:
+            self.program_targets(targets, mask=mask)
+            dev = deviation()
+        return {
+            "cells_rewritten": rewritten,
+            "max_deviation": float(np.max(dev[healthy])) if healthy.any() else 0.0,
+            "out_of_band": int(np.sum(healthy & (dev > band))),
+            "stuck_cells": int(np.sum(~healthy)),
+            "region_cells": int(targets.size),
+        }
+
+    def inject_stuck_faults(self, fault_delta: np.ndarray) -> int:
+        """Add stuck-at faults (full-array int map, 0 = leave alone, ±1).
+
+        Newly faulted cells are pinned immediately and stay pinned through
+        every later programming pass (both programming paths consult
+        ``_faults``), so the solver's digital fault compensation — rebuilt
+        at each reprogram from :attr:`fault_map` — stays consistent.
+        Returns the number of newly stuck cells.
+        """
+        fault_delta = np.asarray(fault_delta)
+        if fault_delta.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"fault map shape {fault_delta.shape} does not match "
+                f"array {(self.rows, self.cols)}"
+            )
+        fresh = (fault_delta != 0) & (self._faults == 0)
+        if not fresh.any():
+            return 0
+        self._faults[fresh] = fault_delta[fresh].astype(np.int8)
+        self._conductances = VariabilityModel.apply_faults(self._conductances, self._faults)
+        self.version += 1
+        return int(fresh.sum())

@@ -20,6 +20,11 @@ failure families:
 * :class:`BackendError` — the requested compute backend does not exist
   or cannot be constructed.  Carries the offending name and the set of
   registered backends so tooling can render an actionable message.
+* :class:`DegradedChipError` — the analog substrate has degraded past
+  what self-healing could recover, and the request was refused rather
+  than answered wrongly.  Carries the health snapshot and the healing
+  report so operators can see *which* macros failed and what the
+  escalation ladder already tried.
 """
 
 from __future__ import annotations
@@ -50,6 +55,10 @@ class ConvergenceError(GramcError):
     residual_trace:
         Worst-column relative residual after each step, starting with
         the raw analog answer — the evidence for the divergence call.
+    worst_columns:
+        Column indices with the largest final residuals (descending),
+        so operators can tell "one bad tile/column" from
+        "ill-conditioned everywhere" (``None`` when unknown).
     """
 
     def __init__(
@@ -58,11 +67,15 @@ class ConvergenceError(GramcError):
         *,
         steps: "int | None" = None,
         residual_trace=None,
+        worst_columns=None,
     ) -> None:
         super().__init__(message)
         self.steps = steps
         self.residual_trace = (
             None if residual_trace is None else tuple(float(r) for r in residual_trace)
+        )
+        self.worst_columns = (
+            None if worst_columns is None else tuple(int(c) for c in worst_columns)
         )
 
 
@@ -87,3 +100,33 @@ class BackendError(GramcError, ValueError):
         super().__init__(message)
         self.requested = requested
         self.available = tuple(available)
+
+
+class DegradedChipError(GramcError):
+    """The chip is too degraded to honor the request, even after healing.
+
+    Raised instead of returning a silently wrong answer: the escalation
+    ladder (retune → targeted re-verify → full reprogram → quarantine +
+    migration) ran and the accuracy contract still could not be met.
+
+    Attributes
+    ----------
+    health:
+        The :class:`~repro.faults.HealthMonitor` snapshot at failure time
+        (per-macro scores, quarantined macros, fault-event log), or
+        ``None`` when no monitor was attached.
+    healing:
+        The last healing report (counts of retunes, re-verified cells,
+        reprogrammed tiles, quarantined/migrated macros), or ``None``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        health: "dict | None" = None,
+        healing: "dict | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.health = health
+        self.healing = healing

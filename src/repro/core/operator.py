@@ -166,6 +166,15 @@ class AnalogOperator:
             ids.extend(self._transpose._resident_macro_ids())
         return tuple(ids)
 
+    def resident_macro_ids(self) -> tuple[int, ...]:
+        """Macros of the current bindings, *without* re-programming.
+
+        The health monitor's spelling: diagnosing an evicted handle must
+        not trigger the very reprogramming it is deciding about (unlike
+        :attr:`macro_ids`, which re-ensures residency first).
+        """
+        return self._resident_macro_ids()
+
     @property
     def closed(self) -> bool:
         return self._closed
@@ -259,6 +268,74 @@ class AnalogOperator:
         if self._transpose is not None:
             self._transpose.refresh()
         return self
+
+    @staticmethod
+    def _plane_targets(tile: TileBinding) -> list[tuple[AMCMacro, np.ndarray]]:
+        """(macro, intended region conductances) per physical plane of one
+        tile — the same layout dispatch :meth:`AMCMacro.program_mapping`
+        used to write them, reconstructed for re-verification."""
+        mapping = tile.mapping
+        if tile.layout is PlaneLayout.SINGLE:
+            return [(tile.primary, mapping.g_pos)]
+        if tile.layout is PlaneLayout.PAIRED_COLUMNS:
+            rows, cols = mapping.g_pos.shape
+            interleaved = np.empty((rows, 2 * cols))
+            interleaved[:, 0::2] = mapping.g_pos
+            interleaved[:, 1::2] = mapping.g_neg
+            return [(tile.primary, interleaved)]
+        assert tile.partner is not None
+        return [(tile.primary, mapping.g_pos), (tile.partner, mapping.g_neg)]
+
+    def reverify_tiles(self, *, band: float, apply: bool = True) -> dict:
+        """Targeted re-verify of every resident tile (healing rung 2).
+
+        Measures each plane's stored conductances against the intended
+        mapping targets and (when ``apply``) rewrites only the healthy
+        cells that drifted further than ``band`` (a fraction of the
+        G_MIN..G_MAX window) — the write-verify retry loop pointed at
+        drift instead of a fresh program.  Stuck cells are excluded from
+        deviation (they cannot be rewritten); their density is reported
+        so the monitor can choose between digital compensation (MVM) and
+        quarantine.  ``max_deviation`` is measured after any rewrite.
+        """
+        self._ensure_programmed()
+        solver = self._solver
+        cells_rewritten = 0
+        max_deviation = 0.0
+        out_of_band = 0
+        stuck_cells = 0
+        region_cells = 0
+        assert self._tiles is not None
+        for tile in self._tiles:
+            for macro, targets in self._plane_targets(tile):
+                stats = macro.array.reverify(targets, band=band, apply=apply)
+                cells_rewritten += stats["cells_rewritten"]
+                max_deviation = max(max_deviation, stats["max_deviation"])
+                out_of_band += stats["out_of_band"]
+                stuck_cells += stats["stuck_cells"]
+                region_cells += stats["region_cells"]
+                if stats["cells_rewritten"]:
+                    # Same ledger as _program_tiles: ~9 verify pulses/cell.
+                    cells = stats["cells_rewritten"]
+                    solver.cost.add_programming(cells, int(round(cells * 9.0)))
+                    if solver.stats is not None:
+                        solver.stats.record_programming(cells)
+        if self._transpose is not None:
+            inner = self._transpose.reverify_tiles(band=band, apply=apply)
+            cells_rewritten += inner["cells_rewritten"]
+            max_deviation = max(max_deviation, inner["max_deviation"])
+            out_of_band += inner["out_of_band"]
+            stuck_cells += int(
+                round(inner["stuck_fraction"] * inner["region_cells"])
+            )
+            region_cells += inner["region_cells"]
+        return {
+            "cells_rewritten": cells_rewritten,
+            "max_deviation": max_deviation,
+            "out_of_band": out_of_band,
+            "stuck_fraction": stuck_cells / region_cells if region_cells else 0.0,
+            "region_cells": region_cells,
+        }
 
     def pin(self) -> "AnalogOperator":
         """Exempt this operator's macros from LRU eviction.
@@ -377,6 +454,19 @@ class AnalogOperator:
             column_saturated=np.zeros(0, dtype=bool),
         )
 
+    def _fault_injector(self):
+        """The chip's fault injector, when this call is the *top-level*
+        operation.  Nested calls — a tiled solve's block steps, canary
+        solves, healing retries — run bare: the injector freezes the
+        substrate for the duration of one logical operation, and only
+        that outermost operation is supervised.  ``None`` on a fault-free
+        chip, keeping that path bitwise identical to a build without the
+        faults package."""
+        injector = getattr(self._solver.pool, "fault_injector", None)
+        if injector is None or injector.busy:
+            return None
+        return injector
+
     def mvm(self, x: np.ndarray) -> SolveResult:
         """Analog product ``A·x`` with full diagnostics (``x``: vector or batch).
 
@@ -385,6 +475,13 @@ class AnalogOperator:
         at once (the crossbar's defining property), with per-column input
         scales and one shared ``g_f`` ranged by the worst column.
         """
+        injector = self._fault_injector()
+        if injector is None:
+            return self._mvm_impl(x)
+        return injector.supervised_op(self, lambda: self._mvm_impl(x))
+
+    def _mvm_impl(self, x: np.ndarray) -> SolveResult:
+        """The unsupervised MVM body (see :meth:`mvm`)."""
         self._require_mode(AMCMode.MVM, "mvm")
         x = np.asarray(x, dtype=float)
         if x.ndim == 0 or x.ndim > 2 or x.shape[0] != self.shape[1]:
@@ -482,6 +579,12 @@ class AnalogOperator:
     ) -> SolveResult:
         """Analog linear solve ``A·y = b`` (``b``: vector or batch).
 
+        On a chip with a fault plan attached this call runs under fault
+        supervision (:meth:`FaultInjector.supervised_solve`): its outcome
+        feeds the health monitor, and an unmet contract triggers the
+        self-healing ladder plus exactly one retry before a structured
+        :class:`~repro.core.errors.DegradedChipError` is raised.
+
         Without ``rtol`` this is the classic one-step analog solve: one
         feedback settling, accuracy bounded by quantization/noise at
         η ≈ 1e-2..1e-1 relative.  **With** ``rtol`` the analog answer is
@@ -501,6 +604,28 @@ class AnalogOperator:
         attached) when refinement diverges — the η·κ ≥ 1 regime where
         the operand is too ill-conditioned for the analog accuracy.
         """
+        injector = self._fault_injector()
+        if injector is None:
+            return self._solve_impl(
+                b, _reference, rtol=rtol, max_refine_steps=max_refine_steps
+            )
+        return injector.supervised_solve(
+            self,
+            lambda: self._solve_impl(
+                b, _reference, rtol=rtol, max_refine_steps=max_refine_steps
+            ),
+            rtol=rtol,
+        )
+
+    def _solve_impl(
+        self,
+        b: np.ndarray,
+        _reference: np.ndarray | None = None,
+        *,
+        rtol: "float | np.ndarray | None" = None,
+        max_refine_steps: int = DEFAULT_MAX_STEPS,
+    ) -> SolveResult:
+        """The unsupervised solve body (see :meth:`solve`)."""
         b = np.asarray(b, dtype=float)
         started = time.perf_counter()
         before = self._solver.cost.snapshot()
@@ -583,6 +708,15 @@ class AnalogOperator:
 
     def lstsq(self, b: np.ndarray, _reference: np.ndarray | None = None) -> SolveResult:
         """Analog least squares ``min‖A·y − b‖`` (``b``: vector or batch)."""
+        injector = self._fault_injector()
+        if injector is None:
+            return self._lstsq_impl(b, _reference)
+        return injector.supervised_op(self, lambda: self._lstsq_impl(b, _reference))
+
+    def _lstsq_impl(
+        self, b: np.ndarray, _reference: np.ndarray | None = None
+    ) -> SolveResult:
+        """The unsupervised lstsq body (see :meth:`lstsq`)."""
         self._require_mode(AMCMode.PINV, "lstsq")
         if self._transpose is None:
             raise GramcError(
@@ -656,6 +790,13 @@ class AnalogOperator:
 
     def eigvec(self, transient: bool = False) -> SolveResult:
         """Dominant eigenvector via the EGV topology (unit norm)."""
+        injector = self._fault_injector()
+        if injector is None:
+            return self._eigvec_impl(transient)
+        return injector.supervised_op(self, lambda: self._eigvec_impl(transient))
+
+    def _eigvec_impl(self, transient: bool = False) -> SolveResult:
+        """The unsupervised eigvec body (see :meth:`eigvec`)."""
         self._require_mode(AMCMode.EGV, "eigvec")
         started = time.perf_counter()
         before = self._solver.cost.snapshot()

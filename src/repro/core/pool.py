@@ -74,8 +74,14 @@ class MacroPool:
         self._owners: OrderedDict[str, list[int]] = OrderedDict()
         self._pinned: set[str] = set()
         self._on_evict: dict[str, Callable[[str], None]] = {}
+        self._quarantined: set[int] = set()
         self.acquisitions = 0
         self.evictions = 0
+        self.eviction_callback_errors = 0
+        self.fault_injector = None
+        """The chip's :class:`~repro.faults.FaultInjector` when fault
+        injection is enabled (``GramcChip(faults=...)``), else ``None`` —
+        the pool is the one object every layer already shares."""
 
     def __len__(self) -> int:
         return len(self.macros)
@@ -142,6 +148,8 @@ class MacroPool:
             "pinned_macros": pinned_macros,
             "acquisitions": self.acquisitions,
             "evictions": self.evictions,
+            "quarantined_macros": tuple(sorted(self._quarantined)),
+            "eviction_callback_errors": self.eviction_callback_errors,
         }
 
     def preempt(self, owner: str) -> bool:
@@ -176,9 +184,12 @@ class MacroPool:
         :meth:`release`).  Pinned owners are never chosen as victims; if
         only pinned owners remain, :class:`CapacityError` is raised.
         """
-        if count > len(self.macros):
+        usable = len(self.macros) - len(self._quarantined)
+        if count > usable:
             raise CapacityError(
-                f"operand needs {count} macros but the chip only has {len(self.macros)}"
+                f"operand needs {count} macros but the chip only has {usable} "
+                f"in service ({len(self._quarantined)} quarantined of "
+                f"{len(self.macros)})"
             )
         was_pinned = owner in self._pinned
         if owner in self._owners:
@@ -260,11 +271,18 @@ class MacroPool:
 
     def _evict(self, owner: str) -> None:
         indices = self._owners.pop(owner)
-        self._free.extend(indices)
+        self._free.extend(i for i in indices if i not in self._quarantined)
         self.evictions += 1
         callback = self._on_evict.pop(owner, None)
         if callback is not None:
-            callback(owner)
+            try:
+                callback(owner)
+            except Exception:
+                # A closed-but-still-registered handle's callback must not
+                # abort the caller's reclaim loop: the victim's macros are
+                # already back on the free list, and swallowing here keeps
+                # later victims from leaking.  Counted, never silent-lost.
+                self.eviction_callback_errors += 1
 
     def holds(self, owner: str) -> bool:
         """Whether ``owner``'s macros are still resident (not evicted)."""
@@ -305,10 +323,51 @@ class MacroPool:
     def release(self, owner: str) -> None:
         """Return an owner's macros to the free list (no callback fires)."""
         indices = self._owners.pop(owner, [])
-        self._free.extend(indices)
+        self._free.extend(i for i in indices if i not in self._quarantined)
         self._pinned.discard(owner)
         self._on_evict.pop(owner, None)
 
     def release_all(self) -> None:
         for owner in list(self._owners):
             self.release(owner)
+
+    # -- quarantine ---------------------------------------------------------------
+
+    @property
+    def quarantined(self) -> frozenset[int]:
+        """Macro ids currently excluded from allocation."""
+        return frozenset(self._quarantined)
+
+    def quarantine(self, macro_id: int) -> bool:
+        """Mark one macro unhealthy and exclude it from the free list.
+
+        A free macro simply leaves the free deque; an owned macro evicts
+        its owner (the ``on_evict`` callback fires, so operator handles
+        mark themselves stale and transparently re-home onto healthy
+        macros on next use — this is the migration half of self-healing).
+        Returns ``False`` if the macro was already quarantined.
+        """
+        if not 0 <= macro_id < len(self.macros):
+            raise KeyError(f"unknown macro id {macro_id}")
+        if macro_id in self._quarantined:
+            return False
+        self._quarantined.add(macro_id)
+        if macro_id in self._free:
+            self._free.remove(macro_id)
+            return True
+        for owner, indices in list(self._owners.items()):
+            if macro_id in indices:
+                # Quarantine overrides pinning: a pinned promise cannot
+                # keep an operator on dead silicon.
+                self._pinned.discard(owner)
+                self._evict(owner)
+                break
+        return True
+
+    def unquarantine(self, macro_id: int) -> bool:
+        """Return a quarantined macro to service (back onto the free list)."""
+        if macro_id not in self._quarantined:
+            return False
+        self._quarantined.discard(macro_id)
+        self._free.append(macro_id)
+        return True

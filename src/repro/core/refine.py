@@ -125,6 +125,29 @@ def as_rtol_vector(rtol, columns: int) -> np.ndarray:
     return vector
 
 
+WORST_COLUMNS_REPORTED = 4
+"""How many offending columns a failed contract names (enough to spot a
+pattern — one tenant, one tile — without dumping the whole batch)."""
+
+
+def worst_columns_of(
+    residuals: np.ndarray,
+    mask: np.ndarray,
+    k: int = WORST_COLUMNS_REPORTED,
+) -> tuple[int, ...]:
+    """The ``k`` worst offending column indices, highest residual first.
+
+    ``mask`` selects the columns eligible to be blamed (diverging, or
+    still unconverged); non-finite residuals sort as worst of all.
+    """
+    candidates = np.flatnonzero(np.asarray(mask, dtype=bool))
+    if candidates.size == 0:
+        return ()
+    values = np.asarray(residuals, dtype=float)[candidates]
+    order = np.argsort(np.where(np.isfinite(values), -values, -np.inf))
+    return tuple(int(c) for c in candidates[order[:k]])
+
+
 def _column_norms(block: np.ndarray) -> np.ndarray:
     """Per-column 2-norms with a batch-width-independent reduction order.
 
@@ -234,6 +257,7 @@ def refine_solution(
                     "analog accuracy available",
                     steps=steps,
                     residual_trace=trace,
+                    worst_columns=worst_columns_of(res, grew),
                 )
             np.minimum(best, np.where(np.isfinite(res), res, np.inf), out=best)
 
@@ -346,4 +370,14 @@ def refine_solve_result(
         per_column_converged=report.per_column_converged,
         refine_residual_trace=report.residual_trace,
         per_column_residual=report.per_column_residual,
+        # A budget-exhausted result names its offenders, like the
+        # divergence error does — "which columns" is the first question
+        # any operator asks of an unmet contract.
+        worst_columns=(
+            None
+            if report.converged
+            else worst_columns_of(
+                report.per_column_residual, ~report.per_column_converged
+            )
+        ),
     )

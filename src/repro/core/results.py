@@ -92,6 +92,12 @@ class SolveResult:
     consumer (the serve layer's coalescer) report each caller's own
     residual instead of the batch-worst.  ``None`` when no ``rtol``
     was requested."""
+    worst_columns: tuple[int, ...] | None = None
+    """Refined solves that exhausted their step budget unconverged: the
+    indices of the worst offending columns (highest final residual
+    first, capped at a handful).  ``None`` when every column met its
+    target or no ``rtol`` was requested — so ``worst_columns`` doubles
+    as the "did the contract fail" flag on a returned result."""
     cost: "SolveCost | None" = None
     """What this solve spent, by physical category (settling, DAC/ADC
     conversions, engine/refinement MACs, programming, queue wait) — the

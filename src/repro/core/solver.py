@@ -166,6 +166,19 @@ class GramcSolver:
         self.refine_steps = 0
         self.refine_dispatches = 0
         self.cost = CostAccumulator()
+        injector = getattr(self.pool, "fault_injector", None)
+        if injector is not None:
+            # The monitor's canary sweeps need the compile cache; binding
+            # here (rather than making the injector know about solvers)
+            # keeps the faults package dependency-free of this module.
+            injector.monitor.bind_solver(self)
+
+    @property
+    def health_monitor(self):
+        """The chip's :class:`~repro.faults.HealthMonitor`, or ``None``
+        on a fault-free build (no plan attached to the pool)."""
+        injector = getattr(self.pool, "fault_injector", None)
+        return None if injector is None else injector.monitor
 
     # ------------------------------------------------------------------ helpers
 

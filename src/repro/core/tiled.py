@@ -495,7 +495,57 @@ class TiledOperator:
             x[rows] = inner.value
             stats.add_result(inner)
 
+    def _fault_injector(self):
+        """The chip's fault injector when this call is top-level (see
+        :meth:`AnalogOperator._fault_injector`).  The blocked solve is
+        supervised as *one* logical operation: its per-block INV/MVM
+        steps see ``injector.busy`` and run bare, so one tiled solve
+        advances the chip clock exactly once."""
+        injector = getattr(self._solver.pool, "fault_injector", None)
+        if injector is None or injector.busy:
+            return None
+        return injector
+
     def solve(
+        self,
+        b: np.ndarray,
+        *,
+        tolerance: float = 1e-3,
+        max_sweeps: int = 40,
+        method: str = "gauss-seidel",
+        engine: str = "stacked",
+        rtol: "float | np.ndarray | None" = None,
+        max_refine_steps: int = DEFAULT_MAX_STEPS,
+    ) -> SolveResult:
+        """Blocked analog solve with fault supervision when a plan is set
+        (observe → heal → one retry → structured ``DegradedChipError``);
+        see :meth:`_solve_impl` for the sweep semantics."""
+        injector = self._fault_injector()
+        if injector is None:
+            return self._solve_impl(
+                b,
+                tolerance=tolerance,
+                max_sweeps=max_sweeps,
+                method=method,
+                engine=engine,
+                rtol=rtol,
+                max_refine_steps=max_refine_steps,
+            )
+        return injector.supervised_solve(
+            self,
+            lambda: self._solve_impl(
+                b,
+                tolerance=tolerance,
+                max_sweeps=max_sweeps,
+                method=method,
+                engine=engine,
+                rtol=rtol,
+                max_refine_steps=max_refine_steps,
+            ),
+            rtol=rtol,
+        )
+
+    def _solve_impl(
         self,
         b: np.ndarray,
         *,
@@ -825,6 +875,13 @@ class TiledOperator:
         be a vector or an ``(n, k)`` batch — every per-tile product is
         one batched engine call.
         """
+        injector = self._fault_injector()
+        if injector is None:
+            return self._mvm_impl(x)
+        return injector.supervised_op(self, lambda: self._mvm_impl(x))
+
+    def _mvm_impl(self, x: np.ndarray) -> SolveResult:
+        """The unsupervised blocked-MVM body (see :meth:`mvm`)."""
         self._require_open()
         x = np.asarray(x, dtype=float)
         n = self.shape[0]

@@ -1,0 +1,39 @@
+"""Fault injection, health monitoring, and self-healing for one chip.
+
+The package spans device → pool → serve:
+
+* :mod:`repro.faults.plan` — deterministic, seeded fault schedules
+  (:class:`FaultPlan`) indexed by the logical chip clock;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, which owns the
+  clock and perturbs resident crossbars through the ``version``
+  invalidation machinery;
+* :mod:`repro.faults.health` — :class:`HealthMonitor`, per-macro health
+  scores from free signals plus the four-rung healing ladder
+  (retune → re-verify → reprogram → quarantine + migration).
+
+Enable with ``GramcChip(faults=FaultPlan(...))`` or ``REPRO_FAULTS``.
+With no plan configured, nothing in this package runs — the fault-free
+path is bitwise identical to a build without it.
+"""
+
+from repro.faults.health import HealthMonitor
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    DriftOnset,
+    FaultEvent,
+    FaultPlan,
+    LineOpen,
+    MacroDeath,
+    StuckCells,
+)
+
+__all__ = [
+    "DriftOnset",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "HealthMonitor",
+    "LineOpen",
+    "MacroDeath",
+    "StuckCells",
+]

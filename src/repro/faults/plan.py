@@ -1,0 +1,218 @@
+"""Deterministic fault plans: what breaks, when, and how badly.
+
+A :class:`FaultPlan` is a *schedule*, not a simulation: every event names
+the logical chip tick at which it fires (the clock advances once per
+top-level operation — never from wall time), and every random draw the
+injector makes flows from the plan's seed.  Two runs of the same workload
+under the same plan therefore degrade bit-identically.
+
+The taxonomy mirrors what retention/endurance studies report for
+filamentary RRAM crossbars (and what aihwkit ships presets for):
+
+======================  ======================================================
+event                   physical story
+======================  ======================================================
+:class:`DriftOnset`     conductance relaxation toward the mid-window
+                        equilibrium (the :class:`RetentionModel` power law),
+                        re-applied from a baseline snapshot every tick
+:class:`StuckCells`     a sampled fraction of cells latches at G_MIN/G_MAX
+                        and ignores all later writes
+:class:`LineOpen`       a broken word/bit line — the whole row or column
+                        reads as open (pinned at G_MIN)
+:class:`MacroDeath`     peripheral failure of a whole macro; detected by the
+                        chip's built-in checks and quarantined immediately
+======================  ======================================================
+
+Wire a plan into a chip with ``GramcChip(faults=plan)`` or the
+``REPRO_FAULTS`` environment variable (``"canonical"`` or a JSON dict
+accepted by :meth:`FaultPlan.from_dict`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+
+from repro.devices.variability import RetentionModel
+
+
+@dataclass(frozen=True)
+class DriftOnset:
+    """Retention drift starts on ``macro`` at ``tick`` and never stops.
+
+    ``time_scale`` multiplies the plan's ``seconds_per_tick`` for this
+    macro only — a cheap way to model one outlier die corner.
+    """
+
+    tick: int
+    macro: int
+    time_scale: float = 1.0
+
+    kind = "drift"
+
+
+@dataclass(frozen=True)
+class StuckCells:
+    """A fresh ``fraction`` of ``macro``'s cells latches at ``tick``.
+
+    ``stuck_on_fraction`` of the new faults pin at G_MAX, the rest at
+    G_MIN.  Which cells latch is drawn from the plan's seeded stream.
+    """
+
+    tick: int
+    macro: int
+    fraction: float = 0.01
+    stuck_on_fraction: float = 0.5
+
+    kind = "stuck_cells"
+
+
+@dataclass(frozen=True)
+class LineOpen:
+    """Row (``axis=0``) or column (``axis=1``) ``index`` of ``macro`` opens."""
+
+    tick: int
+    macro: int
+    axis: int = 0
+    index: int = 0
+
+    kind = "line_open"
+
+
+@dataclass(frozen=True)
+class MacroDeath:
+    """Whole-macro peripheral failure at ``tick`` — immediate quarantine."""
+
+    tick: int
+    macro: int
+
+    kind = "macro_death"
+
+
+_EVENT_TYPES = {
+    cls.kind: cls for cls in (DriftOnset, StuckCells, LineOpen, MacroDeath)
+}
+
+FaultEvent = DriftOnset | StuckCells | LineOpen | MacroDeath
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, logically-clocked degradation schedule plus healing knobs.
+
+    Injection parameters
+    --------------------
+    ``seed`` feeds every stochastic draw (stuck-cell placement);
+    ``seconds_per_tick`` converts logical ticks into the retention law's
+    physical time; ``events`` is the schedule itself.
+
+    Detection / healing parameters (consumed by the health monitor)
+    ---------------------------------------------------------------
+    ``canary_interval`` runs a cheap known-RHS solve against every
+    idle-but-resident operator each N ticks (0 disables);
+    ``canary_threshold`` is the relative-error level a canary flags —
+    it must sit above the analog solve's intrinsic accuracy (a raw
+    budget-capped analog solve at 8-bit precision lands near 2–4%
+    relative residual even on a perfectly healthy tile), so canaries
+    flag order-of-magnitude regressions, not write-noise;
+    ``reverify_band`` is the conductance deviation (as a fraction of the
+    G_MIN..G_MAX window) beyond which a cell is rewritten by targeted
+    re-verify — it must sit above write-verify's own achievable precision
+    (tolerance band plus cycle-to-cycle spread), or healthy fresh writes
+    read as drifted; ``quarantine_stuck_fraction`` is the stuck-cell density
+    past which a non-MVM macro is quarantined instead of reprogrammed
+    (MVM tiles compensate stuck cells digitally and stay in service);
+    ``heal_score_threshold`` triggers proactive healing before a solve
+    when any of the operator's macros scored below it.
+    """
+
+    seed: int = 0
+    seconds_per_tick: float = 60.0
+    canary_interval: int = 0
+    canary_threshold: float = 0.1
+    reverify_band: float = 0.1
+    quarantine_stuck_fraction: float = 0.005
+    heal_score_threshold: float = 0.6
+    retention: RetentionModel = field(default_factory=RetentionModel)
+    events: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if event.tick < 1:
+                raise ValueError(
+                    f"fault events fire on ticks >= 1, got {event!r}"
+                )
+
+    def describe(self) -> dict:
+        """JSON-ready summary (embedded in health snapshots and benches)."""
+        return {
+            "seed": self.seed,
+            "seconds_per_tick": self.seconds_per_tick,
+            "canary_interval": self.canary_interval,
+            "events": [
+                {"kind": event.kind, **asdict(event)} for event in self.events
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        """Build a plan from a JSON-shaped dict (the ``REPRO_FAULTS`` format)."""
+        payload = dict(payload)
+        events = []
+        for entry in payload.pop("events", []):
+            entry = dict(entry)
+            kind = entry.pop("kind")
+            event_cls = _EVENT_TYPES.get(kind)
+            if event_cls is None:
+                raise ValueError(
+                    f"unknown fault event kind {kind!r}; expected one of "
+                    f"{sorted(_EVENT_TYPES)}"
+                )
+            events.append(event_cls(**entry))
+        retention = payload.pop("retention", None)
+        if isinstance(retention, dict):
+            payload["retention"] = RetentionModel(**retention)
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {sorted(unknown)}")
+        return cls(events=tuple(events), **payload)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse a ``REPRO_FAULTS`` value: ``"canonical"`` or a JSON dict."""
+        spec = spec.strip()
+        if not spec:
+            raise ValueError("empty REPRO_FAULTS spec")
+        if spec == "canonical":
+            return cls.canonical()
+        if spec.startswith("{"):
+            return cls.from_dict(json.loads(spec))
+        raise ValueError(
+            f"REPRO_FAULTS must be 'canonical' or a JSON object, got {spec!r}"
+        )
+
+    @classmethod
+    def canonical(cls) -> "FaultPlan":
+        """The chaos-suite reference plan (see benchmarks/test_chaos.py).
+
+        ≥1 % stuck cells (three macros), retention drift on two of the
+        resident tiles, one line open, and one whole-macro death
+        mid-workload — the acceptance scenario for the self-healing
+        ladder.
+        """
+        return cls(
+            seed=20260808,
+            seconds_per_tick=600.0,
+            canary_interval=4,
+            events=(
+                DriftOnset(tick=1, macro=2),
+                DriftOnset(tick=1, macro=7),
+                StuckCells(tick=2, macro=0, fraction=0.012),
+                StuckCells(tick=2, macro=5, fraction=0.012),
+                StuckCells(tick=2, macro=9, fraction=0.012),
+                LineOpen(tick=3, macro=11, axis=1, index=5),
+                MacroDeath(tick=6, macro=4),
+            ),
+        )

@@ -38,11 +38,13 @@ class AdmissionController:
         config: ServeConfig,
         stats: ServiceStats,
         owner_stats: Callable[[], dict],
+        retry_after: "Callable[[], float | None] | None" = None,
     ):
         self._registry = registry
         self._config = config
         self._stats = stats
         self._owner_stats = owner_stats
+        self._retry_after = retry_after
         self._total_pending = 0
 
     @property
@@ -105,4 +107,7 @@ class AdmissionController:
             tenant=state.name,
             owner_stats=self._owner_stats(),
             queue_depths=self._registry.queue_depths(),
+            retry_after_hint=(
+                None if self._retry_after is None else self._retry_after()
+            ),
         )

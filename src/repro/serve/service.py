@@ -38,7 +38,13 @@ import numpy as np
 
 from repro.analog import determinism
 from repro.analog.topologies import AMCMode
-from repro.core.errors import CapacityError, GramcError, ShapeError
+from repro.core.errors import (
+    CapacityError,
+    ConvergenceError,
+    DegradedChipError,
+    GramcError,
+    ShapeError,
+)
 from repro.core.refine import as_rtol_vector
 from repro.core.results import SolveResult
 from repro.core.solver import GramcSolver
@@ -89,7 +95,8 @@ class SolveService:
         )
         self.registry = TenantRegistry(self.stats)
         self._admission = AdmissionController(
-            self.registry, self.config, self.stats, solver.pool.owner_stats
+            self.registry, self.config, self.stats, solver.pool.owner_stats,
+            retry_after=self.retry_after_estimate,
         )
         self._scheduler = FairShareScheduler(self.registry, solver.pool)
         self._queue: asyncio.Queue | None = None
@@ -148,6 +155,18 @@ class SolveService:
     ) -> TenantState:
         """Register (or re-quota) a tenant; safe before or after start."""
         return self.registry.register(name, quota)
+
+    def retry_after_estimate(self) -> float:
+        """Suggested client backoff in seconds after a shed request.
+
+        Queue depth (plus the retrying request itself) times the observed
+        mean dispatch time; before any dispatch has been timed the
+        coalescing window is the floor.  Attached to every
+        :class:`ServiceOverloaded` / :class:`QuotaExceeded` as
+        ``retry_after_hint``."""
+        mean = self.stats.mean_dispatch_s or self.config.window_s
+        depth = int(self.registry.queue_depths().get("total", 0))
+        return (depth + 1) * mean
 
     def snapshot(self) -> dict:
         """Pollable service state: pool residency, queue depths, counters.
@@ -388,6 +407,7 @@ class SolveService:
                 ):
                     return batch.execute()
 
+        started = time.perf_counter()
         try:
             result = await loop.run_in_executor(self._executor, execute)
         except CapacityError:
@@ -399,20 +419,97 @@ class SolveService:
             except CapacityError:
                 batch.reject_all(self._overloaded(batch), self.registry)
                 return
+            except (ConvergenceError, DegradedChipError) as error:
+                await self._retry_degraded(batch, error, parent)
+                return
             except GramcError as error:
                 batch.reject_all(error, self.registry)
                 return
+        except (ConvergenceError, DegradedChipError) as error:
+            # The chip is degrading under this batch.  One serve-level
+            # recovery attempt keeps the rest of the coalesced window's
+            # callers alive instead of failing them all outright.
+            await self._retry_degraded(batch, error, parent)
+            return
         except GramcError as error:
             # A malformed group (stale handle, shape defect) fails only
             # its own futures; the window's other groups proceed.
             batch.reject_all(error, self.registry)
             return
-        self.stats.record_dispatch(batch.tenant_names(), batch.columns)
+        self._finish_batch(batch, result, time.perf_counter() - started)
+
+    def _finish_batch(
+        self, batch: CoalescedBatch, result, elapsed_s: float
+    ) -> None:
+        self.stats.record_dispatch(
+            batch.tenant_names(), batch.columns, seconds=elapsed_s
+        )
         with trace.span(
             "scatter", columns=batch.columns, requests=len(batch.requests)
         ):
             batch.scatter(result, self.registry)
         self._scheduler.charge(batch)
+
+    async def _retry_degraded(
+        self, batch: CoalescedBatch, error: GramcError, parent
+    ) -> None:
+        """One serve-level recovery attempt for a batch that failed on a
+        degraded chip.
+
+        Heals the batch's operator on the chip thread, rebuilds the group
+        from requests whose futures are still live — a caller that
+        cancelled (or timed out) while the fault was being handled must
+        not be re-executed or re-billed — and re-dispatches exactly once.
+        A second failure rejects every live future with a structured
+        :class:`DegradedChipError` carrying the health snapshot: callers
+        get evidence, never a silently wrong answer.  Without a fault
+        injector there is nothing to heal, so the original error stands.
+        """
+        injector = getattr(self.solver.pool, "fault_injector", None)
+        if injector is None:
+            batch.reject_all(error, self.registry)
+            return
+        loop = asyncio.get_running_loop()
+        tracer = trace.get_tracer()
+        with trace.span("serve_heal", operator=batch.operator.key[:12]):
+            healing = await loop.run_in_executor(
+                self._executor,
+                lambda: injector.monitor.heal_operator(batch.operator),
+            )
+        live = [r for r in batch.requests if not r.future.done()]
+        if not live:
+            return
+        retry = CoalescedBatch(batch.operator, batch.kind, live)
+        self.stats.fault_retries += 1
+
+        def execute():
+            with tracer.adopt(parent):
+                with trace.span(
+                    "dispatch_retry",
+                    operator=retry.operator.key[:12],
+                    kind=retry.kind,
+                    columns=retry.columns,
+                    requests=len(retry.requests),
+                ):
+                    return retry.execute()
+
+        started = time.perf_counter()
+        try:
+            result = await loop.run_in_executor(self._executor, execute)
+        except DegradedChipError as second:
+            retry.reject_all(second, self.registry)
+            return
+        except GramcError as second:
+            retry.reject_all(
+                DegradedChipError(
+                    f"dispatch failed again after serve-level healing: {second}",
+                    health=injector.monitor.snapshot(),
+                    healing=healing,
+                ),
+                self.registry,
+            )
+            return
+        self._finish_batch(retry, result, time.perf_counter() - started)
 
     def _overloaded(self, batch: CoalescedBatch) -> ServiceOverloaded:
         tenants = batch.tenant_names()
@@ -424,6 +521,7 @@ class SolveService:
             tenant=tenants[0] if tenants else "",
             owner_stats=self.solver.pool.owner_stats(),
             queue_depths=self.registry.queue_depths(),
+            retry_after_hint=self.retry_after_estimate(),
         )
 
     # ---------------------------------------------------------------- validation

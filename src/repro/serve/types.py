@@ -44,6 +44,11 @@ class ServiceOverloaded(ServeError):
     queue_depths:
         Per-tenant pending request counts (plus ``"total"``) at rejection
         time.
+    retry_after_hint:
+        Suggested client backoff in seconds — current queue depth times
+        the service's observed mean dispatch time — or ``None`` when the
+        service has no dispatch history to estimate from.  A hint, not a
+        reservation: retrying sooner just risks being shed again.
     """
 
     def __init__(
@@ -53,11 +58,13 @@ class ServiceOverloaded(ServeError):
         tenant: str = "",
         owner_stats: dict | None = None,
         queue_depths: dict | None = None,
+        retry_after_hint: float | None = None,
     ):
         super().__init__(message)
         self.tenant = tenant
         self.owner_stats = owner_stats if owner_stats is not None else {}
         self.queue_depths = queue_depths if queue_depths is not None else {}
+        self.retry_after_hint = retry_after_hint
 
 
 class QuotaExceeded(ServiceOverloaded):

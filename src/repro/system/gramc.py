@@ -47,6 +47,7 @@ class GramcChip:
         buffer_capacity: int = 1 << 16,
         backend: "object | str | None" = None,
         trace: "str | bool | None" = None,
+        faults: "object | str | None" = None,
     ):
         self.rng = rng if rng is not None else np.random.default_rng(2025)
         self.pool = MacroPool(pool_config or PoolConfig(), rng=self.rng)
@@ -66,6 +67,34 @@ class GramcChip:
         # REPRO_BACKEND value) fails at chip construction, not mid-solve.
         self.backend = resolve_backend(backend)
         self._solver: GramcSolver | None = None
+        # ``faults=`` attaches a deterministic degradation schedule
+        # (:class:`~repro.faults.FaultPlan`, a plan-shaped spec string, or
+        # ``None`` to defer to ``REPRO_FAULTS``).  The whole machinery —
+        # injector, health monitor, healing ladder — only exists when a
+        # plan is given: without one the chip is bitwise identical to a
+        # build without the faults package.
+        self.faults = None
+        if faults is None and os.environ.get("REPRO_FAULTS"):
+            faults = os.environ["REPRO_FAULTS"]
+        if faults is not None:
+            from repro.faults import FaultInjector, FaultPlan
+
+            plan = (
+                FaultPlan.from_spec(faults) if isinstance(faults, str) else faults
+            )
+            self.faults = FaultInjector(
+                plan, self.pool, registry=self.stats.registry
+            )
+
+    @property
+    def clock(self) -> int:
+        """The fault injector's logical tick count (0 on fault-free chips)."""
+        return 0 if self.faults is None else self.faults.clock
+
+    @property
+    def health(self) -> "dict | None":
+        """The health monitor's snapshot, or ``None`` on a fault-free chip."""
+        return None if self.faults is None else self.faults.monitor.snapshot()
 
     @property
     def macros(self):

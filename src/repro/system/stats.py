@@ -370,10 +370,23 @@ class ServiceStats:
             "serve_shed_requests_total",
             "Requests rejected with a structured backpressure error",
         )
+        self._fault_retries = self.registry.counter(
+            "serve_fault_retries_total",
+            "Coalesced-window dispatches retried after serve-level healing "
+            "of a degraded operator",
+        )
+        self._dispatch_seconds = self.registry.counter(
+            "serve_dispatch_seconds_total",
+            "Wall-clock seconds spent in batched engine dispatches — "
+            "divided by serve_engine_calls_total this is the mean dispatch "
+            "time behind retry_after_hint",
+        )
 
     engine_calls = _scalar_property("_engine_calls")
     coalesced_columns = _scalar_property("_coalesced_columns")
     shed_requests = _scalar_property("_shed_requests")
+    fault_retries = _scalar_property("_fault_retries")
+    dispatch_seconds = _scalar_property("_dispatch_seconds", float)
 
     def tenant(self, name: str) -> TenantCounters:
         """The (auto-created) counter block for ``name``."""
@@ -382,10 +395,14 @@ class ServiceStats:
             counters = self.tenants[name] = TenantCounters(self.registry, name)
         return counters
 
-    def record_dispatch(self, tenant_names: "list[str]", columns: int) -> None:
+    def record_dispatch(
+        self, tenant_names: "list[str]", columns: int, seconds: float = 0.0
+    ) -> None:
         """Account one batched engine call carrying ``columns`` columns."""
         self._engine_calls.inc()
         self._coalesced_columns.inc(columns)
+        if seconds > 0.0:
+            self._dispatch_seconds.inc(seconds)
         for name in tenant_names:
             self.tenant(name).engine_calls += 1
 
@@ -400,6 +417,15 @@ class ServiceStats:
             return 0.0
         return self.coalesced_columns / engine_calls
 
+    @property
+    def mean_dispatch_s(self) -> float:
+        """Mean wall-clock seconds per batched engine dispatch (0.0 before
+        any dispatch — feeds ``retry_after_hint``, must never raise)."""
+        engine_calls = self.engine_calls
+        if engine_calls == 0:
+            return 0.0
+        return self.dispatch_seconds / engine_calls
+
     def summary(self) -> dict[str, object]:
         """Nested dictionary for report tables and service snapshots."""
         return {
@@ -407,6 +433,8 @@ class ServiceStats:
             "coalesced_columns": self.coalesced_columns,
             "coalescing_factor": self.coalescing_factor,
             "shed_requests": self.shed_requests,
+            "fault_retries": self.fault_retries,
+            "mean_dispatch_s": self.mean_dispatch_s,
             "tenants": {
                 name: counters.as_dict() for name, counters in self.tenants.items()
             },

@@ -1,0 +1,126 @@
+"""MacroPool quarantine semantics and eviction-callback robustness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import CapacityError
+from repro.core.pool import MacroPool, PoolConfig
+
+
+def make_pool(num_macros: int = 4) -> MacroPool:
+    return MacroPool(
+        PoolConfig(num_macros=num_macros, rows=8, cols=8),
+        rng=np.random.default_rng(1),
+    )
+
+
+# ----------------------------------------------------------------- quarantine
+
+
+def test_quarantine_free_macro_leaves_the_free_list():
+    pool = make_pool()
+    assert pool.quarantine(2)
+    assert 2 in pool.quarantined
+    grants = pool.acquire("a", 3)
+    assert pool.macros[2] not in grants
+
+
+def test_quarantine_owned_macro_evicts_even_when_pinned():
+    pool = make_pool()
+    evicted = []
+    pool.acquire("a", 2, on_evict=evicted.append)
+    pool.pin("a")
+    macro_id = pool._owners["a"][0]
+    assert pool.quarantine(macro_id)
+    assert evicted == ["a"]
+    assert not pool.holds("a")
+    # The healthy sibling returned to the free list; the sick one did not.
+    assert macro_id not in pool._free
+
+
+def test_quarantine_is_idempotent_and_validates_ids():
+    pool = make_pool()
+    assert pool.quarantine(0)
+    assert not pool.quarantine(0)
+    with pytest.raises(KeyError):
+        pool.quarantine(99)
+
+
+def test_acquire_caps_at_in_service_complement():
+    pool = make_pool(num_macros=3)
+    pool.quarantine(1)
+    with pytest.raises(CapacityError, match="quarantined"):
+        pool.acquire("a", 3)
+    assert len(pool.acquire("a", 2)) == 2
+
+
+def test_unquarantine_returns_macro_to_service():
+    pool = make_pool()
+    pool.quarantine(0)
+    assert pool.unquarantine(0)
+    assert not pool.unquarantine(0)
+    assert 0 not in pool.quarantined
+    grants = pool.acquire("a", 4)
+    assert pool.macros[0] in grants
+
+
+def test_release_does_not_resurrect_quarantined_macros():
+    pool = make_pool()
+    pool.acquire("a", 4)
+    held = list(pool._owners["a"])
+    pool.quarantine(held[0])  # evicts "a" entirely
+    pool.acquire("b", 2)
+    pool.release("b")
+    assert held[0] not in pool._free
+
+
+def test_snapshot_reports_quarantine_state():
+    pool = make_pool()
+    pool.quarantine(3)
+    snap = pool.snapshot()
+    assert snap["quarantined_macros"] == (3,)
+    assert snap["eviction_callback_errors"] == 0
+
+
+# ------------------------------------------- eviction-callback exception fix
+
+
+def test_raising_eviction_callback_does_not_abort_reclaim():
+    """Regression: a raising ``on_evict`` callback used to propagate out
+    of the reclaim loop mid-eviction, aborting the caller's acquisition
+    and leaking every macro the loop had not yet reclaimed."""
+    pool = make_pool(num_macros=4)
+
+    def explode(owner):
+        raise RuntimeError(f"stale handle for {owner}")
+
+    pool.acquire("bad1", 2, on_evict=explode)
+    pool.acquire("bad2", 2, on_evict=explode)
+    # Needs all four macros: both raising owners must be reclaimed.
+    grants = pool.acquire("big", 4)
+    assert len(grants) == 4
+    assert pool.eviction_callback_errors == 2
+    assert not pool.holds("bad1") and not pool.holds("bad2")
+
+
+def test_raising_callback_during_preempt_is_counted():
+    pool = make_pool()
+
+    def explode(owner):
+        raise ValueError("boom")
+
+    pool.acquire("victim", 2, on_evict=explode)
+    assert pool.preempt("victim")
+    assert pool.eviction_callback_errors == 1
+    assert pool.free_count == 4
+
+
+def test_wellbehaved_callbacks_still_fire_normally():
+    pool = make_pool()
+    evicted = []
+    pool.acquire("a", 4, on_evict=evicted.append)
+    pool.acquire("b", 1)
+    assert evicted == ["a"]
+    assert pool.eviction_callback_errors == 0

@@ -1,0 +1,75 @@
+"""``worst_columns``: failing solves name their worst offenders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analog.topologies import AMCMode
+from repro.core.errors import ConvergenceError
+from repro.core.refine import WORST_COLUMNS_REPORTED, worst_columns_of
+
+
+def test_worst_columns_of_orders_by_residual():
+    residuals = np.array([1e-9, 5e-2, 3e-4, 7e-1, 2e-6])
+    mask = np.array([False, True, True, True, False])
+    assert worst_columns_of(residuals, mask) == (3, 1, 2)
+
+
+def test_worst_columns_of_caps_at_k():
+    residuals = np.linspace(1.0, 10.0, 10)
+    mask = np.ones(10, dtype=bool)
+    top = worst_columns_of(residuals, mask)
+    assert len(top) == WORST_COLUMNS_REPORTED
+    assert top == (9, 8, 7, 6)
+    assert worst_columns_of(residuals, mask, k=2) == (9, 8)
+
+
+def test_worst_columns_of_puts_nonfinite_first():
+    residuals = np.array([1e-3, np.nan, 1e-1, np.inf])
+    mask = np.ones(4, dtype=bool)
+    top = worst_columns_of(residuals, mask, k=4)
+    assert set(top[:2]) == {1, 3}  # nan/inf are the worst offenders
+    assert top[2:] == (2, 0)
+
+
+def test_worst_columns_of_empty_mask():
+    assert worst_columns_of(np.array([1.0, 2.0]), np.zeros(2, dtype=bool)) == ()
+
+
+def test_budget_exhausted_result_names_worst_columns(small_solver):
+    """A solve(rtol=...) that runs out of refinement budget reports the
+    top-k unconverged columns; a converged solve reports None."""
+    rng = np.random.default_rng(3)
+    n, k = 10, 6
+    a = np.eye(n) * 3.0 + rng.normal(0, 0.1, (n, n))
+    b = rng.normal(0, 1, (n, k))
+    with small_solver.compile(a, AMCMode.INV) as op:
+        good = op.solve(b, rtol=1e-6)
+        assert good.worst_columns is None  # doubles as "contract held"
+        starved = op.solve(b, rtol=1e-14, max_refine_steps=1)
+    if starved.worst_columns is not None:
+        unconverged = np.flatnonzero(~starved.per_column_converged)
+        assert 0 < len(starved.worst_columns) <= WORST_COLUMNS_REPORTED
+        assert set(starved.worst_columns) <= set(int(i) for i in unconverged)
+        residuals = starved.per_column_residual
+        reported = [residuals[i] for i in starved.worst_columns]
+        assert reported == sorted(reported, reverse=True)
+
+
+def test_divergence_error_names_worst_columns(small_solver):
+    """A diverging refinement raises ConvergenceError carrying the
+    columns whose residuals grew."""
+    rng = np.random.default_rng(5)
+    n = 8
+    # Ill-conditioned: analog preconditioning is poor, refinement diverges.
+    u = rng.normal(0, 1, (n, 1))
+    a = np.eye(n) * 0.05 + u @ u.T * 10.0
+    b = rng.normal(0, 1, (n, 3))
+    with pytest.raises(ConvergenceError) as excinfo:
+        with small_solver.compile(a, AMCMode.INV) as op:
+            op.solve(b, rtol=1e-12, max_refine_steps=60)
+    error = excinfo.value
+    assert error.worst_columns is not None
+    assert 0 < len(error.worst_columns) <= WORST_COLUMNS_REPORTED
+    assert all(0 <= c < 3 for c in error.worst_columns)

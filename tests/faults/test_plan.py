@@ -1,0 +1,86 @@
+"""FaultPlan: the schedule format, its parsers, and its invariants."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import (
+    DriftOnset,
+    FaultPlan,
+    LineOpen,
+    MacroDeath,
+    StuckCells,
+)
+
+
+def test_events_sorted_and_frozen():
+    plan = FaultPlan(events=[MacroDeath(tick=3, macro=1), DriftOnset(tick=1, macro=0)])
+    assert isinstance(plan.events, tuple)
+    with pytest.raises(Exception):
+        plan.seed = 99  # frozen dataclass
+
+
+def test_events_must_fire_after_tick_zero():
+    with pytest.raises(ValueError, match="ticks >= 1"):
+        FaultPlan(events=(DriftOnset(tick=0, macro=0),))
+
+
+def test_describe_is_json_ready():
+    plan = FaultPlan.canonical()
+    payload = json.dumps(plan.describe())
+    round_tripped = json.loads(payload)
+    assert round_tripped["seed"] == plan.seed
+    assert len(round_tripped["events"]) == len(plan.events)
+    kinds = {entry["kind"] for entry in round_tripped["events"]}
+    assert kinds == {"drift", "stuck_cells", "line_open", "macro_death"}
+
+
+def test_from_spec_canonical():
+    assert FaultPlan.from_spec("canonical") == FaultPlan.canonical()
+
+
+def test_from_spec_json_roundtrip():
+    spec = json.dumps(
+        {
+            "seed": 5,
+            "seconds_per_tick": 120.0,
+            "events": [
+                {"kind": "drift", "tick": 1, "macro": 3, "time_scale": 2.0},
+                {"kind": "stuck_cells", "tick": 2, "macro": 0, "fraction": 0.02},
+                {"kind": "line_open", "tick": 3, "macro": 1, "axis": 1, "index": 7},
+                {"kind": "macro_death", "tick": 4, "macro": 2},
+            ],
+        }
+    )
+    plan = FaultPlan.from_spec(spec)
+    assert plan.seed == 5
+    assert plan.events == (
+        DriftOnset(tick=1, macro=3, time_scale=2.0),
+        StuckCells(tick=2, macro=0, fraction=0.02),
+        LineOpen(tick=3, macro=1, axis=1, index=7),
+        MacroDeath(tick=4, macro=2),
+    )
+
+
+def test_from_spec_rejects_garbage():
+    with pytest.raises(ValueError):
+        FaultPlan.from_spec("")
+    with pytest.raises(ValueError):
+        FaultPlan.from_spec("chaos-monkey")
+    with pytest.raises(ValueError, match="unknown fault event kind"):
+        FaultPlan.from_spec(json.dumps({"events": [{"kind": "gamma_ray", "tick": 1, "macro": 0}]}))
+    with pytest.raises(ValueError, match="unknown FaultPlan fields"):
+        FaultPlan.from_spec(json.dumps({"verbosity": 11}))
+
+
+def test_canonical_matches_acceptance_scenario():
+    """The chaos suite's contract: >=1% stuck cells, drift on two tiles,
+    one whole-macro death mid-workload."""
+    plan = FaultPlan.canonical()
+    stuck = [e for e in plan.events if isinstance(e, StuckCells)]
+    assert stuck and all(e.fraction >= 0.01 for e in stuck)
+    assert sum(isinstance(e, DriftOnset) for e in plan.events) == 2
+    assert sum(isinstance(e, MacroDeath) for e in plan.events) == 1
+    assert plan.canary_interval > 0

@@ -1,0 +1,115 @@
+"""Fault-free path is bitwise unchanged: ``faults=None`` twins.
+
+The whole fault package must be invisible when no plan is configured —
+the supervised operator wrappers dispatch straight to their
+implementations, no injector or monitor is ever constructed, and solve
+and serve answers are bitwise identical to a pre-faults build.  These
+twin tests pin that contract."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.analog.opamp import OpAmpParams
+from repro.analog.topologies import AMCMode
+from repro.converters.adc import ADCParams
+from repro.converters.dac import DACParams
+from repro.core.pool import PoolConfig
+from repro.devices.constants import DeviceStack, VariabilityParams
+from repro.faults import DriftOnset, FaultPlan
+from repro.system.gramc import GramcChip
+
+
+def noiseless_config(num_macros: int = 4, n: int = 16) -> PoolConfig:
+    return PoolConfig(
+        num_macros=num_macros,
+        rows=n,
+        cols=n,
+        stack=DeviceStack(variability=VariabilityParams(read_noise_sigma=0.0)),
+        opamp=OpAmpParams(noise_sigma=0.0),
+        dac=DACParams(noise_sigma=0.0),
+        adc=ADCParams(noise_sigma=0.0),
+    )
+
+
+def make_chip(faults=None) -> GramcChip:
+    return GramcChip(
+        noiseless_config(), rng=np.random.default_rng(2026), faults=faults
+    )
+
+
+def _problem(n=12, k=3):
+    rng = np.random.default_rng(44)
+    a = np.eye(n) * 3.0 + rng.normal(0, 0.1, (n, n))
+    b = rng.normal(0, 1, (n, k))
+    return a, b
+
+
+def test_solve_results_bitwise_identical_without_faults():
+    a, b = _problem()
+    chips = [make_chip(), make_chip()]
+    results = []
+    for chip in chips:
+        op = chip.compile(a, AMCMode.INV)
+        results.append(op.solve(b, rtol=1e-9))
+    assert chips[0].faults is None and chips[0].clock == 0
+    assert np.array_equal(results[0].value, results[1].value)
+    assert np.array_equal(
+        results[0].per_column_residual, results[1].per_column_residual
+    )
+    assert results[0].worst_columns == results[1].worst_columns
+
+
+def test_mvm_and_tiled_bitwise_identical_without_faults():
+    rng = np.random.default_rng(45)
+    n = 24  # > 16 columns: compiles to a TiledOperator on 16-wide arrays
+    a = np.eye(n) * 4.0 + rng.normal(0, 0.1, (n, n))
+    b = rng.normal(0, 1, n)
+    values = []
+    for _ in range(2):
+        chip = GramcChip(
+            noiseless_config(num_macros=12), rng=np.random.default_rng(9)
+        )
+        op = chip.compile(a, AMCMode.INV)
+        assert hasattr(op, "block_slices")  # really tiled
+        values.append(op.solve(b, rtol=1e-8).value)
+    assert np.array_equal(values[0], values[1])
+
+
+def test_faulted_chip_differs_but_is_self_consistent():
+    """Same plan + same workload ⇒ bit-identical degradation; the
+    fault-free twin diverges once drift lands."""
+    a, b = _problem()
+    plan = FaultPlan(
+        seconds_per_tick=36000.0, events=(DriftOnset(tick=1, macro=0),)
+    )
+    faulted = []
+    for _ in range(2):
+        chip = make_chip(faults=plan)
+        op = chip.compile(a, AMCMode.INV)
+        for _ in range(3):
+            result = op.solve(b)
+        faulted.append(result.value)
+    assert np.array_equal(faulted[0], faulted[1])
+
+    clean_chip = make_chip()
+    op = clean_chip.compile(a, AMCMode.INV)
+    for _ in range(3):
+        clean = op.solve(b)
+    assert not np.array_equal(faulted[0], clean.value)
+
+
+def test_serve_results_bitwise_identical_without_faults():
+    a, b = _problem()
+
+    async def run(chip):
+        async with chip.serve() as service:
+            service.register_tenant("t")
+            op = await service.compile("t", a, AMCMode.INV)
+            result = await service.solve("t", op, b, rtol=1e-8)
+            return result.value
+
+    values = [asyncio.run(run(make_chip())) for _ in range(2)]
+    assert np.array_equal(values[0], values[1])
